@@ -1,0 +1,87 @@
+//! Error metrics for gossip estimates.
+//!
+//! Theorem 7 of the paper bounds the **relative error** of the Gossip-ave
+//! estimate at the largest-tree root, and switches to the **absolute error**
+//! criterion when the true average is zero. These helpers implement both
+//! criteria plus network-wide consensus checks.
+
+/// Relative error `|estimate − truth| / |truth|`. Falls back to the absolute
+/// error when `truth == 0` (the convention of Theorem 7's final remark).
+pub fn relative_error(estimate: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        estimate.abs()
+    } else {
+        (estimate - truth).abs() / truth.abs()
+    }
+}
+
+/// Absolute error `|estimate − truth|`.
+pub fn absolute_error(estimate: f64, truth: f64) -> f64 {
+    (estimate - truth).abs()
+}
+
+/// Largest relative error over a collection of per-node estimates.
+pub fn max_relative_error(estimates: &[f64], truth: f64) -> f64 {
+    estimates
+        .iter()
+        .map(|&e| relative_error(e, truth))
+        .fold(0.0, f64::max)
+}
+
+/// Whether every estimate is within relative error `epsilon` of the truth.
+pub fn all_within_relative_error(estimates: &[f64], truth: f64, epsilon: f64) -> bool {
+    estimates.iter().all(|&e| relative_error(e, truth) <= epsilon)
+}
+
+/// Fraction of estimates that are exactly equal to the truth (used for the
+/// Max/Min consensus checks of Theorems 5 and 6).
+pub fn fraction_exact(estimates: &[f64], truth: f64) -> f64 {
+    if estimates.is_empty() {
+        return 0.0;
+    }
+    estimates.iter().filter(|&&e| e == truth).count() as f64 / estimates.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_basic() {
+        assert_eq!(relative_error(11.0, 10.0), 0.1);
+        assert_eq!(relative_error(10.0, 10.0), 0.0);
+        assert_eq!(relative_error(-9.0, -10.0), 0.1);
+    }
+
+    #[test]
+    fn relative_error_falls_back_to_absolute_for_zero_truth() {
+        assert_eq!(relative_error(0.25, 0.0), 0.25);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn max_relative_error_over_estimates() {
+        let estimates = [10.0, 10.5, 9.0];
+        assert!((max_relative_error(&estimates, 10.0) - 0.1).abs() < 1e-12);
+        assert_eq!(max_relative_error(&[], 10.0), 0.0);
+    }
+
+    #[test]
+    fn all_within_checks_every_estimate() {
+        assert!(all_within_relative_error(&[10.0, 10.1], 10.0, 0.011));
+        assert!(!all_within_relative_error(&[10.0, 12.0], 10.0, 0.011));
+        assert!(all_within_relative_error(&[], 10.0, 0.0));
+    }
+
+    #[test]
+    fn fraction_exact_counts_matches() {
+        assert_eq!(fraction_exact(&[5.0, 5.0, 3.0, 5.0], 5.0), 0.75);
+        assert_eq!(fraction_exact(&[], 5.0), 0.0);
+    }
+
+    #[test]
+    fn absolute_error_basic() {
+        assert_eq!(absolute_error(3.0, 5.0), 2.0);
+        assert_eq!(absolute_error(-3.0, 5.0), 8.0);
+    }
+}

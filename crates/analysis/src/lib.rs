@@ -1,0 +1,28 @@
+//! # gossip-analysis
+//!
+//! Statistics, complexity-model fitting and experiment plumbing used to turn
+//! raw simulation runs into the tables and figures of the paper
+//! reproduction:
+//!
+//! * [`stats`] — summaries (mean, deviation, percentiles, confidence
+//!   intervals) over repeated trials;
+//! * [`fit`] — least-squares fitting of measured series against candidate
+//!   growth models (`log n`, `n log log n`, `n log n`, ...), used to verify
+//!   the paper's asymptotic claims empirically;
+//! * [`experiment`] — the [`experiment::Sweep`] runner: sweep `n`, repeat
+//!   trials with independent seeds in parallel (Rayon), summarise;
+//! * [`table`] — plain-text / Markdown table rendering for the `experiments`
+//!   binary and `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod fit;
+pub mod stats;
+pub mod table;
+
+pub use experiment::{Observation, Sweep, SweepPoint, SweepResult};
+pub use fit::{best_fit, fit_all, fit_model, normalized_ratios, ratio_spread, ComplexityModel, ModelFit};
+pub use stats::{summarize_u64, Summary};
+pub use table::{fmt_float, Table};

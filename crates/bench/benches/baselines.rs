@@ -1,0 +1,50 @@
+//! Criterion benchmarks of the baseline protocols (uniform gossip,
+//! efficient gossip, rumor spreading).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gossip_baselines::{
+    efficient_gossip_average, push_max, push_sum_average, spread_rumor, EfficientGossipConfig,
+    PushMaxConfig, PushSumConfig, RumorConfig,
+};
+use gossip_net::{Network, NodeId, SimConfig};
+
+fn values(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i * 97) % 1013) as f64).collect()
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    for exp in [10u32, 12] {
+        let n = 1usize << exp;
+        let vals = values(n);
+        group.bench_with_input(BenchmarkId::new("push_sum_average", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = Network::new(SimConfig::new(n).with_seed(3));
+                push_sum_average(&mut net, &vals, &PushSumConfig::default())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("push_max", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = Network::new(SimConfig::new(n).with_seed(3));
+                push_max(&mut net, &vals, &PushMaxConfig::default())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("efficient_gossip", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = Network::new(SimConfig::new(n).with_seed(3));
+                efficient_gossip_average(&mut net, &vals, &EfficientGossipConfig::default())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("rumor_spreading", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = Network::new(SimConfig::new(n).with_seed(3));
+                spread_rumor(&mut net, NodeId::new(0), &RumorConfig::default())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

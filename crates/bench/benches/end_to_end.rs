@@ -1,0 +1,58 @@
+//! Criterion benchmarks of the end-to-end protocols (Table 1 head-to-head in
+//! wall-clock terms): DRR-gossip-ave, DRR-gossip-max and the sparse Chord
+//! variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gossip_drr::protocol::{drr_gossip_ave, drr_gossip_max, DrrGossipConfig};
+use gossip_drr::sparse::{sparse_drr_gossip_ave, SparseGossipConfig};
+use gossip_net::{Network, SimConfig};
+use gossip_topology::{ChordOverlay, ChordSampler};
+
+fn values(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i * 37) % 1009) as f64).collect()
+}
+
+fn bench_complete_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_complete");
+    group.sample_size(10);
+    for exp in [10u32, 12, 13] {
+        let n = 1usize << exp;
+        let vals = values(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("drr_gossip_ave", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = Network::new(SimConfig::new(n).with_seed(5).with_loss_prob(0.05));
+                drr_gossip_ave(&mut net, &vals, &DrrGossipConfig::paper())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("drr_gossip_max", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = Network::new(SimConfig::new(n).with_seed(5).with_loss_prob(0.05));
+                drr_gossip_max(&mut net, &vals, &DrrGossipConfig::paper())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_chord(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end_chord");
+    group.sample_size(10);
+    for exp in [10u32, 11] {
+        let n = 1usize << exp;
+        let vals = values(n);
+        let overlay = ChordOverlay::new(n);
+        let graph = overlay.graph();
+        group.bench_with_input(BenchmarkId::new("sparse_drr_gossip_ave", n), &n, |b, &n| {
+            b.iter(|| {
+                let sampler = ChordSampler::new(&overlay);
+                let mut net = Network::new(SimConfig::new(n).with_seed(5));
+                sparse_drr_gossip_ave(&mut net, &graph, &sampler, &vals, &SparseGossipConfig::default())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_complete_graph, bench_chord);
+criterion_main!(benches);

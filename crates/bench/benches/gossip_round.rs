@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks of the Phase-III root gossip
+//! (Gossip-max and Gossip-ave).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gossip_drr::convergecast::{convergecast_max, convergecast_sum, ReceptionModel};
+use gossip_drr::drr::{run_drr, DrrConfig};
+use gossip_drr::gossip_ave::{gossip_ave, GossipAveConfig};
+use gossip_drr::gossip_max::{gossip_max, GossipMaxConfig};
+use gossip_net::{Network, SimConfig};
+
+fn bench_gossip_max(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gossip_max");
+    group.sample_size(10);
+    for exp in [10u32, 12, 14] {
+        let n = 1usize << exp;
+        let values: Vec<f64> = (0..n).map(|i| (i % 9973) as f64).collect();
+        group.bench_with_input(BenchmarkId::new("phase3_max", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = Network::new(SimConfig::new(n).with_seed(3));
+                let drr = run_drr(&mut net, &DrrConfig::paper());
+                let cc = convergecast_max(
+                    &mut net,
+                    &drr.forest,
+                    &values,
+                    ReceptionModel::OneCallPerRound,
+                );
+                gossip_max(&mut net, &drr.forest, &cc.state, &GossipMaxConfig::default())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_gossip_ave(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gossip_ave");
+    group.sample_size(10);
+    for exp in [10u32, 12, 14] {
+        let n = 1usize << exp;
+        let values: Vec<f64> = (0..n).map(|i| (i % 9973) as f64).collect();
+        group.bench_with_input(BenchmarkId::new("phase3_ave", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = Network::new(SimConfig::new(n).with_seed(3));
+                let drr = run_drr(&mut net, &DrrConfig::paper());
+                let cc = convergecast_sum(
+                    &mut net,
+                    &drr.forest,
+                    &values,
+                    ReceptionModel::OneCallPerRound,
+                );
+                gossip_ave(&mut net, &drr.forest, &cc.state, &GossipAveConfig::default())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gossip_max, bench_gossip_ave);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benchmarks of the topology substrate (graph generation and
+//! Chord routing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gossip_net::NodeId;
+use gossip_topology::{d_regular, erdos_renyi_logn, ChordOverlay};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_generation");
+    group.sample_size(10);
+    for exp in [12u32, 14] {
+        let n = 1usize << exp;
+        group.bench_with_input(BenchmarkId::new("d_regular_8", n), &n, |b, &n| {
+            b.iter(|| d_regular(n, 8, 7));
+        });
+        group.bench_with_input(BenchmarkId::new("erdos_renyi_logn", n), &n, |b, &n| {
+            b.iter(|| erdos_renyi_logn(n, 2.0, 7));
+        });
+        group.bench_with_input(BenchmarkId::new("chord_graph", n), &n, |b, &n| {
+            b.iter(|| ChordOverlay::new(n).graph());
+        });
+    }
+    group.finish();
+}
+
+fn bench_chord_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chord_lookup");
+    for exp in [12u32, 16, 20] {
+        let n = 1usize << exp;
+        let overlay = ChordOverlay::new(n);
+        group.bench_with_input(BenchmarkId::new("sample_random_node", n), &n, |b, &n| {
+            let mut rng = SmallRng::seed_from_u64(9);
+            b.iter(|| overlay.sample_random_node(NodeId::new(n / 3), &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_chord_lookup);
+criterion_main!(benches);

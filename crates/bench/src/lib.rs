@@ -1,0 +1,20 @@
+//! # gossip-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper reproduction (see `DESIGN.md` §4 for the experiment index and
+//! `EXPERIMENTS.md` for recorded results), plus Criterion wall-clock
+//! micro-benchmarks of the simulator itself.
+//!
+//! Run all experiments with:
+//!
+//! ```text
+//! cargo run --release -p gossip-bench --bin experiments -- all
+//! cargo run --release -p gossip-bench --bin experiments -- table1 --quick
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::{run_experiment, ExperimentOptions, EXPERIMENTS};

@@ -1,0 +1,84 @@
+//! The `experiments` binary: regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments all                # run every experiment (full sweeps)
+//! experiments table1 chord       # run selected experiments
+//! experiments all --quick        # smaller sweeps, fewer trials
+//! experiments all --markdown     # emit Markdown tables (for EXPERIMENTS.md)
+//! experiments --list             # list available experiments
+//! ```
+
+use gossip_bench::{run_experiment, ExperimentOptions, EXPERIMENTS};
+use std::time::Instant;
+
+fn print_usage() {
+    eprintln!("usage: experiments [--list] [--quick] [--markdown] <experiment>... | all");
+    eprintln!("\navailable experiments:");
+    for (name, description, _) in EXPERIMENTS {
+        eprintln!("  {name:<18} {description}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut options = ExperimentOptions::default();
+    let mut selected: Vec<String> = Vec::new();
+    let mut list_only = false;
+    for arg in &args {
+        match arg.as_str() {
+            "--quick" | "-q" => options.quick = true,
+            "--markdown" | "-m" => options.markdown = true,
+            "--list" | "-l" => list_only = true,
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other => selected.push(other.to_string()),
+        }
+    }
+    if list_only {
+        print_usage();
+        return;
+    }
+    if selected.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+    let names: Vec<&str> = if selected.iter().any(|s| s == "all") {
+        EXPERIMENTS.iter().map(|(n, _, _)| *n).collect()
+    } else {
+        selected.iter().map(String::as_str).collect()
+    };
+
+    let started = Instant::now();
+    let mut failures = 0;
+    for name in names {
+        match run_experiment(name, &options) {
+            Some(tables) => {
+                let entry = EXPERIMENTS.iter().find(|(n, _, _)| *n == name);
+                if let Some((_, description, _)) = entry {
+                    println!("\n############ {name}: {description}\n");
+                }
+                for table in tables {
+                    if options.markdown {
+                        println!("{}", table.render_markdown());
+                    } else {
+                        println!("{}", table.render());
+                    }
+                }
+            }
+            None => {
+                eprintln!("unknown experiment '{name}' (use --list to see the available ones)");
+                failures += 1;
+            }
+        }
+    }
+    eprintln!(
+        "\nfinished in {:.1}s ({} mode)",
+        started.elapsed().as_secs_f64(),
+        if options.quick { "quick" } else { "full" }
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,234 @@
+//! Phase II (downward half): broadcast along tree links.
+//!
+//! After convergecast, each root broadcasts its address down its tree so
+//! that every member knows its root (the non-address-oblivious ingredient of
+//! Phase III: a non-root that receives a gossip message forwards it to its
+//! root by address). The very same mechanism is reused at the end of the
+//! protocol to disseminate the final global aggregate to all tree members.
+//!
+//! Cost: `O(n)` messages overall and `O(log n)` rounds, because tree sizes
+//! (phone-call model) and heights (message-passing model) are `O(log n)`.
+
+use crate::convergecast::ReceptionModel;
+use crate::forest::Forest;
+use gossip_net::{NodeId, Network, Phase};
+
+/// Outcome of a tree broadcast.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BroadcastOutcome {
+    /// Which nodes ended up holding the broadcast payload.
+    pub reached: Vec<bool>,
+    /// Rounds consumed.
+    pub rounds: u64,
+    /// Messages sent.
+    pub messages: u64,
+}
+
+impl BroadcastOutcome {
+    /// Number of nodes that received the payload (roots count themselves).
+    pub fn coverage(&self) -> usize {
+        self.reached.iter().filter(|&&r| r).count()
+    }
+}
+
+/// Broadcast a payload from every root down its tree.
+///
+/// `payload_bits` is the logical size of the payload (a root address for the
+/// Phase-II broadcast; an address plus an aggregate value for the final
+/// dissemination). Lost messages are retransmitted in subsequent rounds.
+pub fn broadcast_down(
+    net: &mut Network,
+    forest: &Forest,
+    reception: ReceptionModel,
+    phase: Phase,
+    payload_bits: u32,
+) -> BroadcastOutcome {
+    let n = net.n();
+    assert_eq!(forest.n(), n, "forest must cover the network");
+    let rounds_before = net.round();
+    let messages_before = net.metrics().total_messages();
+
+    // A node "has" the payload once its root's broadcast reaches it.
+    let mut has: Vec<bool> = (0..n)
+        .map(|i| {
+            let v = NodeId::new(i);
+            forest.is_root(v) && net.is_alive(v)
+        })
+        .collect();
+    let mut pending: usize = (0..n)
+        .filter(|&i| {
+            let v = NodeId::new(i);
+            net.is_alive(v) && !has[i]
+        })
+        .count();
+
+    let round_cap = 16 * (n as u64) + 64;
+    let mut rounds_used = 0u64;
+    while pending > 0 && rounds_used < round_cap {
+        // Snapshot the holders at the start of the round: a node that first
+        // receives the payload this round may only forward it from the next
+        // round on.
+        let holders: Vec<usize> = (0..n)
+            .filter(|&i| has[i] && net.is_alive(NodeId::new(i)))
+            .collect();
+        for i in holders {
+            let me = NodeId::new(i);
+            match reception {
+                ReceptionModel::OneCallPerRound => {
+                    // Send to the first child that does not have it yet.
+                    if let Some(&child) = forest
+                        .children(me)
+                        .iter()
+                        .find(|c| net.is_alive(**c) && !has[c.index()])
+                    {
+                        if net.send(me, child, phase, payload_bits) {
+                            has[child.index()] = true;
+                            pending -= 1;
+                        }
+                    }
+                }
+                ReceptionModel::AllNeighborsPerRound => {
+                    let targets: Vec<NodeId> = forest
+                        .children(me)
+                        .iter()
+                        .copied()
+                        .filter(|c| net.is_alive(*c) && !has[c.index()])
+                        .collect();
+                    for child in targets {
+                        if net.send(me, child, phase, payload_bits) {
+                            has[child.index()] = true;
+                            pending -= 1;
+                        }
+                    }
+                }
+            }
+        }
+        net.advance_round();
+        rounds_used += 1;
+    }
+
+    BroadcastOutcome {
+        reached: has,
+        rounds: net.round() - rounds_before,
+        messages: net.metrics().total_messages() - messages_before,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drr::{run_drr, DrrConfig};
+    use gossip_net::SimConfig;
+
+    fn forest_and_net(n: usize, seed: u64, loss: f64) -> (Forest, Network) {
+        let mut net = Network::new(SimConfig::new(n).with_seed(seed).with_loss_prob(loss));
+        let outcome = run_drr(&mut net, &DrrConfig::paper());
+        net.reset_metrics();
+        (outcome.forest, net)
+    }
+
+    #[test]
+    fn broadcast_reaches_every_alive_node() {
+        let (forest, mut net) = forest_and_net(1500, 3, 0.0);
+        let out = broadcast_down(
+            &mut net,
+            &forest,
+            ReceptionModel::OneCallPerRound,
+            Phase::Broadcast,
+            16,
+        );
+        assert_eq!(out.coverage(), 1500);
+    }
+
+    #[test]
+    fn message_count_is_one_per_non_root_without_loss() {
+        let (forest, mut net) = forest_and_net(900, 5, 0.0);
+        let out = broadcast_down(
+            &mut net,
+            &forest,
+            ReceptionModel::OneCallPerRound,
+            Phase::Broadcast,
+            16,
+        );
+        assert_eq!(out.messages, 900 - forest.num_trees() as u64);
+    }
+
+    #[test]
+    fn rounds_bounded_by_tree_size_in_phone_call_model() {
+        let (forest, mut net) = forest_and_net(2000, 7, 0.0);
+        let out = broadcast_down(
+            &mut net,
+            &forest,
+            ReceptionModel::OneCallPerRound,
+            Phase::Broadcast,
+            16,
+        );
+        assert!(out.rounds <= forest.max_tree_size() as u64 + 2);
+    }
+
+    #[test]
+    fn rounds_bounded_by_height_in_message_passing_model() {
+        let (forest, mut net) = forest_and_net(2000, 9, 0.0);
+        let out = broadcast_down(
+            &mut net,
+            &forest,
+            ReceptionModel::AllNeighborsPerRound,
+            Phase::Broadcast,
+            16,
+        );
+        assert!(out.rounds <= forest.max_height() as u64 + 2);
+    }
+
+    #[test]
+    fn lossy_broadcast_still_covers_everyone() {
+        let (forest, mut net) = forest_and_net(800, 11, 0.2);
+        let out = broadcast_down(
+            &mut net,
+            &forest,
+            ReceptionModel::OneCallPerRound,
+            Phase::Broadcast,
+            16,
+        );
+        assert_eq!(out.coverage(), 800);
+        assert!(out.messages >= 800 - forest.num_trees() as u64);
+    }
+
+    #[test]
+    fn crashed_nodes_are_not_reached() {
+        let mut net = Network::new(
+            SimConfig::new(600)
+                .with_seed(13)
+                .with_initial_crash_prob(0.2),
+        );
+        let drr = run_drr(&mut net, &DrrConfig::paper());
+        net.reset_metrics();
+        let out = broadcast_down(
+            &mut net,
+            &drr.forest,
+            ReceptionModel::OneCallPerRound,
+            Phase::Broadcast,
+            16,
+        );
+        assert_eq!(out.coverage(), net.alive_count());
+        for v in net.nodes() {
+            if !net.is_alive(v) {
+                assert!(!out.reached[v.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn all_roots_forest_needs_no_messages() {
+        let mut net = Network::new(SimConfig::new(50).with_seed(1));
+        let forest = Forest::from_parents(vec![None; 50]).unwrap();
+        let out = broadcast_down(
+            &mut net,
+            &forest,
+            ReceptionModel::OneCallPerRound,
+            Phase::Broadcast,
+            16,
+        );
+        assert_eq!(out.messages, 0);
+        assert_eq!(out.coverage(), 50);
+    }
+}

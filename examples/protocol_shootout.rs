@@ -1,0 +1,119 @@
+//! Protocol shoot-out: the three rows of the paper's Table 1, measured live.
+//!
+//! Runs DRR-gossip, uniform gossip (Kempe et al.) and efficient gossip
+//! (Kashyap et al.) side by side on the same Average workload across a range
+//! of network sizes, printing rounds, messages and the message ratio — the
+//! measured counterpart of the analytical Table 1.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example protocol_shootout
+//! ```
+
+use drr_gossip::aggregate::ValueDistribution;
+use drr_gossip::analysis::{fmt_float, Table};
+use drr_gossip::baselines::{
+    efficient_gossip_average, push_max, push_sum_average, EfficientGossipConfig, PushMaxConfig,
+    PushSumConfig,
+};
+use drr_gossip::drr::gossip_ave::GossipAveConfig;
+use drr_gossip::drr::protocol::{drr_gossip_ave, drr_gossip_max, DrrGossipConfig};
+use drr_gossip::net::{Network, SimConfig};
+
+fn main() {
+    let sizes = [1usize << 10, 1 << 12, 1 << 14];
+    let seed = 3;
+
+    // --- Max: DRR-gossip-max vs the address-oblivious uniform push ---
+    let mut max_table = Table::new(
+        "Max (5% message loss): DRR-gossip-max vs uniform push gossip",
+        &[
+            "n",
+            "DRR rounds",
+            "DRR msgs",
+            "push rounds",
+            "push msgs",
+            "push/DRR msgs",
+        ],
+    );
+    for &n in &sizes {
+        let values = ValueDistribution::Uniform { lo: 0.0, hi: 1000.0 }.generate(n, seed);
+        let config = SimConfig::new(n)
+            .with_seed(seed)
+            .with_loss_prob(0.05)
+            .with_value_range(1000.0);
+
+        let mut net = Network::new(config.clone());
+        let drr = drr_gossip_max(&mut net, &values, &DrrGossipConfig::paper());
+        let mut net = Network::new(config);
+        let push = push_max(&mut net, &values, &PushMaxConfig::default());
+        max_table.push_row(vec![
+            n.to_string(),
+            drr.total_rounds.to_string(),
+            drr.total_messages.to_string(),
+            push.rounds.to_string(),
+            push.messages.to_string(),
+            fmt_float(push.messages as f64 / drr.total_messages as f64),
+        ]);
+    }
+    max_table.push_note("paper: DRR-gossip O(n log log n) msgs; any address-oblivious protocol needs Ω(n log n) (Theorem 15)");
+    println!("{}", max_table.render());
+
+    // --- Average: the three rows of Table 1, at a matched ε = 1/n target ---
+    let mut table = Table::new(
+        "Average to relative error 1/n (5% message loss): Table 1 measured",
+        &[
+            "n",
+            "DRR rounds",
+            "DRR msgs",
+            "uniform rounds",
+            "uniform msgs",
+            "efficient rounds",
+            "efficient msgs",
+            "uniform/DRR msgs",
+        ],
+    );
+    for &n in &sizes {
+        let values = ValueDistribution::Uniform { lo: 0.0, hi: 1000.0 }.generate(n, seed);
+        let config = SimConfig::new(n)
+            .with_seed(seed)
+            .with_loss_prob(0.05)
+            .with_value_range(1000.0);
+        let epsilon = 1.0 / n as f64;
+
+        let mut net = Network::new(config.clone());
+        let drr_config = DrrGossipConfig {
+            gossip_ave: GossipAveConfig { rounds_factor: 1.0, epsilon },
+            ..DrrGossipConfig::paper()
+        };
+        let drr = drr_gossip_ave(&mut net, &values, &drr_config);
+
+        let mut net = Network::new(config.clone());
+        let uniform = push_sum_average(
+            &mut net,
+            &values,
+            &PushSumConfig { rounds_factor: 1.0, epsilon },
+        );
+
+        let mut net = Network::new(config);
+        let efficient = efficient_gossip_average(
+            &mut net,
+            &values,
+            &EfficientGossipConfig { epsilon, ..EfficientGossipConfig::default() },
+        );
+
+        table.push_row(vec![
+            n.to_string(),
+            drr.total_rounds.to_string(),
+            drr.total_messages.to_string(),
+            uniform.rounds.to_string(),
+            uniform.messages.to_string(),
+            efficient.rounds.to_string(),
+            efficient.messages.to_string(),
+            fmt_float(uniform.messages as f64 / drr.total_messages as f64),
+        ]);
+    }
+    table.push_note("paper claims — DRR: O(log n) time / O(n log log n) msgs; uniform: O(log n) / O(n log n); efficient: O(log n log log n) / O(n log log n)");
+    table.push_note("per-node messages: DRR stays ~flat as n grows, uniform grows with log n — the ratio column climbs towards and past 1 with n");
+    println!("{}", table.render());
+}

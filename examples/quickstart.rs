@@ -1,0 +1,65 @@
+//! Quickstart: compute the average and the maximum of 10,000 node values
+//! with DRR-gossip on the random phone-call model, and inspect the cost.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use drr_gossip::aggregate::ValueDistribution;
+use drr_gossip::drr::protocol::{drr_gossip_ave, drr_gossip_max, DrrGossipConfig};
+use drr_gossip::net::{Network, SimConfig};
+
+fn main() {
+    let n = 10_000;
+    let seed = 42;
+
+    // Every node holds a value; here: uniform in [0, 1000).
+    let values = ValueDistribution::Uniform { lo: 0.0, hi: 1000.0 }.generate(n, seed);
+
+    // A lossy network: every message is dropped independently with
+    // probability 5% (the paper's failure model).
+    let config = SimConfig::new(n)
+        .with_seed(seed)
+        .with_loss_prob(0.05)
+        .with_value_range(1000.0);
+
+    // ---- Average ----
+    let mut net = Network::new(config.clone());
+    let report = drr_gossip_ave(&mut net, &values, &DrrGossipConfig::paper());
+    println!("=== DRR-gossip-ave on n = {n} nodes ===");
+    println!("exact average        : {:.4}", report.exact);
+    println!("estimate at node 0   : {:.4}", report.estimates[0]);
+    println!("max relative error   : {:.2e}", report.max_relative_error());
+    println!("total rounds         : {}", report.total_rounds);
+    println!("total messages       : {}", report.total_messages);
+    println!(
+        "messages per node    : {:.1} (log2 n = {:.1}, log2 log2 n = {:.1})",
+        report.total_messages as f64 / n as f64,
+        (n as f64).log2(),
+        (n as f64).log2().log2()
+    );
+    println!(
+        "forest               : {} trees, largest has {} nodes",
+        report.forest_stats.num_trees, report.forest_stats.max_tree_size
+    );
+    println!("per-phase cost:");
+    for phase in &report.phases {
+        println!(
+            "  {:<15} {:>6} rounds {:>9} messages",
+            phase.name, phase.rounds, phase.messages
+        );
+    }
+
+    // ---- Maximum ----
+    let mut net = Network::new(config);
+    let report = drr_gossip_max(&mut net, &values, &DrrGossipConfig::paper());
+    println!("\n=== DRR-gossip-max on the same values ===");
+    println!("exact maximum        : {:.4}", report.exact);
+    println!(
+        "nodes with exact max : {:.1}%",
+        100.0 * report.fraction_exact()
+    );
+    println!("total rounds         : {}", report.total_rounds);
+    println!("total messages       : {}", report.total_messages);
+}

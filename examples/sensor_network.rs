@@ -1,0 +1,102 @@
+//! Sensor-network scenario from the paper's introduction: "in sensor
+//! networks, knowing the average or maximum remaining battery power among
+//! the sensor nodes is a critical statistic".
+//!
+//! A fleet of sensors with battery percentages (a few nearly drained) and a
+//! harsh radio environment (10% message loss, 2% of the nodes already dead)
+//! computes the average and the minimum remaining battery with DRR-gossip,
+//! and compares the message bill against uniform gossip.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example sensor_network
+//! ```
+
+use drr_gossip::aggregate::ValueDistribution;
+use drr_gossip::baselines::{push_max, push_sum_average, PushMaxConfig, PushSumConfig};
+use drr_gossip::drr::protocol::{drr_gossip_ave, drr_gossip_max, DrrGossipConfig};
+use drr_gossip::net::{Network, SimConfig};
+
+fn main() {
+    let n = 5_000;
+    let seed = 7;
+    let battery = ValueDistribution::BatteryLevels.generate(n, seed);
+
+    let config = SimConfig::new(n)
+        .with_seed(seed)
+        .with_loss_prob(0.10)
+        .with_initial_crash_prob(0.02)
+        .with_value_range(100.0);
+
+    println!("=== sensor fleet: {n} nodes, 10% message loss, 2% dead nodes ===\n");
+
+    // Average remaining battery via DRR-gossip-ave.
+    let mut net = Network::new(config.clone());
+    let avg = drr_gossip_ave(&mut net, &battery, &DrrGossipConfig::paper());
+    println!("average battery (exact)        : {:.2}%", avg.exact);
+    println!(
+        "average battery (gossip)       : {:.2}%  (max rel. error {:.2e})",
+        avg.estimates.iter().find(|e| e.is_finite()).unwrap(),
+        avg.max_relative_error()
+    );
+    println!(
+        "cost: {} rounds, {} messages ({:.1} per sensor)\n",
+        avg.total_rounds,
+        avg.total_messages,
+        avg.total_messages as f64 / n as f64
+    );
+
+    // Minimum battery = Max of the negated values (Min is a Max in disguise).
+    let negated: Vec<f64> = battery.iter().map(|&b| -b).collect();
+    let mut net = Network::new(config.clone());
+    let min_report = drr_gossip_max(&mut net, &negated, &DrrGossipConfig::paper());
+    println!(
+        "minimum battery (exact)        : {:.2}%",
+        -min_report.exact
+    );
+    println!(
+        "minimum battery (gossip)       : {:.2}%  ({:.1}% of alive sensors agree exactly)",
+        -min_report.estimates.iter().cloned().find(|e| e.is_finite()).unwrap(),
+        100.0 * min_report.fraction_exact()
+    );
+    println!(
+        "cost: {} rounds, {} messages\n",
+        min_report.total_rounds, min_report.total_messages
+    );
+
+    // Energy comparison: every message a sensor transmits costs battery.
+    // For the extremum aggregates (min/max battery) the uniform,
+    // address-oblivious alternative needs Θ(n log n) transmissions
+    // (Theorem 15), which DRR-gossip-max undercuts already at this fleet
+    // size; for the Average, the advantage is asymptotic (the per-sensor
+    // message count of DRR-gossip stays ~flat as the fleet grows, while
+    // uniform gossip's grows with log n — see the `table1` experiment).
+    let mut net = Network::new(config.clone());
+    let uniform_min = push_max(&mut net, &negated, &PushMaxConfig::default());
+    println!("uniform (address-oblivious) push gossip for the same minimum:");
+    println!(
+        "  cost: {} rounds, {} messages ({:.1} per sensor)",
+        uniform_min.rounds,
+        uniform_min.messages,
+        uniform_min.messages as f64 / n as f64
+    );
+    println!(
+        "  DRR-gossip-min saves {:.1}% of the radio transmissions\n",
+        100.0 * (1.0 - min_report.total_messages as f64 / uniform_min.messages as f64)
+    );
+
+    let mut net = Network::new(config);
+    let uniform = push_sum_average(&mut net, &battery, &PushSumConfig::default());
+    println!("uniform gossip (Kempe et al. push-sum) for the same average:");
+    println!(
+        "  cost: {} rounds, {} messages ({:.1} per sensor)",
+        uniform.rounds,
+        uniform.messages,
+        uniform.messages as f64 / n as f64
+    );
+    println!(
+        "  per-sensor messages — DRR {:.1} (≈ constant in n) vs uniform {:.1} (grows as log n)",
+        avg.total_messages as f64 / n as f64,
+        uniform.messages as f64 / n as f64
+    );
+}

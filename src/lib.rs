@@ -1,0 +1,20 @@
+//! # drr-gossip
+//!
+//! Facade crate for the *Optimal Gossip-Based Aggregate Computation*
+//! (Chen & Pandurangan, SPAA 2010) reproduction. Re-exports the workspace
+//! crates under stable module names. See `DESIGN.md` for the system map and
+//! `EXPERIMENTS.md` for the reproduced tables and figures.
+
+#![forbid(unsafe_code)]
+
+pub use gossip_aggregate as aggregate;
+pub use gossip_analysis as analysis;
+pub use gossip_baselines as baselines;
+pub use gossip_drr as drr;
+pub use gossip_net as net;
+pub use gossip_topology as topology;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use gossip_net::{Network, NodeId, Phase, SimConfig};
+}

@@ -1,0 +1,119 @@
+//! Integration tests that check the paper's headline complexity claims
+//! empirically, using the analysis crate's model fitting over small sweeps.
+//! These are the same checks the `experiments` binary runs at larger scale.
+
+use drr_gossip::aggregate::ValueDistribution;
+use drr_gossip::analysis::{best_fit, ComplexityModel, Sweep};
+use drr_gossip::baselines::{push_sum_average, PushSumConfig};
+use drr_gossip::drr::drr::{run_drr, DrrConfig};
+use drr_gossip::drr::protocol::{drr_gossip_ave, DrrGossipConfig};
+use drr_gossip::net::{Network, SimConfig};
+
+fn sweep() -> Sweep {
+    Sweep::powers_of_two(9, 13, 4)
+}
+
+#[test]
+fn theorem_2_tree_count_scales_as_n_over_log_n() {
+    let result = sweep().run(|n, seed| {
+        let mut net = Network::new(SimConfig::new(n).with_seed(seed));
+        let outcome = run_drr(&mut net, &DrrConfig::paper());
+        vec![("trees".to_string(), outcome.forest.num_trees() as f64)]
+    });
+    let fit = best_fit(
+        &result.series("trees"),
+        &[
+            ComplexityModel::NOverLogN,
+            ComplexityModel::N,
+            ComplexityModel::SqrtN,
+            ComplexityModel::LogN,
+        ],
+    );
+    assert_eq!(fit.model, ComplexityModel::NOverLogN, "fit: {fit:?}");
+}
+
+#[test]
+fn theorem_3_max_tree_size_scales_as_log_n() {
+    let result = sweep().run(|n, seed| {
+        let mut net = Network::new(SimConfig::new(n).with_seed(seed));
+        let outcome = run_drr(&mut net, &DrrConfig::paper());
+        vec![(
+            "max_size".to_string(),
+            outcome.forest.max_tree_size() as f64,
+        )]
+    });
+    let fit = best_fit(
+        &result.series("max_size"),
+        &[
+            ComplexityModel::LogN,
+            ComplexityModel::Log2N,
+            ComplexityModel::SqrtN,
+            ComplexityModel::N,
+        ],
+    );
+    assert!(
+        matches!(fit.model, ComplexityModel::LogN | ComplexityModel::Log2N),
+        "max tree size fit: {fit:?}"
+    );
+    // and it is far below linear: at n = 8192 the largest tree stays within
+    // a constant multiple of log n = 13 (out of 8192 nodes).
+    let at_8k = result.at(1 << 13, "max_size").unwrap().mean;
+    assert!(at_8k < 20.0 * 13.0, "largest tree has {at_8k} nodes");
+}
+
+#[test]
+fn theorem_4_drr_messages_scale_as_n_log_log_n_not_n_log_n() {
+    let result = sweep().run(|n, seed| {
+        let mut net = Network::new(SimConfig::new(n).with_seed(seed));
+        let outcome = run_drr(&mut net, &DrrConfig::paper());
+        vec![("messages".to_string(), outcome.messages as f64)]
+    });
+    let series = result.series("messages");
+    let fit = best_fit(&series, &ComplexityModel::MESSAGE_MODELS);
+    assert!(
+        matches!(fit.model, ComplexityModel::NLogLogN | ComplexityModel::N),
+        "DRR message fit: {fit:?}"
+    );
+    // The per-node message count must stay well below log n.
+    for &(n, messages) in &series {
+        assert!(
+            messages / n < 0.75 * n.log2(),
+            "at n = {n}, {messages} messages is not o(n log n)"
+        );
+    }
+}
+
+#[test]
+fn table_1_message_gap_grows_with_n() {
+    // The uniform-gossip/DRR-gossip message ratio must grow with n
+    // (Θ(log n / log log n)).
+    let ratio_at = |n: usize| {
+        let values = ValueDistribution::Uniform { lo: 0.0, hi: 100.0 }.generate(n, 7);
+        let mut net = Network::new(SimConfig::new(n).with_seed(7).with_value_range(100.0));
+        let drr = drr_gossip_ave(&mut net, &values, &DrrGossipConfig::paper());
+        let mut net = Network::new(SimConfig::new(n).with_seed(7).with_value_range(100.0));
+        let uniform = push_sum_average(&mut net, &values, &PushSumConfig::default());
+        uniform.messages as f64 / drr.total_messages as f64
+    };
+    let small = ratio_at(1 << 9);
+    let large = ratio_at(1 << 14);
+    assert!(
+        large > small,
+        "message ratio should grow with n: {small} -> {large}"
+    );
+}
+
+#[test]
+fn drr_gossip_total_rounds_fit_log_n() {
+    let result = sweep().run(|n, seed| {
+        let values = ValueDistribution::Uniform { lo: 0.0, hi: 100.0 }.generate(n, seed);
+        let mut net = Network::new(SimConfig::new(n).with_seed(seed).with_value_range(100.0));
+        let report = drr_gossip_ave(&mut net, &values, &DrrGossipConfig::paper());
+        vec![("rounds".to_string(), report.total_rounds as f64)]
+    });
+    let fit = best_fit(&result.series("rounds"), &ComplexityModel::TIME_MODELS);
+    assert!(
+        matches!(fit.model, ComplexityModel::LogN | ComplexityModel::LogLogN),
+        "rounds fit: {fit:?}"
+    );
+}
