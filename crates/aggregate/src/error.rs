@@ -30,7 +30,9 @@ pub fn max_relative_error(estimates: &[f64], truth: f64) -> f64 {
 
 /// Whether every estimate is within relative error `epsilon` of the truth.
 pub fn all_within_relative_error(estimates: &[f64], truth: f64, epsilon: f64) -> bool {
-    estimates.iter().all(|&e| relative_error(e, truth) <= epsilon)
+    estimates
+        .iter()
+        .all(|&e| relative_error(e, truth) <= epsilon)
 }
 
 /// Fraction of estimates that are exactly equal to the truth (used for the

@@ -178,11 +178,17 @@ impl Aggregate for Average {
     }
 
     fn lift(&self, value: f64) -> AverageState {
-        AverageState { sum: value, count: 1.0 }
+        AverageState {
+            sum: value,
+            count: 1.0,
+        }
     }
 
     fn identity(&self) -> AverageState {
-        AverageState { sum: 0.0, count: 0.0 }
+        AverageState {
+            sum: 0.0,
+            count: 0.0,
+        }
     }
 
     fn combine(&self, a: &AverageState, b: &AverageState) -> AverageState {

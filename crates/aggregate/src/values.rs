@@ -148,7 +148,10 @@ impl ValueDistribution {
 
 impl Default for ValueDistribution {
     fn default() -> Self {
-        ValueDistribution::Uniform { lo: 0.0, hi: 1000.0 }
+        ValueDistribution::Uniform {
+            lo: 0.0,
+            hi: 1000.0,
+        }
     }
 }
 
@@ -161,9 +164,15 @@ mod tests {
         for dist in [
             ValueDistribution::Constant(3.0),
             ValueDistribution::Uniform { lo: 0.0, hi: 1.0 },
-            ValueDistribution::Normal { mean: 0.0, std_dev: 1.0 },
+            ValueDistribution::Normal {
+                mean: 0.0,
+                std_dev: 1.0,
+            },
             ValueDistribution::Exponential { lambda: 2.0 },
-            ValueDistribution::Zipf { max: 100, exponent: 1.2 },
+            ValueDistribution::Zipf {
+                max: 100,
+                exponent: 1.2,
+            },
             ValueDistribution::SingleOutlier { value: 9.0 },
             ValueDistribution::MixedSign { magnitude: 5.0 },
             ValueDistribution::BatteryLevels,
@@ -216,8 +225,12 @@ mod tests {
 
     #[test]
     fn zipf_values_are_positive_and_bounded() {
-        let values = ValueDistribution::Zipf { max: 50, exponent: 1.1 }.generate(2000, 23);
-        assert!(values.iter().all(|&v| v >= 1.0 && v <= 50.0));
+        let values = ValueDistribution::Zipf {
+            max: 50,
+            exponent: 1.1,
+        }
+        .generate(2000, 23);
+        assert!(values.iter().all(|&v| (1.0..=50.0).contains(&v)));
     }
 
     #[test]

@@ -159,10 +159,7 @@ pub fn fit_model(points: &[(f64, f64)], model: ComplexityModel) -> ModelFit {
 
 /// Fit every candidate and return them sorted by decreasing `R²`.
 pub fn fit_all(points: &[(f64, f64)], candidates: &[ComplexityModel]) -> Vec<ModelFit> {
-    let mut fits: Vec<ModelFit> = candidates
-        .iter()
-        .map(|&m| fit_model(points, m))
-        .collect();
+    let mut fits: Vec<ModelFit> = candidates.iter().map(|&m| fit_model(points, m)).collect();
     fits.sort_by(|a, b| b.r_squared.partial_cmp(&a.r_squared).expect("finite r²"));
     fits
 }
@@ -177,10 +174,7 @@ pub fn best_fit(points: &[(f64, f64)], candidates: &[ComplexityModel]) -> ModelF
 
 /// The measured/model ratios `y / f(n)` — flat ratios confirm the model.
 pub fn normalized_ratios(points: &[(f64, f64)], model: ComplexityModel) -> Vec<f64> {
-    points
-        .iter()
-        .map(|&(n, y)| y / model.eval(n))
-        .collect()
+    points.iter().map(|&(n, y)| y / model.eval(n)).collect()
 }
 
 /// How flat a ratio series is: `max/min` (1.0 = perfectly flat). Useful as a
@@ -214,7 +208,10 @@ mod tests {
             if model == ComplexityModel::Constant {
                 continue;
             }
-            assert!(model.eval((1u64 << 20) as f64) > model.eval((1u64 << 10) as f64), "{model}");
+            assert!(
+                model.eval((1u64 << 20) as f64) > model.eval((1u64 << 10) as f64),
+                "{model}"
+            );
         }
     }
 

@@ -23,6 +23,8 @@ pub mod stats;
 pub mod table;
 
 pub use experiment::{Observation, Sweep, SweepPoint, SweepResult};
-pub use fit::{best_fit, fit_all, fit_model, normalized_ratios, ratio_spread, ComplexityModel, ModelFit};
+pub use fit::{
+    best_fit, fit_all, fit_model, normalized_ratios, ratio_spread, ComplexityModel, ModelFit,
+};
 pub use stats::{summarize_u64, Summary};
 pub use table::{fmt_float, Table};

@@ -46,7 +46,10 @@ impl Summary {
             0.0
         };
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("statistics require non-NaN samples"));
+        sorted.sort_by(|a, b| {
+            a.partial_cmp(b)
+                .expect("statistics require non-NaN samples")
+        });
         let percentile = |q: f64| {
             let idx = ((count as f64 - 1.0) * q).round() as usize;
             sorted[idx]

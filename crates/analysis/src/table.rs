@@ -83,7 +83,9 @@ impl Table {
         };
         out.push_str(&render_row(&self.headers));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&render_row(row));
@@ -102,10 +104,7 @@ impl Table {
             out.push_str(&format!("### {}\n\n", self.title));
         }
         out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
-        out.push_str(&format!(
-            "|{}\n",
-            " --- |".repeat(self.headers.len())
-        ));
+        out.push_str(&format!("|{}\n", " --- |".repeat(self.headers.len())));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }

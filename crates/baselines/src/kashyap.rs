@@ -114,7 +114,10 @@ pub fn efficient_gossip_average(
     let target = config.target(n);
     let mut phases: Vec<EfficientPhaseCost> = Vec::new();
     let mut mark = (net.round(), net.metrics().total_messages());
-    let record = |net: &Network, name: &'static str, mark: &mut (u64, u64), phases: &mut Vec<EfficientPhaseCost>| {
+    let record = |net: &Network,
+                  name: &'static str,
+                  mark: &mut (u64, u64),
+                  phases: &mut Vec<EfficientPhaseCost>| {
         phases.push(EfficientPhaseCost {
             name,
             rounds: net.round() - mark.0,
@@ -255,13 +258,16 @@ pub fn efficient_gossip_average(
     // ---- Leader gossip: uniform push-sum among leaders (forwarded through members) ----
     let total_sum: f64 = group_leaders.iter().map(|&l| group_sum[l]).sum();
     let total_count: f64 = group_leaders.iter().map(|&l| group_count[l]).sum();
-    let true_average = if total_count > 0.0 { total_sum / total_count } else { 0.0 };
+    let true_average = if total_count > 0.0 {
+        total_sum / total_count
+    } else {
+        0.0
+    };
     let mut s: Vec<f64> = group_sum.clone();
     let mut w: Vec<f64> = group_count.clone();
     let log_m = f64::from(gossip_net::id_bits(num_groups.max(2)));
     let log_eps = (1.0 / config.epsilon).log2().max(0.0);
-    let leader_rounds =
-        ((config.leader_rounds_factor * (log_m + log_eps)).ceil() as u64).max(1);
+    let leader_rounds = ((config.leader_rounds_factor * (log_m + log_eps)).ceil() as u64).max(1);
     let payload_bits = 2 * value_bits + id_bits;
     for _ in 0..leader_rounds {
         let mut incoming_s = vec![0.0; n];
@@ -281,7 +287,12 @@ pub fn efficient_gossip_average(
             }
             let dest_leader = leader[target.index()];
             if dest_leader != target.index()
-                && !net.send(target, NodeId::new(dest_leader), Phase::LeaderGossip, payload_bits)
+                && !net.send(
+                    target,
+                    NodeId::new(dest_leader),
+                    Phase::LeaderGossip,
+                    payload_bits,
+                )
             {
                 continue;
             }
@@ -382,8 +393,12 @@ mod tests {
         };
         let uniform = {
             let mut net = Network::new(SimConfig::new(n).with_seed(7));
-            crate::push_sum::push_sum_average(&mut net, &vals, &crate::push_sum::PushSumConfig::default())
-                .messages
+            crate::push_sum::push_sum_average(
+                &mut net,
+                &vals,
+                &crate::push_sum::PushSumConfig::default(),
+            )
+            .messages
         };
         assert!(
             efficient < uniform,
@@ -402,7 +417,11 @@ mod tests {
         let out = efficient_gossip_average(&mut net, &vals, &EfficientGossipConfig::default());
         let log_n = (n as f64).log2();
         assert!(out.rounds as f64 >= log_n, "rounds = {}", out.rounds);
-        assert!(out.rounds as f64 <= 20.0 * log_n * log_n.log2(), "rounds = {}", out.rounds);
+        assert!(
+            out.rounds as f64 <= 20.0 * log_n * log_n.log2(),
+            "rounds = {}",
+            out.rounds
+        );
     }
 
     #[test]
@@ -439,11 +458,7 @@ mod tests {
     #[test]
     fn crashed_nodes_have_nan_estimates() {
         let n = 600;
-        let mut net = Network::new(
-            SimConfig::new(n)
-                .with_seed(15)
-                .with_initial_crash_prob(0.3),
-        );
+        let mut net = Network::new(SimConfig::new(n).with_seed(15).with_initial_crash_prob(0.3));
         let vals = values(n);
         let out = efficient_gossip_average(&mut net, &vals, &EfficientGossipConfig::default());
         for v in net.nodes() {

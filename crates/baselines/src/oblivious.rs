@@ -71,9 +71,7 @@ pub fn oblivious_max_lower_bound(
         stop_at_full_coverage: true,
     };
     let out: PushMaxOutcome = push_max(net, values, &cfg);
-    let all = out
-        .messages_until_coverage(1.0)
-        .unwrap_or(out.messages);
+    let all = out.messages_until_coverage(1.0).unwrap_or(out.messages);
     ObliviousLowerBoundResult {
         n: net.n(),
         protocol,

@@ -122,9 +122,7 @@ pub fn push_max(net: &mut Network, values: &[f64], config: &PushMaxConfig) -> Pu
             }
             if config.pull {
                 // The called node replies with its own estimate.
-                if net.is_alive(target)
-                    && net.send(target, v, Phase::UniformGossip, payload_bits)
-                {
+                if net.is_alive(target) && net.send(target, v, Phase::UniformGossip, payload_bits) {
                     incoming.push((v.index(), snapshot[target.index()]));
                 }
             }
@@ -254,7 +252,11 @@ mod tests {
                 .with_initial_crash_prob(0.2),
         );
         let out = push_max(&mut net, &values(n), &PushMaxConfig::default());
-        assert!(out.final_coverage() > 0.999, "coverage = {}", out.final_coverage());
+        assert!(
+            out.final_coverage() > 0.999,
+            "coverage = {}",
+            out.final_coverage()
+        );
     }
 
     #[test]

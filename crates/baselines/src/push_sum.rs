@@ -14,7 +14,7 @@
 //! `O(n log² n)` messages and `O(log² n)` time on Chord (Section 4).
 
 use gossip_aggregate::relative_error;
-use gossip_net::{Network, NodeId, Phase};
+use gossip_net::{NodeId, Phase, Transport};
 use gossip_topology::RandomNodeSampler;
 use serde::{Deserialize, Serialize};
 
@@ -63,7 +63,10 @@ pub struct PushSumOutcome {
 impl PushSumOutcome {
     /// Largest relative error over alive nodes at the end of the run.
     pub fn max_relative_error(&self) -> f64 {
-        self.max_error_trace.last().copied().unwrap_or(f64::INFINITY)
+        self.max_error_trace
+            .last()
+            .copied()
+            .unwrap_or(f64::INFINITY)
     }
 
     /// First round (1-based) at which the maximum relative error dropped
@@ -76,8 +79,8 @@ impl PushSumOutcome {
     }
 }
 
-fn finish(
-    net: &Network,
+fn finish<T: Transport>(
+    net: &T,
     sum: Vec<f64>,
     weight: Vec<f64>,
     true_average: f64,
@@ -107,18 +110,26 @@ fn finish(
     }
 }
 
-fn max_error(net: &Network, sum: &[f64], weight: &[f64], truth: f64) -> f64 {
+fn max_error<T: Transport>(net: &T, sum: &[f64], weight: &[f64], truth: f64) -> f64 {
     net.alive_nodes()
         .map(|v| {
             let i = v.index();
-            let est = if weight[i] > 0.0 { sum[i] / weight[i] } else { 0.0 };
+            let est = if weight[i] > 0.0 {
+                sum[i] / weight[i]
+            } else {
+                0.0
+            };
             relative_error(est, truth)
         })
         .fold(0.0, f64::max)
 }
 
 /// Uniform-gossip push-sum on the complete-graph phone-call model.
-pub fn push_sum_average(net: &mut Network, values: &[f64], config: &PushSumConfig) -> PushSumOutcome {
+pub fn push_sum_average<T: Transport>(
+    net: &mut T,
+    values: &[f64],
+    config: &PushSumConfig,
+) -> PushSumOutcome {
     let n = net.n();
     assert_eq!(values.len(), n);
     let messages_before = net.metrics().total_messages();
@@ -162,7 +173,15 @@ pub fn push_sum_average(net: &mut Network, values: &[f64], config: &PushSumConfi
         trace.push(max_error(net, &sum, &weight, true_average));
     }
 
-    finish(net, sum, weight, true_average, trace, rounds, messages_before)
+    finish(
+        net,
+        sum,
+        weight,
+        true_average,
+        trace,
+        rounds,
+        messages_before,
+    )
 }
 
 /// Push-sum on a sparse network: each push is routed to a random node via the
@@ -170,8 +189,8 @@ pub fn push_sum_average(net: &mut Network, values: &[f64], config: &PushSumConfi
 /// round (uniform gossip has no trees to exploit, so *every* node routes a
 /// message every round — this is the `O(n log² n)`-message Chord baseline of
 /// Section 4).
-pub fn routed_push_sum_average(
-    net: &mut Network,
+pub fn routed_push_sum_average<T: Transport>(
+    net: &mut T,
     sampler: &dyn RandomNodeSampler,
     values: &[f64],
     config: &PushSumConfig,
@@ -233,13 +252,21 @@ pub fn routed_push_sum_average(
         trace.push(max_error(net, &sum, &weight, true_average));
     }
 
-    finish(net, sum, weight, true_average, trace, rounds, messages_before)
+    finish(
+        net,
+        sum,
+        weight,
+        true_average,
+        trace,
+        rounds,
+        messages_before,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gossip_net::SimConfig;
+    use gossip_net::{Network, SimConfig};
     use gossip_topology::{ChordOverlay, ChordSampler};
 
     fn values(n: usize) -> Vec<f64> {
@@ -254,7 +281,11 @@ mod tests {
         let out = push_sum_average(&mut net, &vals, &PushSumConfig::default());
         let exact = vals.iter().sum::<f64>() / n as f64;
         assert!((out.true_average - exact).abs() < 1e-9);
-        assert!(out.max_relative_error() < 5e-3, "error = {}", out.max_relative_error());
+        assert!(
+            out.max_relative_error() < 5e-3,
+            "error = {}",
+            out.max_relative_error()
+        );
     }
 
     #[test]
@@ -293,7 +324,11 @@ mod tests {
         );
         let vals = values(n);
         let out = push_sum_average(&mut net, &vals, &PushSumConfig::default());
-        assert!(out.max_relative_error() < 0.05, "error = {}", out.max_relative_error());
+        assert!(
+            out.max_relative_error() < 0.05,
+            "error = {}",
+            out.max_relative_error()
+        );
         for v in net.nodes() {
             if !net.is_alive(v) {
                 assert!(out.estimates[v.index()].is_nan());
@@ -319,7 +354,11 @@ mod tests {
         let mut net = Network::new(SimConfig::new(n).with_seed(13));
         let vals = values(n);
         let out = routed_push_sum_average(&mut net, &sampler, &vals, &PushSumConfig::default());
-        assert!(out.max_relative_error() < 1e-2, "error = {}", out.max_relative_error());
+        assert!(
+            out.max_relative_error() < 1e-2,
+            "error = {}",
+            out.max_relative_error()
+        );
         // Each push costs up to log n hops, so messages ≈ rounds · n · Θ(log n):
         // strictly more than the flat-model n per round.
         assert!(out.messages > out.rounds * n as u64 * 2);

@@ -167,11 +167,8 @@ pub fn spread_rumor(net: &mut Network, source: NodeId, config: &RumorConfig) -> 
         .iter()
         .map(|s| !matches!(s, NodeState::Uninformed))
         .collect();
-    let informed_fraction = alive
-        .iter()
-        .filter(|v| informed[v.index()])
-        .count() as f64
-        / alive_count;
+    let informed_fraction =
+        alive.iter().filter(|v| informed[v.index()]).count() as f64 / alive_count;
 
     RumorOutcome {
         informed,

@@ -12,7 +12,9 @@ use proptest::prelude::*;
 fn values(n: usize, seed: u64) -> Vec<f64> {
     (0..n)
         .map(|i| {
-            let x = (i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(seed);
+            let x = (i as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(seed);
             ((x >> 12) % 10_000) as f64 / 10.0
         })
         .collect()

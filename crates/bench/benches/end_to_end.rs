@@ -47,7 +47,13 @@ fn bench_chord(c: &mut Criterion) {
             b.iter(|| {
                 let sampler = ChordSampler::new(&overlay);
                 let mut net = Network::new(SimConfig::new(n).with_seed(5));
-                sparse_drr_gossip_ave(&mut net, &graph, &sampler, &vals, &SparseGossipConfig::default())
+                sparse_drr_gossip_ave(
+                    &mut net,
+                    &graph,
+                    &sampler,
+                    &vals,
+                    &SparseGossipConfig::default(),
+                )
             });
         });
     }

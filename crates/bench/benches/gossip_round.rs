@@ -24,7 +24,12 @@ fn bench_gossip_max(c: &mut Criterion) {
                     &values,
                     ReceptionModel::OneCallPerRound,
                 );
-                gossip_max(&mut net, &drr.forest, &cc.state, &GossipMaxConfig::default())
+                gossip_max(
+                    &mut net,
+                    &drr.forest,
+                    &cc.state,
+                    &GossipMaxConfig::default(),
+                )
             });
         });
     }
@@ -47,7 +52,12 @@ fn bench_gossip_ave(c: &mut Criterion) {
                     &values,
                     ReceptionModel::OneCallPerRound,
                 );
-                gossip_ave(&mut net, &drr.forest, &cc.state, &GossipAveConfig::default())
+                gossip_ave(
+                    &mut net,
+                    &drr.forest,
+                    &cc.state,
+                    &GossipAveConfig::default(),
+                )
             });
         });
     }

@@ -24,7 +24,10 @@ fn budgets(n: usize) -> Vec<(String, ProbeBudget)> {
             format!("log n - 1 = {} (paper)", log_n - 1),
             ProbeBudget::LogNMinusOne,
         ),
-        (format!("2 log n = {}", 2 * log_n), ProbeBudget::ScaledLogN(2.0)),
+        (
+            format!("2 log n = {}", 2 * log_n),
+            ProbeBudget::ScaledLogN(2.0),
+        ),
     ]
 }
 
@@ -47,8 +50,11 @@ pub fn run(options: &ExperimentOptions) -> Vec<Table> {
     for (label, budget) in budgets(n) {
         let sweep = Sweep::over(vec![n], trials).with_base_seed(0xab1a + budget_tag(budget));
         let result = sweep.run(|n, seed| {
-            let values = gossip_aggregate::ValueDistribution::Uniform { lo: 0.0, hi: 1000.0 }
-                .generate(n, seed);
+            let values = gossip_aggregate::ValueDistribution::Uniform {
+                lo: 0.0,
+                hi: 1000.0,
+            }
+            .generate(n, seed);
             let mut net = Network::new(
                 SimConfig::new(n)
                     .with_seed(seed)

@@ -20,10 +20,18 @@ fn one_trial(n: usize, seed: u64, loss: f64, run_sampling: bool) -> (f64, f64) {
             .with_loss_prob(loss)
             .with_value_range(10_000.0),
     );
-    let values = gossip_aggregate::ValueDistribution::Uniform { lo: 0.0, hi: 10_000.0 }
-        .generate(n, seed ^ 0x5a5a);
+    let values = gossip_aggregate::ValueDistribution::Uniform {
+        lo: 0.0,
+        hi: 10_000.0,
+    }
+    .generate(n, seed ^ 0x5a5a);
     let drr = run_drr(&mut net, &DrrConfig::paper());
-    let cc = convergecast_max(&mut net, &drr.forest, &values, ReceptionModel::OneCallPerRound);
+    let cc = convergecast_max(
+        &mut net,
+        &drr.forest,
+        &values,
+        ReceptionModel::OneCallPerRound,
+    );
     let before = net.metrics().total_messages();
     let cfg = GossipMaxConfig {
         run_sampling,

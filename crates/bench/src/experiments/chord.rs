@@ -17,11 +17,20 @@ fn one_trial(n: usize, seed: u64) -> Vec<(String, f64)> {
     let overlay = ChordOverlay::new(n);
     let graph = overlay.graph();
     let sampler = ChordSampler::new(&overlay);
-    let values = gossip_aggregate::ValueDistribution::Uniform { lo: 0.0, hi: 1000.0 }
-        .generate(n, seed ^ 0xc0de);
+    let values = gossip_aggregate::ValueDistribution::Uniform {
+        lo: 0.0,
+        hi: 1000.0,
+    }
+    .generate(n, seed ^ 0xc0de);
 
     let mut net = Network::new(SimConfig::new(n).with_seed(seed).with_value_range(1000.0));
-    let drr = sparse_drr_gossip_ave(&mut net, &graph, &sampler, &values, &SparseGossipConfig::default());
+    let drr = sparse_drr_gossip_ave(
+        &mut net,
+        &graph,
+        &sampler,
+        &values,
+        &SparseGossipConfig::default(),
+    );
 
     let mut net = Network::new(SimConfig::new(n).with_seed(seed).with_value_range(1000.0));
     let uniform = routed_push_sum_average(&mut net, &sampler, &values, &PushSumConfig::default());
@@ -30,7 +39,10 @@ fn one_trial(n: usize, seed: u64) -> Vec<(String, f64)> {
         ("drr_rounds".to_string(), drr.total_rounds as f64),
         ("drr_messages".to_string(), drr.total_messages as f64),
         ("drr_error".to_string(), drr.max_relative_error()),
-        ("uniform_rounds".to_string(), uniform.rounds as f64 * gossip_net::id_bits(n) as f64),
+        (
+            "uniform_rounds".to_string(),
+            uniform.rounds as f64 * gossip_net::id_bits(n) as f64,
+        ),
         ("uniform_messages".to_string(), uniform.messages as f64),
         ("uniform_error".to_string(), uniform.max_relative_error()),
     ]
@@ -65,7 +77,10 @@ pub fn run(options: &ExperimentOptions) -> Vec<Table> {
             fmt_float((p.n as f64).log2()),
         ]);
     }
-    let drr_fit = best_fit(&result.series("drr_messages"), &ComplexityModel::MESSAGE_MODELS);
+    let drr_fit = best_fit(
+        &result.series("drr_messages"),
+        &ComplexityModel::MESSAGE_MODELS,
+    );
     let uni_fit = best_fit(
         &result.series("uniform_messages"),
         &ComplexityModel::MESSAGE_MODELS,

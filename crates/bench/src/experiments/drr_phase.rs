@@ -31,7 +31,12 @@ pub fn run(options: &ExperimentOptions) -> Vec<Table> {
             ("rounds".to_string(), outcome.rounds as f64),
             (
                 "avg_probes".to_string(),
-                outcome.probes_per_node.iter().map(|&p| p as f64).sum::<f64>() / n as f64,
+                outcome
+                    .probes_per_node
+                    .iter()
+                    .map(|&p| p as f64)
+                    .sum::<f64>()
+                    / n as f64,
             ),
         ]
     });
@@ -178,7 +183,10 @@ pub fn run_local(options: &ExperimentOptions) -> Vec<Table> {
             fmt_float(p.metrics["er_height"].mean),
         ]);
     }
-    let chord_fit = best_fit(&result.series("chord_height"), &ComplexityModel::TIME_MODELS);
+    let chord_fit = best_fit(
+        &result.series("chord_height"),
+        &ComplexityModel::TIME_MODELS,
+    );
     heights.push_note(format!(
         "chord height best fit: {} (r^2 = {})",
         chord_fit.model,

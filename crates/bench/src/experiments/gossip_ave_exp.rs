@@ -8,8 +8,8 @@
 //! (near) zero.
 
 use super::ExperimentOptions;
-use gossip_analysis::{best_fit, fmt_float, ComplexityModel, Sweep, Table};
 use gossip_aggregate::ValueDistribution;
+use gossip_analysis::{best_fit, fmt_float, ComplexityModel, Sweep, Table};
 use gossip_drr::convergecast::{convergecast_sum, ReceptionModel};
 use gossip_drr::drr::{run_drr, DrrConfig};
 use gossip_drr::gossip_ave::{gossip_ave, GossipAveConfig};
@@ -29,8 +29,18 @@ fn one_trial(
     );
     let values = dist.generate(n, seed ^ 0x51de);
     let drr = run_drr(&mut net, &DrrConfig::paper());
-    let cc = convergecast_sum(&mut net, &drr.forest, &values, ReceptionModel::OneCallPerRound);
-    let out = gossip_ave(&mut net, &drr.forest, &cc.state, &GossipAveConfig::default());
+    let cc = convergecast_sum(
+        &mut net,
+        &drr.forest,
+        &values,
+        ReceptionModel::OneCallPerRound,
+    );
+    let out = gossip_ave(
+        &mut net,
+        &drr.forest,
+        &cc.state,
+        &GossipAveConfig::default(),
+    );
     // For the mixed-sign workload the true average is (nearly) zero, so the
     // paper switches to the absolute-error criterion; convert the relative
     // trace accordingly (relative error is |est − truth|/|truth|).
@@ -69,20 +79,36 @@ fn one_trial(
 /// Run E6.
 pub fn run(options: &ExperimentOptions) -> Vec<Table> {
     let workloads: [(&str, ValueDistribution); 2] = [
-        ("uniform values", ValueDistribution::Uniform { lo: 0.0, hi: 1000.0 }),
-        ("mixed-sign (avg ≈ 0)", ValueDistribution::MixedSign { magnitude: 100.0 }),
+        (
+            "uniform values",
+            ValueDistribution::Uniform {
+                lo: 0.0,
+                hi: 1000.0,
+            },
+        ),
+        (
+            "mixed-sign (avg ≈ 0)",
+            ValueDistribution::MixedSign { magnitude: 100.0 },
+        ),
     ];
     let mut tables = Vec::new();
     for (label, dist) in workloads {
         let use_absolute = matches!(dist, ValueDistribution::MixedSign { .. });
         let sweep = Sweep::over(options.scaling_sizes(), options.trials());
         let dist_clone = dist.clone();
-        let result =
-            sweep.run(move |n, seed| one_trial(n, seed, &dist_clone, use_absolute));
+        let result = sweep.run(move |n, seed| one_trial(n, seed, &dist_clone, use_absolute));
         let (error_label, coarse_label, fine_label) = if use_absolute {
-            ("final abs. error", "rounds to abs err ≤ 1", "rounds to abs err ≤ 0.01")
+            (
+                "final abs. error",
+                "rounds to abs err ≤ 1",
+                "rounds to abs err ≤ 0.01",
+            )
         } else {
-            ("final rel. error", "rounds to 1% error", "rounds to 0.01% error")
+            (
+                "final rel. error",
+                "rounds to 1% error",
+                "rounds to 0.01% error",
+            )
         };
         let mut table = Table::new(
             format!("E6 — Gossip-ave error at the largest-tree root ({label}, δ=0.05)"),
@@ -105,7 +131,10 @@ pub fn run(options: &ExperimentOptions) -> Vec<Table> {
                 fmt_float(p.metrics["gossip_messages"].mean),
             ]);
         }
-        let time_fit = best_fit(&result.series("rounds_to_coarse"), &ComplexityModel::TIME_MODELS);
+        let time_fit = best_fit(
+            &result.series("rounds_to_coarse"),
+            &ComplexityModel::TIME_MODELS,
+        );
         let msg_fit = best_fit(
             &result.series("gossip_messages"),
             &ComplexityModel::MESSAGE_MODELS,

@@ -21,11 +21,24 @@ fn one_trial(n: usize, seed: u64, loss: f64) -> (f64, f64, f64) {
             .with_loss_prob(loss)
             .with_value_range(10_000.0),
     );
-    let values = gossip_aggregate::ValueDistribution::Uniform { lo: 0.0, hi: 10_000.0 }
-        .generate(n, seed ^ 0xabc);
+    let values = gossip_aggregate::ValueDistribution::Uniform {
+        lo: 0.0,
+        hi: 10_000.0,
+    }
+    .generate(n, seed ^ 0xabc);
     let drr = run_drr(&mut net, &DrrConfig::paper());
-    let cc = convergecast_max(&mut net, &drr.forest, &values, ReceptionModel::OneCallPerRound);
-    let out = gossip_max(&mut net, &drr.forest, &cc.state, &GossipMaxConfig::default());
+    let cc = convergecast_max(
+        &mut net,
+        &drr.forest,
+        &values,
+        ReceptionModel::OneCallPerRound,
+    );
+    let out = gossip_max(
+        &mut net,
+        &drr.forest,
+        &cc.state,
+        &GossipMaxConfig::default(),
+    );
     let largest_has_max = if out.value_at(drr.forest.largest_tree_root()) == Some(out.true_max) {
         1.0
     } else {

@@ -6,9 +6,11 @@
 pub mod ablation_probe;
 pub mod ablation_sampling;
 pub mod chord;
+pub mod churn_resilience;
 pub mod drr_phase;
 pub mod gossip_ave_exp;
 pub mod gossip_max_exp;
+pub mod latency_tail;
 pub mod lower_bound;
 pub mod phase_breakdown;
 pub mod rumor_exp;
@@ -126,6 +128,16 @@ pub const EXPERIMENTS: &[ExperimentEntry] = &[
         "sampling-ablation",
         "E14: ablation of the Gossip-max sampling procedure",
         ablation_sampling::run,
+    ),
+    (
+        "churn_resilience",
+        "E15: DRR-gossip & push-sum under ongoing churn + log-normal latency (async engine)",
+        churn_resilience::run,
+    ),
+    (
+        "latency_tail",
+        "E16: virtual-time cost of latency tails under the round barrier (async engine)",
+        latency_tail::run,
     ),
 ];
 

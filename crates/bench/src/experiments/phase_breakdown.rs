@@ -21,8 +21,11 @@ const PHASES: [&str; 7] = [
 ];
 
 fn one_trial(n: usize, seed: u64) -> Vec<(String, f64)> {
-    let values =
-        gossip_aggregate::ValueDistribution::Uniform { lo: 0.0, hi: 1000.0 }.generate(n, seed);
+    let values = gossip_aggregate::ValueDistribution::Uniform {
+        lo: 0.0,
+        hi: 1000.0,
+    }
+    .generate(n, seed);
     let mut net = Network::new(
         SimConfig::new(n)
             .with_seed(seed)
@@ -51,14 +54,27 @@ pub fn run(options: &ExperimentOptions) -> Vec<Table> {
     let mut absolute = Table::new(
         "E12 — DRR-gossip-ave: messages per phase",
         &[
-            "n", "drr", "convergecast", "broadcast", "size-election", "gossip-ave", "data-spread",
-            "disseminate", "total",
+            "n",
+            "drr",
+            "convergecast",
+            "broadcast",
+            "size-election",
+            "gossip-ave",
+            "data-spread",
+            "disseminate",
+            "total",
         ],
     );
     let mut share = Table::new(
         "E12 — DRR-gossip-ave: share of total messages per phase (%)",
         &[
-            "n", "drr", "convergecast", "broadcast", "size-election", "gossip-ave", "data-spread",
+            "n",
+            "drr",
+            "convergecast",
+            "broadcast",
+            "size-election",
+            "gossip-ave",
+            "data-spread",
             "disseminate",
         ],
     );

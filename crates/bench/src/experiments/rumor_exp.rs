@@ -23,7 +23,8 @@ fn one_trial(n: usize, seed: u64) -> Vec<(String, f64)> {
     obs.push(("rumor_messages".to_string(), rumor.rumor_messages as f64));
 
     // Address-oblivious aggregation of Max (uniform push until coverage).
-    let values = gossip_aggregate::ValueDistribution::SingleOutlier { value: 1.0 }.generate(n, seed);
+    let values =
+        gossip_aggregate::ValueDistribution::SingleOutlier { value: 1.0 }.generate(n, seed);
     let mut net = Network::new(SimConfig::new(n).with_seed(seed));
     let agg = push_max(
         &mut net,
@@ -74,7 +75,10 @@ pub fn run(options: &ExperimentOptions) -> Vec<Table> {
             fmt_float(g("drr_messages")),
         ]);
     }
-    let rumor_fit = best_fit(&result.series("rumor_messages"), &ComplexityModel::MESSAGE_MODELS);
+    let rumor_fit = best_fit(
+        &result.series("rumor_messages"),
+        &ComplexityModel::MESSAGE_MODELS,
+    );
     let agg_fit = best_fit(
         &result.series("oblivious_agg_messages"),
         &ComplexityModel::MESSAGE_MODELS,
@@ -83,7 +87,9 @@ pub fn run(options: &ExperimentOptions) -> Vec<Table> {
         "best fits — rumor spreading: {} (claim: n log log n); address-oblivious aggregation: {} (claim: n log n)",
         rumor_fit.model, agg_fit.model
     ));
-    table.push_note("aggregation is strictly harder than rumor spreading in the address-oblivious model");
+    table.push_note(
+        "aggregation is strictly harder than rumor spreading in the address-oblivious model",
+    );
     vec![table]
 }
 

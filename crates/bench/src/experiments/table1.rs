@@ -27,7 +27,11 @@ use gossip_net::{Network, SimConfig};
 const LOSS: f64 = 0.05;
 
 fn workload(n: usize, seed: u64) -> Vec<f64> {
-    gossip_aggregate::ValueDistribution::Uniform { lo: 0.0, hi: 1000.0 }.generate(n, seed)
+    gossip_aggregate::ValueDistribution::Uniform {
+        lo: 0.0,
+        hi: 1000.0,
+    }
+    .generate(n, seed)
 }
 
 fn net(n: usize, seed: u64) -> Network {
@@ -94,12 +98,18 @@ pub fn run(options: &ExperimentOptions) -> Vec<Table> {
         );
         obs.push(("efficient_rounds".to_string(), efficient.rounds as f64));
         obs.push(("efficient_messages".to_string(), efficient.messages as f64));
-        obs.push(("efficient_error".to_string(), efficient.max_relative_error()));
+        obs.push((
+            "efficient_error".to_string(),
+            efficient.max_relative_error(),
+        ));
 
         // Max head-to-head: DRR-gossip-max vs uniform (address-oblivious) push.
         let mut network = net(n, seed);
         let drr_max = drr_gossip_max(&mut network, &values, &DrrGossipConfig::paper());
-        obs.push(("drr_max_messages".to_string(), drr_max.total_messages as f64));
+        obs.push((
+            "drr_max_messages".to_string(),
+            drr_max.total_messages as f64,
+        ));
         obs.push(("drr_max_rounds".to_string(), drr_max.total_rounds as f64));
         let mut network = net(n, seed);
         let push = push_max(&mut network, &values, &PushMaxConfig::default());
@@ -162,11 +172,18 @@ pub fn run(options: &ExperimentOptions) -> Vec<Table> {
             fmt_float(g("push_max_messages") / g("drr_max_messages")),
         ]);
     }
-    max_table.push_note("DRR-gossip-max: O(n log log n) messages; uniform push: Θ(n log n) (Theorem 15 floor)");
+    max_table.push_note(
+        "DRR-gossip-max: O(n log log n) messages; uniform push: Θ(n log n) (Theorem 15 floor)",
+    );
 
     let mut fits = Table::new(
         "E1 — best-fitting growth models (paper claims in parentheses)",
-        &["algorithm", "time fit (claim)", "message fit (claim)", "max rel. error"],
+        &[
+            "algorithm",
+            "time fit (claim)",
+            "message fit (claim)",
+            "max rel. error",
+        ],
     );
     let fit_row = |name: &str,
                    rounds_metric: &str,
@@ -176,7 +193,10 @@ pub fn run(options: &ExperimentOptions) -> Vec<Table> {
                    msg_claim: &str,
                    fits: &mut Table| {
         let time = best_fit(&result.series(rounds_metric), &ComplexityModel::TIME_MODELS);
-        let msgs = best_fit(&result.series(msgs_metric), &ComplexityModel::MESSAGE_MODELS);
+        let msgs = best_fit(
+            &result.series(msgs_metric),
+            &ComplexityModel::MESSAGE_MODELS,
+        );
         let worst_err = result
             .points
             .iter()

@@ -1,0 +1,203 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the group / `bench_with_input` / `iter` surface the workspace's
+//! benches use, with a simple median-of-samples wall-clock measurement and
+//! plain-text reporting. No statistics beyond median/min/max, no plotting,
+//! no baseline storage — enough to compare orders of magnitude offline.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\n== {name}");
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: &str, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing settings.
+pub struct BenchmarkGroup {
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Record throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        for _ in 0..self.sample_size {
+            f(&mut bencher, input);
+        }
+        self.report(&id.id, &bencher.samples);
+        self
+    }
+
+    /// Run one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        self.report(id, &bencher.samples);
+        self
+    }
+
+    fn report(&self, id: &str, samples: &[Duration]) {
+        let mut sorted: Vec<Duration> = samples.to_vec();
+        sorted.sort();
+        let median = sorted.get(sorted.len() / 2).copied().unwrap_or_default();
+        let min = sorted.first().copied().unwrap_or_default();
+        let max = sorted.last().copied().unwrap_or_default();
+        let throughput = match self.throughput {
+            Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+                format!("  ({:.0} elem/s)", n as f64 / median.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+                format!("  ({:.0} B/s)", n as f64 / median.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!("{id:<40} median {median:>12.3?}  [min {min:.3?}, max {max:.3?}]{throughput}");
+    }
+
+    /// Finish the group (prints nothing extra in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// Times one closure invocation per sample.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time one execution of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.samples.push(start.elapsed());
+        let _ = black_box(out);
+    }
+}
+
+/// Declare the benchmark functions of one target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` for a benchmark target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        let mut runs = 0;
+        group.bench_with_input(BenchmarkId::new("noop", 10), &10usize, |b, &n| {
+            b.iter(|| {
+                runs += 1;
+                n * 2
+            });
+        });
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn black_box_passes_through() {
+        assert_eq!(black_box(42), 42);
+    }
+}

@@ -1,0 +1,32 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from a range.
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// A vector whose length is drawn from `len` and whose elements come from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(
+        len.start < len.end,
+        "vec strategy needs a non-empty length range"
+    );
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.len.clone());
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}

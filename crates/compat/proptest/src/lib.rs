@@ -1,0 +1,141 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest surface this workspace uses: the
+//! `proptest! { #[test] fn f(x in strategy, ...) { ... } }` macro,
+//! `prop_assert!`-style assertions, numeric-range strategies and
+//! `proptest::collection::vec`. Cases are generated from a deterministic
+//! RNG seeded from the test name, so failures are reproducible; there is no
+//! shrinking — a failing case panics with the values visible in the
+//! assertion message.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    /// Uniformly random `true` / `false`.
+    pub const ANY: crate::strategy::AnyBool = crate::strategy::AnyBool;
+}
+
+/// Runtime re-exports used by the generated code. Not part of the public API.
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::SmallRng;
+    pub use rand::SeedableRng;
+
+    /// FNV-1a of the test name: a stable per-test seed.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// The proptest prelude.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Property-test macro: runs each body for `cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr)) => {};
+    (cfg = ($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng = <$crate::__rt::SmallRng as $crate::__rt::SeedableRng>::seed_from_u64(
+                $crate::__rt::seed_for(stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg) $($rest)* }
+    };
+}
+
+/// `prop_assert!`: plain `assert!` (no shrinking in the offline shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!`: plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `prop_assert_ne!`: plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// `prop_assume!`: skip the remaining cases when the assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_sample_within_bounds(x in 3u64..10, y in -2.5f64..2.5, z in 0usize..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+            prop_assert!(z <= 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn vec_strategy_obeys_length(values in crate::collection::vec(0f64..1.0, 2..6)) {
+            prop_assert!(values.len() >= 2 && values.len() < 6);
+            prop_assert!(values.iter().all(|v| (0.0..1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn seeds_differ_per_name() {
+        assert_ne!(crate::__rt::seed_for("a"), crate::__rt::seed_for("b"));
+        assert_eq!(crate::__rt::seed_for("a"), crate::__rt::seed_for("a"));
+    }
+}

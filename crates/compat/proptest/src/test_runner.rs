@@ -1,0 +1,25 @@
+//! Test-runner configuration.
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases: cases.max(1),
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than upstream's 256, sized for simulation-heavy
+    /// properties in CI.
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}

@@ -1,0 +1,197 @@
+//! Offline stand-in for `rand_distr`: the Normal, Exp and Zipf distributions
+//! used by `gossip-aggregate`'s value generators and the runtime's log-normal
+//! latency model. Deterministic given the RNG stream; no external deps.
+
+#![forbid(unsafe_code)]
+
+use rand::Rng;
+use std::fmt;
+
+/// Types that can be sampled with an RNG.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: Rng>(&self, rng: &mut R) -> T;
+}
+
+/// Parameter error for distribution constructors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Normal (Gaussian) distribution, sampled via Box–Muller.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// A normal distribution with the given mean and standard deviation.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error("Normal requires finite mean and std_dev >= 0"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// A standard normal sample (mean 0, standard deviation 1).
+    pub fn standard_sample<R: Rng>(rng: &mut R) -> f64 {
+        // Box–Muller; u1 in (0,1] so ln(u1) is finite.
+        let u1: f64 = 1.0 - rng.gen_range(0.0f64..1.0);
+        let u2: f64 = rng.gen_range(0.0f64..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * Normal::standard_sample(rng)
+    }
+}
+
+/// Exponential distribution with rate `lambda`, sampled by inversion.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// An exponential distribution with rate `lambda > 0`.
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(Error("Exp requires a positive finite rate"));
+        }
+        Ok(Exp { lambda })
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.gen_range(0.0f64..1.0); // (0, 1]
+        -u.ln() / self.lambda
+    }
+}
+
+/// Zipf distribution over `1..=n` with exponent `s`, sampled by inverse-CDF
+/// lookup over a precomputed table (sizes used in this workspace are small).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Maximum supported support size for the table-based sampler.
+    const MAX_N: u64 = 1 << 22;
+
+    /// A Zipf distribution over `1..=n` with exponent `s > 0`.
+    pub fn new(n: u64, s: f64) -> Result<Self, Error> {
+        if n < 1 {
+            return Err(Error("Zipf requires n >= 1"));
+        }
+        if n > Self::MAX_N {
+            return Err(Error("Zipf support too large for the offline sampler"));
+        }
+        if !(s.is_finite() && s > 0.0) {
+            return Err(Error("Zipf requires a positive finite exponent"));
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Ok(Zipf { cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(0.0f64..1.0);
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// A log-normal whose logarithm has mean `mu` and std dev `sigma`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn mean_of(samples: &[f64]) -> f64 {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+
+    #[test]
+    fn normal_mean_and_spread() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let d = Normal::new(5.0, 2.0).unwrap();
+        let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        assert!((mean_of(&xs) - 5.0).abs() < 0.05);
+        let var = xs.iter().map(|x| (x - 5.0).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((var - 4.0).abs() < 0.2);
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn exp_mean_is_inverse_rate() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let d = Exp::new(0.5).unwrap();
+        let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        assert!((mean_of(&xs) - 2.0).abs() < 0.05);
+        assert!(xs.iter().all(|&x| x >= 0.0));
+        assert!(Exp::new(0.0).is_err());
+    }
+
+    #[test]
+    fn zipf_favors_small_values_and_stays_in_support() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let d = Zipf::new(100, 1.2).unwrap();
+        let xs: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(xs.iter().all(|&x| (1.0..=100.0).contains(&x)));
+        let ones = xs.iter().filter(|&&x| x == 1.0).count();
+        let hundreds = xs.iter().filter(|&&x| x == 100.0).count();
+        assert!(ones > 20 * hundreds.max(1));
+        assert!(Zipf::new(0, 1.0).is_err());
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let d = LogNormal::new(0.0, 1.0).unwrap();
+        assert!((0..1000).all(|_| d.sample(&mut rng) > 0.0));
+    }
+}

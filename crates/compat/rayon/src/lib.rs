@@ -1,0 +1,132 @@
+//! Offline stand-in for `rayon`, covering the `par_iter().map().collect()`
+//! shape the workspace uses. Work is fanned out over `std::thread::scope`
+//! with static chunking, and results are reassembled in input order, so a
+//! parallel map is observably identical to the sequential one regardless of
+//! the number of worker threads.
+
+#![forbid(unsafe_code)]
+
+use std::thread;
+
+/// The rayon-style prelude.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+/// Number of worker threads to use for `items` items.
+fn workers_for(len: usize) -> usize {
+    let cores = thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+    cores.min(len).max(1)
+}
+
+/// Collections that offer a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type.
+    type Item: 'a;
+
+    /// A parallel iterator over `&Item`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map every element through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`], ready to collect.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Run the map across worker threads and collect in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        C: From<Vec<R>>,
+    {
+        if self.items.is_empty() {
+            return Vec::new().into();
+        }
+        let workers = workers_for(self.items.len());
+        if workers == 1 {
+            return self.items.iter().map(&self.f).collect::<Vec<R>>().into();
+        }
+        let chunk = self.items.len().div_ceil(workers);
+        let f = &self.f;
+        let mut out: Vec<R> = Vec::with_capacity(self.items.len());
+        thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk)
+                .map(|slice| scope.spawn(move || slice.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for handle in handles {
+                out.extend(handle.join().expect("rayon-shim worker panicked"));
+            }
+        });
+        out.into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled.len(), input.len());
+        assert!(doubled.iter().enumerate().all(|(i, &v)| v == 2 * i as u64));
+    }
+
+    #[test]
+    fn empty_input_collects_empty() {
+        let input: Vec<u64> = Vec::new();
+        let out: Vec<u64> = input.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn matches_sequential_map_exactly() {
+        let input: Vec<u64> = (0..257).collect();
+        let par: Vec<u64> = input.par_iter().map(|&x| x.wrapping_mul(0x9E37)).collect();
+        let seq: Vec<u64> = input.iter().map(|&x| x.wrapping_mul(0x9E37)).collect();
+        assert_eq!(par, seq);
+    }
+}

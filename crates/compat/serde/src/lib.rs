@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` names (trait + derive macro) so
+//! the annotated sources compile unchanged. The derives are no-ops — see
+//! `serde_derive` — because nothing in the workspace serialises through
+//! serde's data model; structured output is hand-rolled where needed.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

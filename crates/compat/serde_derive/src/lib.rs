@@ -1,0 +1,22 @@
+//! No-op `Serialize` / `Deserialize` derives.
+//!
+//! The workspace only uses serde derives as annotations (nothing takes a
+//! `T: Serialize` bound and nothing is actually serialised through serde —
+//! JSON output is hand-rolled in `gossip-analysis`), so in the offline build
+//! the derive macros expand to nothing. The `serde` helper attribute is
+//! registered so `#[serde(...)]` field attributes, if they ever appear,
+//! still parse.
+
+use proc_macro::TokenStream;
+
+/// Derive macro for `serde::Serialize` (expands to nothing).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derive macro for `serde::Deserialize` (expands to nothing).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

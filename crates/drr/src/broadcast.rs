@@ -11,7 +11,7 @@
 
 use crate::convergecast::ReceptionModel;
 use crate::forest::Forest;
-use gossip_net::{NodeId, Network, Phase};
+use gossip_net::{NodeId, Phase, Transport};
 
 /// Outcome of a tree broadcast.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -36,8 +36,8 @@ impl BroadcastOutcome {
 /// `payload_bits` is the logical size of the payload (a root address for the
 /// Phase-II broadcast; an address plus an aggregate value for the final
 /// dissemination). Lost messages are retransmitted in subsequent rounds.
-pub fn broadcast_down(
-    net: &mut Network,
+pub fn broadcast_down<T: Transport>(
+    net: &mut T,
     forest: &Forest,
     reception: ReceptionModel,
     phase: Phase,
@@ -55,22 +55,31 @@ pub fn broadcast_down(
             forest.is_root(v) && net.is_alive(v)
         })
         .collect();
-    let mut pending: usize = (0..n)
-        .filter(|&i| {
-            let v = NodeId::new(i);
-            net.is_alive(v) && !has[i]
-        })
-        .count();
-
+    // Liveness is re-read every round (on churny backends nodes crash and
+    // rejoin mid-phase); the phase ends when every alive node holds the
+    // payload, or when it stops progressing (a crashed inner node cuts its
+    // whole subtree off).
     let round_cap = 16 * (n as u64) + 64;
+    let stall_cap = 64u32;
+    let mut stalled_rounds = 0u32;
     let mut rounds_used = 0u64;
-    while pending > 0 && rounds_used < round_cap {
+    while rounds_used < round_cap && stalled_rounds < stall_cap {
+        let pending = (0..n)
+            .filter(|&i| {
+                let v = NodeId::new(i);
+                net.is_alive(v) && !has[i]
+            })
+            .count();
+        if pending == 0 {
+            break;
+        }
         // Snapshot the holders at the start of the round: a node that first
         // receives the payload this round may only forward it from the next
         // round on.
         let holders: Vec<usize> = (0..n)
             .filter(|&i| has[i] && net.is_alive(NodeId::new(i)))
             .collect();
+        let mut progressed = false;
         for i in holders {
             let me = NodeId::new(i);
             match reception {
@@ -83,7 +92,7 @@ pub fn broadcast_down(
                     {
                         if net.send(me, child, phase, payload_bits) {
                             has[child.index()] = true;
-                            pending -= 1;
+                            progressed = true;
                         }
                     }
                 }
@@ -97,7 +106,7 @@ pub fn broadcast_down(
                     for child in targets {
                         if net.send(me, child, phase, payload_bits) {
                             has[child.index()] = true;
-                            pending -= 1;
+                            progressed = true;
                         }
                     }
                 }
@@ -105,6 +114,11 @@ pub fn broadcast_down(
         }
         net.advance_round();
         rounds_used += 1;
+        if progressed {
+            stalled_rounds = 0;
+        } else {
+            stalled_rounds += 1;
+        }
     }
 
     BroadcastOutcome {
@@ -118,7 +132,7 @@ pub fn broadcast_down(
 mod tests {
     use super::*;
     use crate::drr::{run_drr, DrrConfig};
-    use gossip_net::SimConfig;
+    use gossip_net::{Network, SimConfig};
 
     fn forest_and_net(n: usize, seed: u64, loss: f64) -> (Forest, Network) {
         let mut net = Network::new(SimConfig::new(n).with_seed(seed).with_loss_prob(loss));

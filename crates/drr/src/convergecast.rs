@@ -15,7 +15,7 @@
 
 use crate::forest::Forest;
 use gossip_aggregate::{Aggregate, Average, AverageState, Max, Sum};
-use gossip_net::{NodeId, Network, Phase};
+use gossip_net::{NodeId, Phase, Transport};
 use serde::{Deserialize, Serialize};
 
 /// How many children a parent can hear from in a single round.
@@ -53,8 +53,8 @@ impl<S: Clone> ConvergecastOutcome<S> {
 /// matching the paper's "repeated calls" handling of lossy links. The
 /// safeguard cap of `16·n + 64` rounds only exists to terminate adversarial
 /// configurations (e.g. extreme loss rates) in tests.
-pub fn convergecast<A: Aggregate>(
-    net: &mut Network,
+pub fn convergecast<T: Transport, A: Aggregate>(
+    net: &mut T,
     forest: &Forest,
     agg: &A,
     values: &[f64],
@@ -79,46 +79,50 @@ pub fn convergecast<A: Aggregate>(
         })
         .collect();
 
-    // pending_children[i]: alive children that have not yet delivered.
-    let mut pending_children: Vec<u32> = vec![0; n];
-    for i in 0..n {
-        let v = NodeId::new(i);
-        for &c in forest.children(v) {
-            if net.is_alive(c) {
-                pending_children[i] += 1;
-            }
-        }
-    }
     // has_sent[i]: node i delivered its state to its parent.
     let mut has_sent = vec![false; n];
 
-    let mut remaining: usize = (0..n)
-        .filter(|&i| {
-            let v = NodeId::new(i);
-            net.is_alive(v) && !forest.is_root(v)
-        })
-        .count();
-
+    // Liveness is re-read every round (on churny backends nodes crash and
+    // rejoin mid-phase): a parent waits only for children that are still
+    // alive and undelivered, and the phase ends when no alive non-root is
+    // left to deliver — or when it stops making progress altogether (every
+    // remaining sender sits under a crashed ancestor).
     let round_cap = 16 * (n as u64) + 64;
+    let stall_cap = 64u32;
+    let mut stalled_rounds = 0u32;
     let mut rounds_used = 0u64;
-    while remaining > 0 && rounds_used < round_cap {
+    while rounds_used < round_cap && stalled_rounds < stall_cap {
+        let remaining = (0..n)
+            .filter(|&i| {
+                let v = NodeId::new(i);
+                net.is_alive(v) && !forest.is_root(v) && !has_sent[i]
+            })
+            .count();
+        if remaining == 0 {
+            break;
+        }
         // Snapshot the set of nodes ready to transmit at the *start* of the
         // round, so a node that only becomes ready because of a message it
         // receives this round waits until the next round (a node talks to at
-        // most one partner per round).
+        // most one partner per round). Ready means: every child has either
+        // delivered or crashed.
         let ready: Vec<usize> = (0..n)
             .filter(|&i| {
                 let me = NodeId::new(i);
                 !has_sent[i]
                     && net.is_alive(me)
                     && !forest.is_root(me)
-                    && pending_children[i] == 0
+                    && forest
+                        .children(me)
+                        .iter()
+                        .all(|&c| has_sent[c.index()] || !net.is_alive(c))
             })
             .collect();
         let mut parent_served: Vec<bool> = match reception {
             ReceptionModel::OneCallPerRound => vec![false; n],
             ReceptionModel::AllNeighborsPerRound => Vec::new(),
         };
+        let mut progressed = false;
         for i in ready {
             let me = NodeId::new(i);
             let parent = forest.parent(me).expect("non-root has a parent");
@@ -130,19 +134,24 @@ pub fn convergecast<A: Aggregate>(
             }
             let delivered = net.send(me, parent, Phase::Convergecast, payload_bits);
             if delivered {
-                let child_state = state[i].clone().expect("alive nodes have state");
+                // A node that rejoined mid-phase starts from its own value.
+                let child_state = state[i].clone().unwrap_or_else(|| agg.lift(values[i]));
                 let merged = match &state[parent.index()] {
                     Some(parent_state) => agg.combine(parent_state, &child_state),
                     None => child_state,
                 };
                 state[parent.index()] = Some(merged);
                 has_sent[i] = true;
-                pending_children[parent.index()] -= 1;
-                remaining -= 1;
+                progressed = true;
             }
         }
         net.advance_round();
         rounds_used += 1;
+        if progressed {
+            stalled_rounds = 0;
+        } else {
+            stalled_rounds += 1;
+        }
     }
 
     ConvergecastOutcome {
@@ -154,8 +163,8 @@ pub fn convergecast<A: Aggregate>(
 
 /// Algorithm 2: Convergecast-max. Returns the local maximum of each tree at
 /// its root.
-pub fn convergecast_max(
-    net: &mut Network,
+pub fn convergecast_max<T: Transport>(
+    net: &mut T,
     forest: &Forest,
     values: &[f64],
     reception: ReceptionModel,
@@ -166,8 +175,8 @@ pub fn convergecast_max(
 /// Algorithm 3: Convergecast-sum. Returns, at each root, the local sum of
 /// the tree's values together with the tree size (the `(v_z, w_z)` row
 /// vector of the paper).
-pub fn convergecast_sum(
-    net: &mut Network,
+pub fn convergecast_sum<T: Transport>(
+    net: &mut T,
     forest: &Forest,
     values: &[f64],
     reception: ReceptionModel,
@@ -176,8 +185,8 @@ pub fn convergecast_sum(
 }
 
 /// Convenience: plain sum (without the size count).
-pub fn convergecast_plain_sum(
-    net: &mut Network,
+pub fn convergecast_plain_sum<T: Transport>(
+    net: &mut T,
     forest: &Forest,
     values: &[f64],
     reception: ReceptionModel,
@@ -189,7 +198,7 @@ pub fn convergecast_plain_sum(
 mod tests {
     use super::*;
     use crate::drr::{run_drr, DrrConfig};
-    use gossip_net::SimConfig;
+    use gossip_net::{Network, SimConfig};
 
     fn forest_and_net(n: usize, seed: u64, loss: f64) -> (Forest, Network) {
         let mut net = Network::new(SimConfig::new(n).with_seed(seed).with_loss_prob(loss));
@@ -250,8 +259,12 @@ mod tests {
     fn all_neighbors_model_rounds_bounded_by_height() {
         let (forest, mut net) = forest_and_net(2000, 11, 0.0);
         let values = vec![1.0; 2000];
-        let out =
-            convergecast_max(&mut net, &forest, &values, ReceptionModel::AllNeighborsPerRound);
+        let out = convergecast_max(
+            &mut net,
+            &forest,
+            &values,
+            ReceptionModel::AllNeighborsPerRound,
+        );
         assert!(out.rounds <= forest.max_height() as u64 + 2);
     }
 

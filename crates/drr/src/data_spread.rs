@@ -9,11 +9,11 @@
 
 use crate::forest::Forest;
 use crate::gossip_max::{gossip_max, GossipMaxConfig, GossipMaxOutcome};
-use gossip_net::{NodeId, Network};
+use gossip_net::{NodeId, Transport};
 
 /// Spread `value` from `source` (which must be an alive root) to all roots.
-pub fn data_spread(
-    net: &mut Network,
+pub fn data_spread<T: Transport>(
+    net: &mut T,
     forest: &Forest,
     source: NodeId,
     value: f64,
@@ -42,8 +42,8 @@ pub fn data_spread(
 
 /// Spread from several sources holding the same value (used when the
 /// largest-tree election produces ties).
-pub fn data_spread_multi(
-    net: &mut Network,
+pub fn data_spread_multi<T: Transport>(
+    net: &mut T,
     forest: &Forest,
     sources: &[NodeId],
     value: f64,
@@ -70,7 +70,7 @@ pub fn data_spread_multi(
 mod tests {
     use super::*;
     use crate::drr::{run_drr, DrrConfig};
-    use gossip_net::SimConfig;
+    use gossip_net::{Network, SimConfig};
 
     fn setup(n: usize, seed: u64, loss: f64) -> (Forest, Network) {
         let mut net = Network::new(SimConfig::new(n).with_seed(seed).with_loss_prob(loss));
@@ -83,7 +83,13 @@ mod tests {
     fn spreads_value_to_all_roots() {
         let (forest, mut net) = setup(3000, 3, 0.0);
         let source = forest.largest_tree_root();
-        let out = data_spread(&mut net, &forest, source, 123.456, &GossipMaxConfig::default());
+        let out = data_spread(
+            &mut net,
+            &forest,
+            source,
+            123.456,
+            &GossipMaxConfig::default(),
+        );
         assert_eq!(out.true_max, 123.456);
         assert_eq!(out.fraction_after_sampling, 1.0);
         for &r in forest.roots() {
@@ -108,7 +114,13 @@ mod tests {
         // The −∞ sentinel must not be confused with very negative payloads.
         let (forest, mut net) = setup(1000, 7, 0.0);
         let source = forest.roots()[0];
-        let out = data_spread(&mut net, &forest, source, -1e12, &GossipMaxConfig::default());
+        let out = data_spread(
+            &mut net,
+            &forest,
+            source,
+            -1e12,
+            &GossipMaxConfig::default(),
+        );
         assert_eq!(out.fraction_after_sampling, 1.0);
         assert_eq!(out.true_max, -1e12);
     }
@@ -117,7 +129,13 @@ mod tests {
     fn multi_source_spread_works() {
         let (forest, mut net) = setup(1500, 9, 0.0);
         let sources: Vec<NodeId> = forest.roots().iter().copied().take(3).collect();
-        let out = data_spread_multi(&mut net, &forest, &sources, 42.0, &GossipMaxConfig::default());
+        let out = data_spread_multi(
+            &mut net,
+            &forest,
+            &sources,
+            42.0,
+            &GossipMaxConfig::default(),
+        );
         assert_eq!(out.fraction_after_sampling, 1.0);
     }
 
@@ -129,7 +147,13 @@ mod tests {
             .map(NodeId::new)
             .find(|&v| !forest.is_root(v))
             .unwrap();
-        let _ = data_spread(&mut net, &forest, non_root, 1.0, &GossipMaxConfig::default());
+        let _ = data_spread(
+            &mut net,
+            &forest,
+            non_root,
+            1.0,
+            &GossipMaxConfig::default(),
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use crate::forest::Forest;
 use crate::rank::Ranks;
-use gossip_net::{NodeId, Network, Phase};
+use gossip_net::{NodeId, Phase, Transport};
 use serde::{Deserialize, Serialize};
 
 /// How many random nodes each node may probe before giving up and becoming a
@@ -36,9 +36,7 @@ impl ProbeBudget {
         match *self {
             ProbeBudget::LogNMinusOne => log_n.saturating_sub(1).max(1),
             ProbeBudget::Fixed(k) => k.max(1),
-            ProbeBudget::ScaledLogN(factor) => {
-                ((f64::from(log_n) * factor).ceil() as u32).max(1)
-            }
+            ProbeBudget::ScaledLogN(factor) => ((f64::from(log_n) * factor).ceil() as u32).max(1),
         }
     }
 }
@@ -83,7 +81,7 @@ pub struct DrrOutcome {
 /// Crashed nodes do not participate: they never probe, are never valid
 /// parents (probes addressed to them go unanswered) and end up as singleton
 /// roots in the returned forest.
-pub fn run_drr(net: &mut Network, config: &DrrConfig) -> DrrOutcome {
+pub fn run_drr<T: Transport>(net: &mut T, config: &DrrConfig) -> DrrOutcome {
     let n = net.n();
     let rounds_before = net.round();
     let messages_before = net.metrics().total_messages();
@@ -162,7 +160,7 @@ pub fn run_drr(net: &mut Network, config: &DrrConfig) -> DrrOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gossip_net::SimConfig;
+    use gossip_net::{Network, SimConfig};
 
     fn run(n: usize, seed: u64, loss: f64) -> (DrrOutcome, Network) {
         let mut net = Network::new(SimConfig::new(n).with_seed(seed).with_loss_prob(loss));
@@ -257,7 +255,12 @@ mod tests {
     fn average_probes_per_node_is_small() {
         let n = 1 << 12;
         let (outcome, _net) = run(n, 13, 0.0);
-        let avg = outcome.probes_per_node.iter().map(|&p| p as f64).sum::<f64>() / n as f64;
+        let avg = outcome
+            .probes_per_node
+            .iter()
+            .map(|&p| p as f64)
+            .sum::<f64>()
+            / n as f64;
         let log_log_n = (n as f64).log2().log2();
         assert!(avg < 3.0 * log_log_n, "average probes = {avg}");
         assert!(avg >= 1.0);

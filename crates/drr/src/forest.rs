@@ -339,7 +339,10 @@ mod tests {
         assert!(f.is_leaf(NodeId::new(2)));
         assert!(f.is_leaf(NodeId::new(4)));
         assert_eq!(f.parent(NodeId::new(2)), Some(NodeId::new(1)));
-        assert_eq!(f.children(NodeId::new(0)), &[NodeId::new(1), NodeId::new(3)]);
+        assert_eq!(
+            f.children(NodeId::new(0)),
+            &[NodeId::new(1), NodeId::new(3)]
+        );
     }
 
     #[test]
@@ -363,7 +366,11 @@ mod tests {
     #[test]
     fn members_of_covers_whole_tree() {
         let f = sample_forest();
-        let mut members: Vec<usize> = f.members_of(NodeId::new(0)).iter().map(|v| v.index()).collect();
+        let mut members: Vec<usize> = f
+            .members_of(NodeId::new(0))
+            .iter()
+            .map(|v| v.index())
+            .collect();
         members.sort_unstable();
         assert_eq!(members, vec![0, 1, 2, 3]);
         assert_eq!(f.members_of(NodeId::new(4)), vec![NodeId::new(4)]);
@@ -414,8 +421,7 @@ mod tests {
     #[test]
     fn long_chain_depths() {
         // 0 <- 1 <- 2 <- ... <- 99
-        let parents: Vec<Option<NodeId>> =
-            std::iter::once(None).chain((0..99).map(p)).collect();
+        let parents: Vec<Option<NodeId>> = std::iter::once(None).chain((0..99).map(p)).collect();
         let f = Forest::from_parents(parents).unwrap();
         assert_eq!(f.num_trees(), 1);
         assert_eq!(f.depth(NodeId::new(99)), 99);

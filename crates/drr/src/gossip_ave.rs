@@ -13,7 +13,7 @@
 
 use crate::forest::Forest;
 use gossip_aggregate::{relative_error, AverageState};
-use gossip_net::{NodeId, Network, Phase};
+use gossip_net::{NodeId, Phase, Transport};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of Gossip-ave.
@@ -73,8 +73,8 @@ impl GossipAveOutcome {
 ///
 /// `initial` holds each root's `(local sum, tree size)` pair from
 /// Convergecast-sum (`None` entries and non-root entries are ignored).
-pub fn gossip_ave(
-    net: &mut Network,
+pub fn gossip_ave<T: Transport>(
+    net: &mut T,
     forest: &Forest,
     initial: &[Option<AverageState>],
     config: &GossipAveConfig,
@@ -96,7 +96,10 @@ pub fn gossip_ave(
         if !net.is_alive(root) {
             continue;
         }
-        let state = initial[root.index()].unwrap_or(AverageState { sum: 0.0, count: 0.0 });
+        let state = initial[root.index()].unwrap_or(AverageState {
+            sum: 0.0,
+            count: 0.0,
+        });
         sum[root.index()] = state.sum;
         weight[root.index()] = state.count;
         active[root.index()] = true;
@@ -150,14 +153,22 @@ pub fn gossip_ave(
         }
         net.advance_round();
         let z = largest_root.index();
-        let estimate = if weight[z] > 0.0 { sum[z] / weight[z] } else { 0.0 };
+        let estimate = if weight[z] > 0.0 {
+            sum[z] / weight[z]
+        } else {
+            0.0
+        };
         error_trace.push(relative_error(estimate, true_average));
     }
 
     let estimates: Vec<Option<f64>> = (0..n)
         .map(|i| {
             if active[i] {
-                Some(if weight[i] > 0.0 { sum[i] / weight[i] } else { 0.0 })
+                Some(if weight[i] > 0.0 {
+                    sum[i] / weight[i]
+                } else {
+                    0.0
+                })
             } else {
                 None
             }
@@ -181,7 +192,7 @@ mod tests {
     use super::*;
     use crate::convergecast::{convergecast_sum, ReceptionModel};
     use crate::drr::{run_drr, DrrConfig};
-    use gossip_net::SimConfig;
+    use gossip_net::{Network, SimConfig};
 
     fn setup(
         n: usize,
@@ -191,7 +202,12 @@ mod tests {
     ) -> (Forest, Network, Vec<Option<AverageState>>) {
         let mut net = Network::new(SimConfig::new(n).with_seed(seed).with_loss_prob(loss));
         let drr = run_drr(&mut net, &DrrConfig::paper());
-        let cc = convergecast_sum(&mut net, &drr.forest, values, ReceptionModel::OneCallPerRound);
+        let cc = convergecast_sum(
+            &mut net,
+            &drr.forest,
+            values,
+            ReceptionModel::OneCallPerRound,
+        );
         net.reset_metrics();
         (drr.forest, net, cc.state)
     }
@@ -226,7 +242,9 @@ mod tests {
     fn mixed_sign_values_with_near_zero_average_are_handled() {
         // The case the paper treats with the absolute-error criterion.
         let n = 2000;
-        let values: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 10.0 } else { -10.0 }).collect();
+        let values: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { 10.0 } else { -10.0 })
+            .collect();
         let (forest, mut net, initial) = setup(n, 7, 0.0, &values);
         let out = gossip_ave(&mut net, &forest, &initial, &GossipAveConfig::default());
         assert!(out.largest_root_estimate.abs() < 0.5);

@@ -17,7 +17,7 @@
 //! `m = O(n/log n)` roots).
 
 use crate::forest::Forest;
-use gossip_net::{NodeId, Network, Phase};
+use gossip_net::{NodeId, Phase, Transport};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of Gossip-max.
@@ -91,8 +91,8 @@ impl GossipMaxOutcome {
     }
 }
 
-fn fraction_with_value(
-    net: &Network,
+fn fraction_with_value<T: Transport>(
+    net: &T,
     forest: &Forest,
     values: &[Option<f64>],
     target: f64,
@@ -122,8 +122,8 @@ fn fraction_with_value(
 /// convergecast-max output, for the largest-tree election it is the tree
 /// size, and for Data-spread it is `−∞` everywhere except the spreading
 /// root.
-pub fn gossip_max(
-    net: &mut Network,
+pub fn gossip_max<T: Transport>(
+    net: &mut T,
     forest: &Forest,
     initial: &[Option<f64>],
     config: &GossipMaxConfig,
@@ -254,13 +254,18 @@ mod tests {
     use super::*;
     use crate::convergecast::{convergecast_max, ReceptionModel};
     use crate::drr::{run_drr, DrrConfig};
-    use gossip_net::SimConfig;
+    use gossip_net::{Network, SimConfig};
 
     fn setup(n: usize, seed: u64, loss: f64) -> (Forest, Network, Vec<Option<f64>>, f64) {
         let mut net = Network::new(SimConfig::new(n).with_seed(seed).with_loss_prob(loss));
         let drr = run_drr(&mut net, &DrrConfig::paper());
         let values: Vec<f64> = (0..n).map(|i| ((i * 193) % 7919) as f64).collect();
-        let cc = convergecast_max(&mut net, &drr.forest, &values, ReceptionModel::OneCallPerRound);
+        let cc = convergecast_max(
+            &mut net,
+            &drr.forest,
+            &values,
+            ReceptionModel::OneCallPerRound,
+        );
         let true_max = net
             .alive_nodes()
             .map(|v| values[v.index()])
@@ -369,9 +374,19 @@ mod tests {
         );
         let drr = run_drr(&mut net, &DrrConfig::paper());
         let values: Vec<f64> = (0..2000).map(|i| (i % 997) as f64).collect();
-        let cc = convergecast_max(&mut net, &drr.forest, &values, ReceptionModel::OneCallPerRound);
+        let cc = convergecast_max(
+            &mut net,
+            &drr.forest,
+            &values,
+            ReceptionModel::OneCallPerRound,
+        );
         net.reset_metrics();
-        let out = gossip_max(&mut net, &drr.forest, &cc.state, &GossipMaxConfig::default());
+        let out = gossip_max(
+            &mut net,
+            &drr.forest,
+            &cc.state,
+            &GossipMaxConfig::default(),
+        );
         // The maximum over alive nodes is found by nearly all alive roots.
         assert!(out.fraction_after_sampling > 0.99);
     }

@@ -13,7 +13,7 @@
 
 use crate::forest::Forest;
 use crate::rank::Ranks;
-use gossip_net::{NodeId, Network, Phase};
+use gossip_net::{Network, NodeId, Phase};
 use gossip_topology::Graph;
 
 /// Outcome of the Local-DRR phase.
@@ -88,6 +88,7 @@ pub fn run_local_drr(net: &mut Network, graph: &Graph) -> LocalDrrOutcome {
 
     // Round 2: connection messages to the chosen parents (retried a few
     // times; an unreachable parent demotes the child back to a root).
+    #[allow(clippy::needless_range_loop)] // v is a node id indexing several arrays
     for v in 0..n {
         let me = NodeId::new(v);
         if let Some(p) = parent[v] {
@@ -116,17 +117,16 @@ pub fn run_local_drr(net: &mut Network, graph: &Graph) -> LocalDrrOutcome {
 pub fn local_drr_forest(graph: &Graph, ranks: &Ranks) -> Forest {
     let n = graph.n();
     let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    #[allow(clippy::needless_range_loop)] // v is a node id indexing several arrays
     for v in 0..n {
         let me = NodeId::new(v);
-        let best = graph
-            .neighbors(me)
-            .max_by(|&a, &b| {
-                if ranks.higher(a, b) {
-                    std::cmp::Ordering::Greater
-                } else {
-                    std::cmp::Ordering::Less
-                }
-            });
+        let best = graph.neighbors(me).max_by(|&a, &b| {
+            if ranks.higher(a, b) {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Less
+            }
+        });
         if let Some(best) = best {
             if ranks.higher(best, me) {
                 parent[v] = Some(best);

@@ -19,7 +19,7 @@ use crate::forest::ForestStats;
 use crate::gossip_ave::{gossip_ave, GossipAveConfig};
 use crate::gossip_max::{gossip_max, GossipMaxConfig};
 use gossip_aggregate::relative_error;
-use gossip_net::{Metrics, Network, NodeId, Phase};
+use gossip_net::{Metrics, NodeId, Phase, Transport};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the full DRR-gossip protocols.
@@ -117,7 +117,7 @@ struct PhaseTracker {
 }
 
 impl PhaseTracker {
-    fn new(net: &Network) -> Self {
+    fn new<T: Transport>(net: &T) -> Self {
         PhaseTracker {
             rounds: net.round(),
             messages: net.metrics().total_messages(),
@@ -125,7 +125,7 @@ impl PhaseTracker {
         }
     }
 
-    fn record(&mut self, net: &Network, name: &'static str) {
+    fn record<T: Transport>(&mut self, net: &T, name: &'static str) {
         let rounds = net.round();
         let messages = net.metrics().total_messages();
         self.phases.push(PhaseCost {
@@ -138,12 +138,16 @@ impl PhaseTracker {
     }
 }
 
-fn broadcast_payload_bits(net: &Network) -> u32 {
+fn broadcast_payload_bits<T: Transport>(net: &T) -> u32 {
     net.config().id_bits() + net.config().value_bits()
 }
 
 /// Algorithm 7: compute the global maximum at every node.
-pub fn drr_gossip_max(net: &mut Network, values: &[f64], config: &DrrGossipConfig) -> DrrGossipReport {
+pub fn drr_gossip_max<T: Transport>(
+    net: &mut T,
+    values: &[f64],
+    config: &DrrGossipConfig,
+) -> DrrGossipReport {
     assert_eq!(values.len(), net.n(), "one value per node required");
     let start_rounds = net.round();
     let start_messages = net.metrics().total_messages();
@@ -188,9 +192,7 @@ pub fn drr_gossip_max(net: &mut Network, values: &[f64], config: &DrrGossipConfi
         .nodes()
         .map(|v| {
             if net.is_alive(v) {
-                gossip
-                    .value_at(drr.forest.root_of(v))
-                    .unwrap_or(f64::NAN)
+                gossip.value_at(drr.forest.root_of(v)).unwrap_or(f64::NAN)
             } else {
                 f64::NAN
             }
@@ -210,7 +212,11 @@ pub fn drr_gossip_max(net: &mut Network, values: &[f64], config: &DrrGossipConfi
 }
 
 /// Algorithm 8: compute the global average at every node.
-pub fn drr_gossip_ave(net: &mut Network, values: &[f64], config: &DrrGossipConfig) -> DrrGossipReport {
+pub fn drr_gossip_ave<T: Transport>(
+    net: &mut T,
+    values: &[f64],
+    config: &DrrGossipConfig,
+) -> DrrGossipReport {
     assert_eq!(values.len(), net.n(), "one value per node required");
     let start_rounds = net.round();
     let start_messages = net.metrics().total_messages();
@@ -266,7 +272,13 @@ pub fn drr_gossip_ave(net: &mut Network, values: &[f64], config: &DrrGossipConfi
     } else {
         spreaders
     };
-    let spread = data_spread_multi(net, &drr.forest, &spreaders, spread_value, &config.gossip_max);
+    let spread = data_spread_multi(
+        net,
+        &drr.forest,
+        &spreaders,
+        spread_value,
+        &config.gossip_max,
+    );
     tracker.record(net, "data-spread");
 
     // Final dissemination of the average to every tree member.
@@ -317,7 +329,7 @@ pub fn drr_gossip_ave(net: &mut Network, values: &[f64], config: &DrrGossipConfi
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gossip_net::SimConfig;
+    use gossip_net::{Network, SimConfig};
 
     fn uniform_values(n: usize) -> Vec<f64> {
         (0..n).map(|i| ((i * 37) % 1009) as f64).collect()
@@ -452,11 +464,7 @@ mod tests {
     #[test]
     fn estimates_marked_nan_for_crashed_nodes() {
         let n = 800;
-        let mut net = Network::new(
-            SimConfig::new(n)
-                .with_seed(17)
-                .with_initial_crash_prob(0.3),
-        );
+        let mut net = Network::new(SimConfig::new(n).with_seed(17).with_initial_crash_prob(0.3));
         let values = uniform_values(n);
         let report = drr_gossip_max(&mut net, &values, &DrrGossipConfig::paper());
         for v in net.nodes() {

@@ -7,7 +7,7 @@
 //! finite floating-point precision) by node id so that ranks are always a
 //! strict total order — the property every DRR proof relies on.
 
-use gossip_net::{NodeId, Network};
+use gossip_net::{NodeId, Transport};
 use rand::Rng;
 
 /// Per-node ranks forming a strict total order.
@@ -18,7 +18,7 @@ pub struct Ranks {
 
 impl Ranks {
     /// Draw a rank for every node of the network from the simulation RNG.
-    pub fn assign(net: &mut Network) -> Self {
+    pub fn assign<T: Transport>(net: &mut T) -> Self {
         let n = net.n();
         let rng = net.rng_mut();
         let ranks = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
@@ -84,7 +84,7 @@ impl Ranks {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gossip_net::SimConfig;
+    use gossip_net::{Network, SimConfig};
 
     #[test]
     fn assign_produces_ranks_in_unit_interval() {

@@ -55,8 +55,7 @@ impl SparseGossipConfig {
     }
 
     fn sampling_rounds(&self, roots: usize) -> u64 {
-        ((f64::from(gossip_net::id_bits(roots.max(2))) * self.sampling_rounds_factor).ceil()
-            as u64)
+        ((f64::from(gossip_net::id_bits(roots.max(2))) * self.sampling_rounds_factor).ceil() as u64)
             .max(1)
     }
 }
@@ -159,8 +158,7 @@ pub fn sparse_gossip_max(
             // sender also learns the receiver's value.
             if let Some(back_value) = snapshot[receiver_root.index()] {
                 let back_cost = (route.path.len() + forest.depth(landed)) as u32;
-                if back_cost == 0
-                    || net.send(receiver_root, root, Phase::RootSampling, value_bits)
+                if back_cost == 0 || net.send(receiver_root, root, Phase::RootSampling, value_bits)
                 {
                     incoming.push((root.index(), back_value));
                 }
@@ -193,7 +191,10 @@ pub fn sparse_gossip_ave(
         if !net.is_alive(root) {
             continue;
         }
-        let st = initial[root.index()].unwrap_or(AverageState { sum: 0.0, count: 0.0 });
+        let st = initial[root.index()].unwrap_or(AverageState {
+            sum: 0.0,
+            count: 0.0,
+        });
         sum[root.index()] = st.sum;
         weight[root.index()] = st.count;
         active[root.index()] = true;
@@ -241,7 +242,11 @@ pub fn sparse_gossip_ave(
     (0..n)
         .map(|i| {
             if active[i] {
-                Some(if weight[i] > 0.0 { sum[i] / weight[i] } else { 0.0 })
+                Some(if weight[i] > 0.0 {
+                    sum[i] / weight[i]
+                } else {
+                    0.0
+                })
             } else {
                 None
             }
@@ -249,6 +254,7 @@ pub fn sparse_gossip_ave(
         .collect()
 }
 
+#[allow(clippy::too_many_arguments)] // internal plumbing shared by the two sparse composites
 fn finish_report(
     net: &Network,
     forest: &Forest,
@@ -285,19 +291,25 @@ pub fn sparse_drr_gossip_max(
     let start_messages = net.metrics().total_messages();
     let mut phases = Vec::new();
     let mut mark = (net.round(), net.metrics().total_messages());
-    let record = |net: &Network, name: &'static str, mark: &mut (u64, u64), phases: &mut Vec<PhaseCost>| {
-        phases.push(PhaseCost {
-            name,
-            rounds: net.round() - mark.0,
-            messages: net.metrics().total_messages() - mark.1,
-        });
-        *mark = (net.round(), net.metrics().total_messages());
-    };
+    let record =
+        |net: &Network, name: &'static str, mark: &mut (u64, u64), phases: &mut Vec<PhaseCost>| {
+            phases.push(PhaseCost {
+                name,
+                rounds: net.round() - mark.0,
+                messages: net.metrics().total_messages() - mark.1,
+            });
+            *mark = (net.round(), net.metrics().total_messages());
+        };
 
     let local = run_local_drr(net, graph);
     record(net, "local-drr", &mut mark, &mut phases);
 
-    let cc = convergecast_max(net, &local.forest, values, ReceptionModel::AllNeighborsPerRound);
+    let cc = convergecast_max(
+        net,
+        &local.forest,
+        values,
+        ReceptionModel::AllNeighborsPerRound,
+    );
     record(net, "convergecast", &mut mark, &mut phases);
     let _ = broadcast_down(
         net,
@@ -359,19 +371,25 @@ pub fn sparse_drr_gossip_ave(
     let start_messages = net.metrics().total_messages();
     let mut phases = Vec::new();
     let mut mark = (net.round(), net.metrics().total_messages());
-    let record = |net: &Network, name: &'static str, mark: &mut (u64, u64), phases: &mut Vec<PhaseCost>| {
-        phases.push(PhaseCost {
-            name,
-            rounds: net.round() - mark.0,
-            messages: net.metrics().total_messages() - mark.1,
-        });
-        *mark = (net.round(), net.metrics().total_messages());
-    };
+    let record =
+        |net: &Network, name: &'static str, mark: &mut (u64, u64), phases: &mut Vec<PhaseCost>| {
+            phases.push(PhaseCost {
+                name,
+                rounds: net.round() - mark.0,
+                messages: net.metrics().total_messages() - mark.1,
+            });
+            *mark = (net.round(), net.metrics().total_messages());
+        };
 
     let local = run_local_drr(net, graph);
     record(net, "local-drr", &mut mark, &mut phases);
 
-    let cc = convergecast_sum(net, &local.forest, values, ReceptionModel::AllNeighborsPerRound);
+    let cc = convergecast_sum(
+        net,
+        &local.forest,
+        values,
+        ReceptionModel::AllNeighborsPerRound,
+    );
     record(net, "convergecast", &mut mark, &mut phases);
     let _ = broadcast_down(
         net,
@@ -463,7 +481,13 @@ mod tests {
         let sampler = ChordSampler::new(&overlay);
         let mut net = Network::new(SimConfig::new(n).with_seed(3));
         let vals = values(n);
-        let report = sparse_drr_gossip_max(&mut net, &graph, &sampler, &vals, &SparseGossipConfig::default());
+        let report = sparse_drr_gossip_max(
+            &mut net,
+            &graph,
+            &sampler,
+            &vals,
+            &SparseGossipConfig::default(),
+        );
         assert!(
             report.fraction_exact() > 0.999,
             "fraction exact = {}",
@@ -479,7 +503,13 @@ mod tests {
         let sampler = ChordSampler::new(&overlay);
         let mut net = Network::new(SimConfig::new(n).with_seed(5));
         let vals = values(n);
-        let report = sparse_drr_gossip_ave(&mut net, &graph, &sampler, &vals, &SparseGossipConfig::default());
+        let report = sparse_drr_gossip_ave(
+            &mut net,
+            &graph,
+            &sampler,
+            &vals,
+            &SparseGossipConfig::default(),
+        );
         assert!(
             report.max_relative_error() < 0.05,
             "max relative error = {}",
@@ -496,7 +526,13 @@ mod tests {
         let sampler = ChordSampler::new(&overlay);
         let mut net = Network::new(SimConfig::new(n).with_seed(7));
         let vals = values(n);
-        let report = sparse_drr_gossip_max(&mut net, &graph, &sampler, &vals, &SparseGossipConfig::default());
+        let report = sparse_drr_gossip_max(
+            &mut net,
+            &graph,
+            &sampler,
+            &vals,
+            &SparseGossipConfig::default(),
+        );
         let n_f = n as f64;
         let log_n = n_f.log2();
         assert!(
@@ -519,7 +555,13 @@ mod tests {
         let sampler = RandomWalkSampler::new(&graph, walk);
         let mut net = Network::new(SimConfig::new(n).with_seed(9));
         let vals = values(n);
-        let report = sparse_drr_gossip_max(&mut net, &graph, &sampler, &vals, &SparseGossipConfig::default());
+        let report = sparse_drr_gossip_max(
+            &mut net,
+            &graph,
+            &sampler,
+            &vals,
+            &SparseGossipConfig::default(),
+        );
         assert!(
             report.fraction_exact() > 0.95,
             "fraction exact = {}",
@@ -534,7 +576,13 @@ mod tests {
         let sampler = DirectSampler::new(n);
         let mut net = Network::new(SimConfig::new(n).with_seed(11));
         let vals = values(n);
-        let report = sparse_drr_gossip_ave(&mut net, &graph, &sampler, &vals, &SparseGossipConfig::default());
+        let report = sparse_drr_gossip_ave(
+            &mut net,
+            &graph,
+            &sampler,
+            &vals,
+            &SparseGossipConfig::default(),
+        );
         assert!(report.max_relative_error() < 0.05);
         // Local-DRR on a complete graph yields a single tree.
         assert_eq!(report.forest_stats.num_trees, 1);
@@ -548,7 +596,13 @@ mod tests {
         let sampler = ChordSampler::new(&overlay);
         let mut net = Network::new(SimConfig::new(n).with_seed(13).with_loss_prob(0.05));
         let vals = values(n);
-        let report = sparse_drr_gossip_max(&mut net, &graph, &sampler, &vals, &SparseGossipConfig::default());
+        let report = sparse_drr_gossip_max(
+            &mut net,
+            &graph,
+            &sampler,
+            &vals,
+            &SparseGossipConfig::default(),
+        );
         assert!(
             report.fraction_exact() > 0.9,
             "fraction exact = {}",
@@ -564,7 +618,13 @@ mod tests {
         let sampler = ChordSampler::new(&overlay);
         let mut net = Network::new(SimConfig::new(n).with_seed(15));
         let vals = values(n);
-        let report = sparse_drr_gossip_ave(&mut net, &graph, &sampler, &vals, &SparseGossipConfig::default());
+        let report = sparse_drr_gossip_ave(
+            &mut net,
+            &graph,
+            &sampler,
+            &vals,
+            &SparseGossipConfig::default(),
+        );
         let phase_msgs: u64 = report.phases.iter().map(|p| p.messages).sum();
         assert_eq!(phase_msgs, report.total_messages);
         assert!(report.phases.iter().any(|p| p.name == "local-drr"));

@@ -84,9 +84,55 @@ impl SimConfig {
 
     /// Set the value range `s` (used only for message-size accounting).
     pub fn with_value_range(mut self, s: f64) -> Self {
-        assert!(s.is_finite() && s > 0.0, "value range must be positive and finite");
+        assert!(
+            s.is_finite() && s > 0.0,
+            "value range must be positive and finite"
+        );
         self.value_range = s;
         self
+    }
+
+    /// Check every field against its documented domain. The builder methods
+    /// enforce these invariants one by one; `validate` re-checks them all at
+    /// once, which matters for configurations built by struct literal or
+    /// deserialised from external input (sweep grids, CLI flags, ...).
+    ///
+    /// Note that `loss_prob` values *inside* `[0, 1)` but outside the
+    /// paper's analysis window `1/log n < δ < 1/8` are **valid** — the
+    /// simulator accepts them — they just void the paper's whp guarantees;
+    /// see [`SimConfig::delta_in_analysis_window`].
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n < 1 {
+            return Err("network must contain at least one node".to_string());
+        }
+        if !(0.0..1.0).contains(&self.loss_prob) {
+            return Err(format!(
+                "loss probability must lie in [0, 1), got {}",
+                self.loss_prob
+            ));
+        }
+        if !(0.0..1.0).contains(&self.initial_crash_prob) {
+            return Err(format!(
+                "crash probability must lie in [0, 1), got {}",
+                self.initial_crash_prob
+            ));
+        }
+        if !(self.value_range.is_finite() && self.value_range > 0.0) {
+            return Err(format!(
+                "value range must be positive and finite, got {}",
+                self.value_range
+            ));
+        }
+        Ok(())
+    }
+
+    /// Whether `δ` lies inside the paper's analysis window
+    /// `1/log n < δ < 1/8` (Section 2). Outside the window the simulator
+    /// still runs, but Theorems 5–7 no longer promise their whp bounds —
+    /// experiment code uses this to annotate such configurations.
+    pub fn delta_in_analysis_window(&self) -> bool {
+        let log_n = f64::from(self.log_n()).max(1.0);
+        self.loss_prob > 1.0 / log_n && self.loss_prob < 0.125
     }
 
     /// `⌈log₂ n⌉`, the natural probe budget unit of the paper (`log n − 1`
@@ -170,6 +216,66 @@ mod tests {
         assert_eq!(SimConfig::new(1024).log_n(), 10);
         assert_eq!(SimConfig::new(1000).log_n(), 10);
         assert_eq!(SimConfig::new(2).log_n(), 1);
+    }
+
+    #[test]
+    fn validate_accepts_builder_output() {
+        assert!(SimConfig::new(100).validate().is_ok());
+        assert!(SimConfig::new(100)
+            .with_loss_prob(0.07)
+            .with_initial_crash_prob(0.3)
+            .with_value_range(1e9)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_domain_literals() {
+        // Struct literals bypass the builder asserts; validate catches them.
+        let base = SimConfig::new(64);
+        let bad_loss = SimConfig {
+            loss_prob: 1.0,
+            ..base.clone()
+        };
+        assert!(bad_loss
+            .validate()
+            .unwrap_err()
+            .contains("loss probability"));
+        let bad_loss_neg = SimConfig {
+            loss_prob: -0.1,
+            ..base.clone()
+        };
+        assert!(bad_loss_neg.validate().is_err());
+        let bad_crash = SimConfig {
+            initial_crash_prob: 2.0,
+            ..base.clone()
+        };
+        assert!(bad_crash
+            .validate()
+            .unwrap_err()
+            .contains("crash probability"));
+        let bad_range = SimConfig {
+            value_range: f64::NAN,
+            ..base.clone()
+        };
+        assert!(bad_range.validate().unwrap_err().contains("value range"));
+        let bad_n = SimConfig { n: 0, ..base };
+        assert!(bad_n.validate().unwrap_err().contains("at least one node"));
+    }
+
+    #[test]
+    fn analysis_window_matches_paper_bounds() {
+        // n = 1024: 1/log n ≈ 0.1 — the window is (0.1, 0.125).
+        let cfg = |delta| SimConfig::new(1024).with_loss_prob(delta);
+        assert!(!cfg(0.0).delta_in_analysis_window());
+        assert!(!cfg(0.05).delta_in_analysis_window(), "below 1/log n");
+        assert!(cfg(0.11).delta_in_analysis_window());
+        assert!(!cfg(0.125).delta_in_analysis_window(), "1/8 is excluded");
+        assert!(!cfg(0.3).delta_in_analysis_window());
+        // Huge n: the window widens from below.
+        assert!(SimConfig::new(1 << 30)
+            .with_loss_prob(0.05)
+            .delta_in_analysis_window());
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod metrics;
 pub mod network;
 pub mod node;
 pub mod phase;
+pub mod transport;
 
 pub use bits::{ceil_log2, id_bits, value_bits_for_range};
 pub use config::SimConfig;
@@ -55,3 +56,4 @@ pub use metrics::{Metrics, PhaseBreakdown};
 pub use network::Network;
 pub use node::NodeId;
 pub use phase::Phase;
+pub use transport::{NodeIdIter, Transport};

@@ -25,7 +25,15 @@ pub struct Network {
 
 impl Network {
     /// Build a network from a configuration, applying initial crashes.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`SimConfig::validate`] (possible
+    /// only for configurations built by struct literal — the builder
+    /// methods uphold the invariants individually).
     pub fn new(config: SimConfig) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid SimConfig: {msg}");
+        }
         let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x9e37_79b9_7f4a_7c15);
         let mut alive = vec![true; config.n];
         let mut alive_count = config.n;
@@ -206,6 +214,82 @@ impl Network {
     }
 }
 
+impl crate::transport::Transport for Network {
+    #[inline]
+    fn config(&self) -> &SimConfig {
+        Network::config(self)
+    }
+
+    #[inline]
+    fn metrics(&self) -> &Metrics {
+        Network::metrics(self)
+    }
+
+    #[inline]
+    fn is_alive(&self, node: NodeId) -> bool {
+        Network::is_alive(self, node)
+    }
+
+    #[inline]
+    fn alive_count(&self) -> usize {
+        Network::alive_count(self)
+    }
+
+    #[inline]
+    fn rng_mut(&mut self) -> &mut SmallRng {
+        Network::rng_mut(self)
+    }
+
+    #[inline]
+    fn send(&mut self, from: NodeId, to: NodeId, phase: Phase, bits: u32) -> bool {
+        Network::send(self, from, to, phase, bits)
+    }
+
+    #[inline]
+    fn advance_round(&mut self) {
+        Network::advance_round(self)
+    }
+
+    #[inline]
+    fn reset_metrics(&mut self) {
+        Network::reset_metrics(self)
+    }
+
+    // Forward the derived methods to the (slightly faster, liveness-array
+    // based) inherent implementations so trait-generic and concrete callers
+    // observe the exact same RNG consumption.
+    #[inline]
+    fn sample_uniform(&mut self) -> NodeId {
+        Network::sample_uniform(self)
+    }
+
+    #[inline]
+    fn sample_other_than(&mut self, me: NodeId) -> NodeId {
+        Network::sample_other_than(self, me)
+    }
+
+    #[inline]
+    fn sample_uniform_alive(&mut self) -> NodeId {
+        Network::sample_uniform_alive(self)
+    }
+
+    #[inline]
+    fn derive_rng(&self, salt: u64) -> SmallRng {
+        Network::derive_rng(self, salt)
+    }
+
+    fn send_with_retries(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        phase: Phase,
+        bits: u32,
+        max_attempts: u32,
+    ) -> (u32, bool) {
+        Network::send_with_retries(self, from, to, phase, bits, max_attempts)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,7 +356,10 @@ mod tests {
                 .with_seed(5)
                 .with_initial_crash_prob(0.5),
         );
-        let dead = net.nodes().find(|&v| !net.is_alive(v)).expect("some node crashed");
+        let dead = net
+            .nodes()
+            .find(|&v| !net.is_alive(v))
+            .expect("some node crashed");
         let alive = net.alive_nodes().next().unwrap();
         assert!(!net.send(alive, dead, Phase::Other, 8));
         assert!(!net.send(dead, alive, Phase::Other, 8));
@@ -286,7 +373,7 @@ mod tests {
         let (attempts, ok) =
             net.send_with_retries(NodeId::new(0), NodeId::new(1), Phase::Other, 8, 64);
         assert!(ok);
-        assert!(attempts >= 1 && attempts <= 64);
+        assert!((1..=64).contains(&attempts));
         assert_eq!(net.metrics().total_messages(), u64::from(attempts));
     }
 

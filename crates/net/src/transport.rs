@@ -1,0 +1,278 @@
+//! The [`Transport`] abstraction: what a protocol needs from a network.
+//!
+//! The protocols of this workspace were originally written directly against
+//! the round-synchronous [`Network`](crate::Network). `Transport` extracts
+//! the surface they actually use — liveness queries, deterministic sampling,
+//! message transmission and the round barrier — so that the same protocol
+//! code runs unchanged on
+//!
+//! * the synchronous [`Network`](crate::Network) (the paper's model), and
+//! * the asynchronous discrete-event engine of `gossip-runtime`, which adds
+//!   per-link latency, ongoing churn and per-node bandwidth budgets behind
+//!   the same round-barrier contract.
+//!
+//! The contract every implementation must honour:
+//!
+//! * All randomness flows through [`Transport::rng_mut`] /
+//!   [`Transport::derive_rng`], so a run is a pure function of
+//!   `SimConfig::seed` (plus the backend's own configuration).
+//! * [`Transport::send`] *counts* every message (the paper counts
+//!   transmissions, not deliveries) and returns whether it was delivered.
+//! * [`Transport::advance_round`] closes one synchronous round; what a
+//!   "round" costs in virtual time is backend-specific.
+
+use crate::config::SimConfig;
+use crate::metrics::Metrics;
+use crate::node::NodeId;
+use crate::phase::Phase;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A network backend that gossip protocols can run on.
+///
+/// Default methods mirror [`Network`](crate::Network)'s behaviour exactly —
+/// backends only implement the small required core unless they have a faster
+/// or semantically different way to do something.
+pub trait Transport {
+    /// The configuration the backend was built from.
+    fn config(&self) -> &SimConfig;
+
+    /// Accumulated metrics (read-only).
+    fn metrics(&self) -> &Metrics;
+
+    /// Whether a node is currently alive.
+    fn is_alive(&self, node: NodeId) -> bool;
+
+    /// Number of currently alive nodes.
+    fn alive_count(&self) -> usize;
+
+    /// The simulation RNG. Protocol-level random choices must come from here
+    /// so that runs are reproducible from the seed.
+    fn rng_mut(&mut self) -> &mut SmallRng;
+
+    /// Send one `bits`-bit message; returns `true` iff delivered.
+    fn send(&mut self, from: NodeId, to: NodeId, phase: Phase, bits: u32) -> bool;
+
+    /// Close the current synchronous round.
+    fn advance_round(&mut self);
+
+    /// Reset the metrics (keeps liveness and RNG state).
+    fn reset_metrics(&mut self);
+
+    // ---- Derived API (identical across backends) ----
+
+    /// Number of nodes (including crashed ones).
+    #[inline]
+    fn n(&self) -> usize {
+        self.config().n
+    }
+
+    /// Number of completed rounds.
+    #[inline]
+    fn round(&self) -> u64 {
+        self.metrics().rounds()
+    }
+
+    /// Iterator over all node ids, `0..n`.
+    fn nodes(&self) -> NodeIdIter {
+        NodeIdIter { range: 0..self.n() }
+    }
+
+    /// Iterator over currently alive node ids.
+    fn alive_nodes(&self) -> impl Iterator<Item = NodeId> + '_
+    where
+        Self: Sized,
+    {
+        (0..self.n())
+            .map(NodeId::new)
+            .filter(move |&v| self.is_alive(v))
+    }
+
+    /// Derive an independent RNG stream from the simulation seed.
+    fn derive_rng(&self, salt: u64) -> SmallRng {
+        SmallRng::seed_from_u64(self.config().seed.wrapping_mul(0x5851_f42d_4c95_7f2d) ^ salt)
+    }
+
+    /// Sample a node uniformly at random from all `n` nodes. The sampled
+    /// node may be crashed; sending to it will then fail.
+    #[inline]
+    fn sample_uniform(&mut self) -> NodeId
+    where
+        Self: Sized,
+    {
+        let n = self.n();
+        NodeId::new(self.rng_mut().gen_range(0..n))
+    }
+
+    /// Sample a uniformly random node different from `me` (returns `me` for
+    /// a singleton network).
+    fn sample_other_than(&mut self, me: NodeId) -> NodeId
+    where
+        Self: Sized,
+    {
+        if self.n() == 1 {
+            return me;
+        }
+        loop {
+            let candidate = self.sample_uniform();
+            if candidate != me {
+                return candidate;
+            }
+        }
+    }
+
+    /// Sample a uniformly random *alive* node.
+    fn sample_uniform_alive(&mut self) -> NodeId
+    where
+        Self: Sized,
+    {
+        loop {
+            let candidate = self.sample_uniform();
+            if self.is_alive(candidate) {
+                return candidate;
+            }
+        }
+    }
+
+    /// Send with up to `max_attempts` retransmissions until delivery. Each
+    /// attempt is counted as a message. Returns `(attempts, delivered)`.
+    fn send_with_retries(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        phase: Phase,
+        bits: u32,
+        max_attempts: u32,
+    ) -> (u32, bool) {
+        let mut attempts = 0;
+        while attempts < max_attempts {
+            attempts += 1;
+            if self.send(from, to, phase, bits) {
+                return (attempts, true);
+            }
+            // A dead endpoint will never succeed; avoid burning the budget.
+            if !self.is_alive(from) || !self.is_alive(to) {
+                return (attempts, false);
+            }
+        }
+        (attempts, false)
+    }
+}
+
+/// Concrete iterator over all node ids (keeps [`Transport::nodes`]
+/// object-safe-friendly and borrow-free).
+#[derive(Clone, Debug)]
+pub struct NodeIdIter {
+    range: std::ops::Range<usize>,
+}
+
+impl Iterator for NodeIdIter {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        self.range.next().map(NodeId::new)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.range.size_hint()
+    }
+}
+
+impl ExactSizeIterator for NodeIdIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+
+    // A deliberately tiny fake backend exercising the default methods.
+    struct Fake {
+        config: SimConfig,
+        metrics: Metrics,
+        rng: SmallRng,
+        dead: Vec<bool>,
+    }
+
+    impl Fake {
+        fn new(n: usize) -> Self {
+            Fake {
+                config: SimConfig::new(n).with_seed(7),
+                metrics: Metrics::new(),
+                rng: SmallRng::seed_from_u64(7),
+                dead: vec![false; n],
+            }
+        }
+    }
+
+    impl Transport for Fake {
+        fn config(&self) -> &SimConfig {
+            &self.config
+        }
+        fn metrics(&self) -> &Metrics {
+            &self.metrics
+        }
+        fn is_alive(&self, node: NodeId) -> bool {
+            !self.dead[node.index()]
+        }
+        fn alive_count(&self) -> usize {
+            self.dead.iter().filter(|&&d| !d).count()
+        }
+        fn rng_mut(&mut self) -> &mut SmallRng {
+            &mut self.rng
+        }
+        fn send(&mut self, from: NodeId, to: NodeId, phase: Phase, bits: u32) -> bool {
+            let ok = self.is_alive(from) && self.is_alive(to);
+            self.metrics.record_send(phase, bits, ok);
+            ok
+        }
+        fn advance_round(&mut self) {
+            self.metrics.advance_round();
+        }
+        fn reset_metrics(&mut self) {
+            self.metrics.reset();
+        }
+    }
+
+    #[test]
+    fn default_methods_work_on_a_custom_backend() {
+        let mut fake = Fake::new(8);
+        fake.dead[3] = true;
+        assert_eq!(fake.n(), 8);
+        assert_eq!(fake.alive_count(), 7);
+        assert_eq!(fake.nodes().count(), 8);
+        assert_eq!(fake.alive_nodes().count(), 7);
+        assert!(fake.alive_nodes().all(|v| v != NodeId::new(3)));
+        for _ in 0..100 {
+            let v = fake.sample_uniform_alive();
+            assert!(fake.is_alive(v));
+            assert_ne!(fake.sample_other_than(NodeId::new(1)), NodeId::new(1));
+        }
+        let (attempts, ok) =
+            fake.send_with_retries(NodeId::new(0), NodeId::new(3), Phase::Other, 8, 5);
+        assert!(!ok);
+        assert_eq!(attempts, 1, "dead endpoint should not be retried");
+        assert_eq!(fake.metrics().total_messages(), 1);
+    }
+
+    #[test]
+    fn network_and_trait_defaults_sample_identically() {
+        // Network implements the hot sampling paths itself; the trait default
+        // must stay bit-for-bit compatible so protocols behave the same on
+        // backends that use the defaults.
+        let cfg = SimConfig::new(64).with_seed(42);
+        let mut net = Network::new(cfg.clone());
+        let mut fake = Fake {
+            config: cfg.clone(),
+            metrics: Metrics::new(),
+            rng: net.rng_mut().clone(),
+            dead: vec![false; 64],
+        };
+        for _ in 0..200 {
+            let a = net.sample_uniform();
+            let b = Transport::sample_uniform(&mut fake);
+            assert_eq!(a, b);
+        }
+        assert_eq!(net.derive_rng(9), Transport::derive_rng(&fake, 9));
+    }
+}

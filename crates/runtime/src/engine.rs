@@ -1,0 +1,594 @@
+//! The asynchronous discrete-event engine.
+//!
+//! [`AsyncEngine`] implements [`Transport`], so every `Transport`-generic
+//! protocol in the workspace runs on it unchanged. Underneath the round
+//! barrier it simulates virtual time with a binary-heap [`EventQueue`]:
+//!
+//! * A protocol round occupies a **window** of virtual time. All calls of a
+//!   round happen logically at the window start (the phone-call model:
+//!   one call per node per round, initiated simultaneously).
+//! * [`Transport::send`] samples a per-link latency and schedules a
+//!   [`Event::Deliver`] at `window_start + latency`. Delivery succeeds iff
+//!   the sender is alive, the receiver is alive *at the arrival instant*
+//!   (mid-window crashes are pre-scheduled, so this is known and
+//!   deterministic), the message survives loss (`SimConfig::loss_prob`),
+//!   fits the sender's bandwidth budget, and — under
+//!   [`RoundPolicy::FixedDeadline`] — arrives before the window closes.
+//! * [`Transport::advance_round`] drains the queue up to the window horizon
+//!   in timestamp order (crashes interleave with arrivals), advances the
+//!   clock, then draws next-window churn.
+//!
+//! Every random draw flows through one RNG in a fixed order, so runs are a
+//! pure function of the seed. In the *compatibility configuration* —
+//! constant latency, no churn, no bandwidth cap — the draw order matches
+//! the synchronous [`Network`](gossip_net::Network) exactly and protocol
+//! runs are bit-identical across the two backends.
+
+use crate::churn::ChurnModel;
+use crate::event::{Event, EventQueue};
+use crate::latency::LatencyModel;
+use crate::metrics::AsyncMetrics;
+use gossip_net::{Metrics, NodeId, Phase, SimConfig, Transport};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How a round window closes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize, Default)]
+pub enum RoundPolicy {
+    /// The window stretches until the slowest message of the round has
+    /// arrived (but at least the latency median). Nothing is ever late;
+    /// stragglers show up as *virtual-time* cost — the quantity the
+    /// `latency_tail` experiment measures.
+    #[default]
+    Stretch,
+    /// The window closes after a fixed duration (µs); messages still in
+    /// flight at the deadline are dropped and counted in
+    /// [`AsyncMetrics::late_drops`].
+    FixedDeadline(u64),
+}
+
+/// Full configuration of an [`AsyncEngine`].
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AsyncConfig {
+    /// The shared simulation parameters (size, seed, loss, value range —
+    /// exactly what the synchronous backend takes).
+    pub sim: SimConfig,
+    /// Message latency model.
+    pub latency: LatencyModel,
+    /// Per-link deterministic latency spread in `[0, 1)`; `0` disables it.
+    pub link_spread: f64,
+    /// Ongoing churn model.
+    pub churn: ChurnModel,
+    /// Per-node, per-round sending budget in bits; `None` = unlimited.
+    pub bandwidth_bits_per_round: Option<u64>,
+    /// Round-closing policy.
+    pub round_policy: RoundPolicy,
+}
+
+impl AsyncConfig {
+    /// Engine configuration with defaults: constant 1 ms latency, no churn,
+    /// no bandwidth cap, stretching rounds — the compatibility
+    /// configuration that mirrors the synchronous `Network` bit for bit.
+    pub fn new(sim: SimConfig) -> Self {
+        sim.validate().expect("invalid simulation configuration");
+        AsyncConfig {
+            sim,
+            latency: LatencyModel::default(),
+            link_spread: 0.0,
+            churn: ChurnModel::none(),
+            bandwidth_bits_per_round: None,
+            round_policy: RoundPolicy::default(),
+        }
+    }
+
+    /// Set the latency model.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Set the deterministic per-link latency spread (`[0, 1)`).
+    pub fn with_link_spread(mut self, spread: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&spread),
+            "link spread must lie in [0, 1), got {spread}"
+        );
+        self.link_spread = spread;
+        self
+    }
+
+    /// Set the churn model.
+    pub fn with_churn(mut self, churn: ChurnModel) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// Cap each node's per-round sending budget (bits).
+    pub fn with_bandwidth_bits_per_round(mut self, bits: u64) -> Self {
+        assert!(bits > 0, "bandwidth budget must be positive");
+        self.bandwidth_bits_per_round = Some(bits);
+        self
+    }
+
+    /// Set the round-closing policy.
+    pub fn with_round_policy(mut self, policy: RoundPolicy) -> Self {
+        self.round_policy = policy;
+        self
+    }
+}
+
+/// Asynchronous discrete-event network backend. See the module docs.
+#[derive(Clone, Debug)]
+pub struct AsyncEngine {
+    config: AsyncConfig,
+    rng: SmallRng,
+    alive: Vec<bool>,
+    alive_count: usize,
+    /// Crash instant scheduled inside the current window, per node.
+    crash_at: Vec<Option<u64>>,
+    pending_crashes: usize,
+    queue: EventQueue,
+    /// Start of the current round window (== current virtual time between
+    /// rounds; all sends of the round happen at this instant).
+    window_start: u64,
+    /// Latest scheduled arrival among this round's sends.
+    round_horizon: u64,
+    /// Bits sent by each node in the current round (bandwidth accounting).
+    bits_this_round: Vec<u64>,
+    metrics: Metrics,
+    async_metrics: AsyncMetrics,
+}
+
+impl AsyncEngine {
+    /// Build an engine, applying initial crashes exactly like
+    /// [`Network::new`](gossip_net::Network::new) (same RNG stream).
+    pub fn new(config: AsyncConfig) -> Self {
+        config
+            .sim
+            .validate()
+            .expect("invalid simulation configuration");
+        let n = config.sim.n;
+        let mut rng = SmallRng::seed_from_u64(config.sim.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut alive = vec![true; n];
+        let mut alive_count = n;
+        if config.sim.initial_crash_prob > 0.0 {
+            for slot in alive.iter_mut() {
+                if rng.gen_bool(config.sim.initial_crash_prob) {
+                    *slot = false;
+                    alive_count -= 1;
+                }
+            }
+            if alive_count == 0 {
+                alive[0] = true;
+                alive_count = 1;
+            }
+        }
+        AsyncEngine {
+            rng,
+            alive,
+            alive_count,
+            crash_at: vec![None; n],
+            pending_crashes: 0,
+            queue: EventQueue::new(),
+            window_start: 0,
+            round_horizon: 0,
+            bits_this_round: vec![0; n],
+            metrics: Metrics::new(),
+            async_metrics: AsyncMetrics::default(),
+            config,
+        }
+    }
+
+    /// The engine configuration.
+    pub fn async_config(&self) -> &AsyncConfig {
+        &self.config
+    }
+
+    /// Current virtual time (µs). Advances at round barriers.
+    pub fn now_us(&self) -> u64 {
+        self.window_start
+    }
+
+    /// Engine-level metrics (drop causes, churn counts, latency tail).
+    pub fn async_metrics(&self) -> &AsyncMetrics {
+        &self.async_metrics
+    }
+
+    /// Take the protocol metrics out, leaving zeroed metrics behind
+    /// (mirrors `Network::take_metrics`).
+    pub fn take_metrics(&mut self) -> Metrics {
+        std::mem::replace(&mut self.metrics, Metrics::new())
+    }
+
+    /// Whether `node` will still be alive at virtual instant `at_us`,
+    /// given the crashes already scheduled inside the current window.
+    fn alive_at(&self, node: NodeId, at_us: u64) -> bool {
+        if !self.alive[node.index()] {
+            return false;
+        }
+        match self.crash_at[node.index()] {
+            Some(t) => at_us < t,
+            None => true,
+        }
+    }
+
+    /// Draw next-window churn. Called at every round barrier; draws nothing
+    /// when churn is disabled (RNG-stream compatibility with `Network`).
+    fn draw_churn(&mut self, window_start: u64, window_len: u64) {
+        if !self.config.churn.is_enabled() {
+            return;
+        }
+        let n = self.config.sim.n;
+        let churn = self.config.churn;
+        for i in 0..n {
+            let node = NodeId::new(i);
+            if self.alive[i] {
+                let can_crash = self.alive_count - self.pending_crashes > churn.min_alive;
+                if can_crash
+                    && churn.crash_prob > 0.0
+                    && self.crash_at[i].is_none()
+                    && self.rng.gen_bool(churn.crash_prob)
+                {
+                    // Uniform instant strictly inside the window, so the
+                    // crash orders against this window's deliveries.
+                    let at = window_start + 1 + self.rng.gen_range(0..window_len.max(1));
+                    self.crash_at[i] = Some(at);
+                    self.pending_crashes += 1;
+                    self.queue.push(at, Event::Crash { node });
+                }
+            } else if churn.rejoin_prob > 0.0 && self.rng.gen_bool(churn.rejoin_prob) {
+                // Rejoins take effect at the boundary itself: the node
+                // participates from the next round on.
+                self.alive[i] = true;
+                self.alive_count += 1;
+                self.async_metrics.churn_rejoins += 1;
+            }
+        }
+    }
+
+    /// The reference window length: what one round "costs" when nothing is
+    /// in flight (keeps virtual time moving on empty rounds).
+    fn base_window_len(&self) -> u64 {
+        match self.config.round_policy {
+            RoundPolicy::FixedDeadline(d) => d.max(1),
+            RoundPolicy::Stretch => self.config.latency.median_us().max(1),
+        }
+    }
+}
+
+impl Transport for AsyncEngine {
+    fn config(&self) -> &SimConfig {
+        &self.config.sim
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node.index()]
+    }
+
+    fn alive_count(&self) -> usize {
+        self.alive_count
+    }
+
+    fn rng_mut(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    fn send(&mut self, from: NodeId, to: NodeId, phase: Phase, bits: u32) -> bool {
+        debug_assert!(from.index() < self.config.sim.n, "sender out of range");
+        debug_assert!(to.index() < self.config.sim.n, "receiver out of range");
+
+        // 1. Endpoint liveness and the loss draw, in exactly the order the
+        //    synchronous Network performs them (RNG-stream compatibility).
+        let mut delivered = self.alive[from.index()] && self.alive[to.index()];
+        if delivered
+            && self.config.sim.loss_prob > 0.0
+            && self.rng.gen_bool(self.config.sim.loss_prob)
+        {
+            delivered = false;
+        }
+
+        // 2. Latency: sampled per message, scaled by the deterministic
+        //    per-link bias. Constant latency with zero spread draws nothing.
+        let mut latency_us = self.config.latency.sample(&mut self.rng);
+        if self.config.link_spread > 0.0 {
+            let bias =
+                LatencyModel::link_bias(self.config.sim.seed, from, to, self.config.link_spread);
+            latency_us = ((latency_us as f64) * bias).round().max(1.0) as u64;
+        }
+        let arrival = self.window_start + latency_us;
+
+        // 3. Bandwidth budget of the sender for this round.
+        if delivered {
+            if let Some(budget) = self.config.bandwidth_bits_per_round {
+                let used = self.bits_this_round[from.index()];
+                if used + u64::from(bits) > budget {
+                    delivered = false;
+                    self.async_metrics.bandwidth_drops += 1;
+                }
+            }
+        }
+        self.bits_this_round[from.index()] += u64::from(bits);
+
+        // 4. Mid-window churn: the receiver must still be alive when the
+        //    message arrives (sender calls happen at the window start, so a
+        //    sender crashing later this round still gets its call out).
+        if delivered && !self.alive_at(to, arrival) {
+            delivered = false;
+        }
+
+        // 5. Fixed deadlines drop messages that outlive their round.
+        if delivered {
+            if let RoundPolicy::FixedDeadline(deadline) = self.config.round_policy {
+                if latency_us > deadline {
+                    delivered = false;
+                    self.async_metrics.late_drops += 1;
+                }
+            }
+        }
+
+        self.round_horizon = self.round_horizon.max(arrival);
+        self.queue.push(
+            arrival,
+            Event::Deliver {
+                from,
+                to,
+                phase,
+                bits,
+                delivered,
+                latency_us,
+            },
+        );
+        self.metrics.record_send(phase, bits, delivered);
+        delivered
+    }
+
+    fn advance_round(&mut self) {
+        // Close the window: fixed deadline, or stretch to the slowest
+        // arrival of the round (at least one base window either way).
+        let horizon = match self.config.round_policy {
+            RoundPolicy::FixedDeadline(d) => self.window_start + d.max(1),
+            RoundPolicy::Stretch => self
+                .round_horizon
+                .max(self.window_start + self.base_window_len()),
+        };
+
+        // Drain events in timestamp order: crashes interleave with message
+        // arrivals exactly where they were scheduled.
+        while let Some(scheduled) = self.queue.pop_due(horizon) {
+            match scheduled.event {
+                Event::Deliver {
+                    delivered,
+                    latency_us,
+                    ..
+                } => {
+                    if delivered {
+                        self.async_metrics.latency.record(latency_us);
+                    }
+                }
+                Event::Crash { node } => {
+                    let i = node.index();
+                    if self.alive[i] {
+                        self.alive[i] = false;
+                        self.alive_count -= 1;
+                        self.async_metrics.churn_crashes += 1;
+                    }
+                    if self.crash_at[i].take().is_some() {
+                        self.pending_crashes -= 1;
+                    }
+                }
+            }
+        }
+        // Crash instants are drawn inside (window_start, window_start +
+        // base_window_len] and both round policies close the window at or
+        // beyond that bound, so the drain above has resolved every scheduled
+        // crash before the next window's liveness queries.
+        debug_assert!(
+            self.pending_crashes == 0 && self.crash_at.iter().all(Option::is_none),
+            "a scheduled crash outlived its round window"
+        );
+
+        self.window_start = horizon;
+        self.round_horizon = horizon;
+        self.bits_this_round.iter_mut().for_each(|b| *b = 0);
+        self.metrics.advance_round();
+
+        let window_len = self.base_window_len();
+        self.draw_churn(horizon, window_len);
+    }
+
+    fn reset_metrics(&mut self) {
+        self.metrics.reset();
+        self.async_metrics = AsyncMetrics::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_net::Network;
+
+    fn compat_engine(n: usize, seed: u64, loss: f64) -> AsyncEngine {
+        AsyncEngine::new(AsyncConfig::new(
+            SimConfig::new(n).with_seed(seed).with_loss_prob(loss),
+        ))
+    }
+
+    #[test]
+    fn compat_configuration_matches_network_bit_for_bit() {
+        let sim = SimConfig::new(128)
+            .with_seed(21)
+            .with_loss_prob(0.15)
+            .with_initial_crash_prob(0.1);
+        let mut net = Network::new(sim.clone());
+        let mut engine = AsyncEngine::new(AsyncConfig::new(sim));
+        assert_eq!(net.alive_count(), Transport::alive_count(&engine));
+        for _ in 0..2000 {
+            let a = net.sample_uniform();
+            let b = Transport::sample_uniform(&mut engine);
+            assert_eq!(a, b);
+            let a2 = net.sample_other_than(a);
+            let b2 = engine.sample_other_than(b);
+            assert_eq!(a2, b2);
+            assert_eq!(
+                net.send(a, a2, Phase::Other, 16),
+                engine.send(b, b2, Phase::Other, 16)
+            );
+        }
+        net.advance_round();
+        engine.advance_round();
+        assert_eq!(net.metrics(), Transport::metrics(&engine));
+    }
+
+    #[test]
+    fn virtual_time_advances_with_rounds() {
+        let mut engine = compat_engine(16, 3, 0.0);
+        assert_eq!(engine.now_us(), 0);
+        engine.advance_round();
+        let t1 = engine.now_us();
+        assert!(t1 >= 1000, "constant 1ms latency floors the window");
+        engine.send(NodeId::new(0), NodeId::new(1), Phase::Other, 8);
+        engine.advance_round();
+        assert!(engine.now_us() >= t1 + 1000);
+        assert_eq!(engine.round(), 2);
+    }
+
+    #[test]
+    fn stretch_rounds_wait_for_the_straggler() {
+        let mut engine = AsyncEngine::new(
+            AsyncConfig::new(SimConfig::new(8).with_seed(5)).with_latency(LatencyModel::Uniform {
+                lo_us: 10,
+                hi_us: 50_000,
+            }),
+        );
+        for i in 0..4 {
+            engine.send(NodeId::new(i), NodeId::new(i + 4), Phase::Other, 8);
+        }
+        engine.advance_round();
+        let max_latency = engine.async_metrics().latency.max_us();
+        assert_eq!(engine.now_us(), max_latency.max(25_005));
+    }
+
+    #[test]
+    fn fixed_deadline_drops_late_messages() {
+        let mut engine = AsyncEngine::new(
+            AsyncConfig::new(SimConfig::new(4).with_seed(9))
+                .with_latency(LatencyModel::Uniform {
+                    lo_us: 1,
+                    hi_us: 2_000,
+                })
+                .with_round_policy(RoundPolicy::FixedDeadline(1_000)),
+        );
+        let mut delivered = 0u32;
+        for _ in 0..500 {
+            if engine.send(NodeId::new(0), NodeId::new(1), Phase::Other, 8) {
+                delivered += 1;
+            }
+            engine.advance_round();
+        }
+        let late = engine.async_metrics().late_drops;
+        assert!(
+            late > 100,
+            "about half the messages should be late, got {late}"
+        );
+        assert_eq!(u64::from(delivered) + late, 500);
+        // Virtual time is exactly rounds × deadline under a fixed policy.
+        assert_eq!(engine.now_us(), 500 * 1_000);
+    }
+
+    #[test]
+    fn bandwidth_budget_caps_per_round_sending() {
+        let mut engine = AsyncEngine::new(
+            AsyncConfig::new(SimConfig::new(4).with_seed(11)).with_bandwidth_bits_per_round(100),
+        );
+        let ok: Vec<bool> = (0..5)
+            .map(|_| engine.send(NodeId::new(0), NodeId::new(1), Phase::Other, 40))
+            .collect();
+        assert_eq!(ok, vec![true, true, false, false, false]);
+        assert_eq!(engine.async_metrics().bandwidth_drops, 3);
+        engine.advance_round();
+        // Budget resets at the barrier.
+        assert!(engine.send(NodeId::new(0), NodeId::new(1), Phase::Other, 40));
+        // Other senders have their own budget.
+        assert!(engine.send(NodeId::new(2), NodeId::new(3), Phase::Other, 40));
+    }
+
+    #[test]
+    fn churn_kills_and_revives_nodes_deterministically() {
+        let build = || {
+            AsyncEngine::new(
+                AsyncConfig::new(SimConfig::new(200).with_seed(13))
+                    .with_churn(ChurnModel::per_round(0.05, 0.1)),
+            )
+        };
+        let mut engine = build();
+        let mut alive_trace = Vec::new();
+        for _ in 0..50 {
+            engine.advance_round();
+            alive_trace.push(Transport::alive_count(&engine));
+        }
+        assert!(engine.async_metrics().churn_crashes > 0);
+        assert!(engine.async_metrics().churn_rejoins > 0);
+        let alive_now = engine.alive_nodes().count();
+        assert_eq!(alive_now, Transport::alive_count(&engine));
+        // Bit-identical across re-runs.
+        let mut second = build();
+        let second_trace: Vec<usize> = (0..50)
+            .map(|_| {
+                second.advance_round();
+                Transport::alive_count(&second)
+            })
+            .collect();
+        assert_eq!(alive_trace, second_trace);
+    }
+
+    #[test]
+    fn churn_respects_the_alive_floor() {
+        let mut engine = AsyncEngine::new(
+            AsyncConfig::new(SimConfig::new(32).with_seed(17))
+                .with_churn(ChurnModel::per_round(0.9, 0.0).with_min_alive(5)),
+        );
+        for _ in 0..100 {
+            engine.advance_round();
+        }
+        assert!(Transport::alive_count(&engine) >= 5);
+    }
+
+    #[test]
+    fn mid_window_crash_blocks_delivery_after_the_instant() {
+        // With crash_prob ~ 1 every node that may crash does, at a uniform
+        // instant inside the next window; messages arriving after their
+        // receiver's instant must not be delivered.
+        let mut engine = AsyncEngine::new(
+            AsyncConfig::new(SimConfig::new(64).with_seed(19))
+                .with_latency(LatencyModel::Constant(500))
+                .with_churn(ChurnModel::per_round(0.8, 0.0).with_min_alive(1)),
+        );
+        engine.advance_round(); // draw the first churn window
+        let mut dropped_by_churn = 0;
+        for i in 0..63 {
+            if !engine.send(NodeId::new(63), NodeId::new(i), Phase::Other, 8)
+                && engine.is_alive(NodeId::new(i))
+            {
+                dropped_by_churn += 1;
+            }
+        }
+        assert!(
+            dropped_by_churn > 0,
+            "some still-alive receivers crash before +500µs"
+        );
+    }
+
+    #[test]
+    fn reset_metrics_clears_both_layers() {
+        let mut engine = compat_engine(8, 23, 0.0);
+        engine.send(NodeId::new(0), NodeId::new(1), Phase::Other, 8);
+        engine.advance_round();
+        Transport::reset_metrics(&mut engine);
+        assert_eq!(Transport::metrics(&engine).total_messages(), 0);
+        assert_eq!(engine.async_metrics().latency.count(), 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! # gossip-runtime
+//!
+//! An asynchronous **discrete-event simulation engine** for the gossip
+//! protocols of this workspace, and the parallel sweep runner used by the
+//! experiment harness.
+//!
+//! The synchronous [`gossip_net::Network`] implements the paper's clean
+//! round-barrier phone-call model: every message arrives instantly (or is
+//! lost), failures happen only before the protocol starts, and rounds are
+//! free. Real gossip deployments are none of those things. The
+//! [`AsyncEngine`] keeps the *protocol-facing* round-barrier contract — it
+//! implements [`gossip_net::Transport`], so `drr_gossip_max`,
+//! `drr_gossip_ave`, `push_sum_average` and friends run on it unchanged —
+//! but models the world underneath with a binary-heap event queue over
+//! virtual microseconds:
+//!
+//! * **Per-link latency** ([`LatencyModel`]): constant, uniform or
+//!   log-normal per-message delay, with an optional deterministic per-link
+//!   bias so some links are persistently slower than others.
+//! * **Ongoing churn** ([`ChurnModel`]): nodes crash *mid-run* (at a random
+//!   instant inside a round window, ordered against message deliveries by
+//!   the event queue) and dead nodes may rejoin at round boundaries — beyond
+//!   the start-time-only `initial_crash_prob` of the synchronous model.
+//! * **Bandwidth budgets**: an optional per-node, per-round bit budget;
+//!   sends beyond the budget are dropped (and accounted).
+//! * **Round policies** ([`RoundPolicy`]): either rounds *stretch* to the
+//!   slowest in-flight delivery (virtual time measures straggler cost), or
+//!   rounds have a *fixed deadline* and late messages are lost.
+//!
+//! Determinism is preserved end to end: a run is a pure function of the
+//! [`SimConfig`](gossip_net::SimConfig) seed and the engine parameters.
+//! With [`LatencyModel::Constant`], no churn and no bandwidth cap, the
+//! engine consumes its RNG in exactly the same order as the synchronous
+//! `Network`, so the two backends produce **bit-identical** protocol runs —
+//! the property the determinism test-suite pins down.
+//!
+//! ```
+//! use gossip_net::SimConfig;
+//! use gossip_runtime::{AsyncConfig, AsyncEngine, ChurnModel, LatencyModel};
+//!
+//! let config = AsyncConfig::new(SimConfig::new(512).with_seed(7))
+//!     .with_latency(LatencyModel::LogNormal { median_us: 800.0, sigma: 0.8 })
+//!     .with_churn(ChurnModel::per_round(0.01, 0.2));
+//! let mut engine = AsyncEngine::new(config);
+//! // Any Transport-generic protocol runs on it; see gossip-drr.
+//! # use gossip_net::{Transport, Phase};
+//! # let a = engine.sample_uniform();
+//! # let b = engine.sample_other_than(a);
+//! # engine.send(a, b, Phase::Other, 32);
+//! # engine.advance_round();
+//! assert_eq!(engine.round(), 1);
+//! assert!(engine.now_us() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod engine;
+pub mod event;
+pub mod latency;
+pub mod metrics;
+pub mod sweep;
+
+pub use churn::ChurnModel;
+pub use engine::{AsyncConfig, AsyncEngine, RoundPolicy};
+pub use event::{Event, EventQueue, ScheduledEvent};
+pub use latency::LatencyModel;
+pub use metrics::{AsyncMetrics, LatencyHistogram};
+pub use sweep::SweepRunner;

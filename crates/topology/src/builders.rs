@@ -226,10 +226,7 @@ mod tests {
         for d in [2usize, 3, 4, 6, 8] {
             let g = d_regular(500, d, 7);
             let avg = g.avg_degree();
-            assert!(
-                (avg - d as f64).abs() < 0.2,
-                "d={d}, avg degree {avg}"
-            );
+            assert!((avg - d as f64).abs() < 0.2, "d={d}, avg degree {avg}");
             assert!(g.max_degree() <= d + 1);
         }
     }

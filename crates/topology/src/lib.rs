@@ -25,8 +25,12 @@ pub mod connectivity;
 pub mod graph;
 pub mod routing;
 
-pub use builders::{binary_tree, complete, d_regular, erdos_renyi, erdos_renyi_logn, grid2d, ring, star};
+pub use builders::{
+    binary_tree, complete, d_regular, erdos_renyi, erdos_renyi_logn, grid2d, ring, star,
+};
 pub use chord::ChordOverlay;
-pub use connectivity::{bfs_distances, component_count, connected_components, diameter_estimate, is_connected};
+pub use connectivity::{
+    bfs_distances, component_count, connected_components, diameter_estimate, is_connected,
+};
 pub use graph::Graph;
 pub use routing::{ChordSampler, DirectSampler, RandomNodeSampler, RandomWalkSampler, SampleRoute};

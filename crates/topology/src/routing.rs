@@ -63,7 +63,11 @@ impl DirectSampler {
 impl RandomNodeSampler for DirectSampler {
     fn sample(&self, from: NodeId, rng: &mut SmallRng) -> SampleRoute {
         let target = NodeId::new(rng.gen_range(0..self.n));
-        let path = if target == from { Vec::new() } else { vec![target] };
+        let path = if target == from {
+            Vec::new()
+        } else {
+            vec![target]
+        };
         SampleRoute { target, path }
     }
 
@@ -203,7 +207,11 @@ mod tests {
         let targets: std::collections::HashSet<usize> = (0..2000)
             .map(|_| sampler.sample(NodeId::new(0), &mut rng).target.index())
             .collect();
-        assert!(targets.len() > 200, "only {} distinct targets", targets.len());
+        assert!(
+            targets.len() > 200,
+            "only {} distinct targets",
+            targets.len()
+        );
     }
 
     #[test]

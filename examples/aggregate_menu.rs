@@ -20,7 +20,11 @@ fn main() {
     let n = 5_000;
     let seed = 19;
     // A heavy-tailed workload: most nodes hold small values, a few hold huge ones.
-    let values = ValueDistribution::Zipf { max: 100_000, exponent: 1.4 }.generate(n, seed);
+    let values = ValueDistribution::Zipf {
+        max: 100_000,
+        exponent: 1.4,
+    }
+    .generate(n, seed);
     let config = DrrGossipConfig::paper();
     let sim = SimConfig::new(n)
         .with_seed(seed)

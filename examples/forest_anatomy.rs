@@ -57,7 +57,12 @@ fn main() {
     }
     println!("tree-size histogram (bucket = [2^k, 2^(k+1))):");
     for (k, count) in histogram.iter().enumerate() {
-        println!("  size {:>4}..{:<4}: {:>6} trees", 1 << k, (1 << (k + 1)) - 1, count);
+        println!(
+            "  size {:>4}..{:<4}: {:>6} trees",
+            1 << k,
+            (1 << (k + 1)) - 1,
+            count
+        );
     }
 
     // ---- Local-DRR on three sparse topologies ----

@@ -23,7 +23,11 @@ fn main() {
     let seed = 11;
 
     // File counts per peer: heavy-tailed (a few peers host most content).
-    let files = ValueDistribution::Zipf { max: 10_000, exponent: 1.3 }.generate(n, seed);
+    let files = ValueDistribution::Zipf {
+        max: 10_000,
+        exponent: 1.3,
+    }
+    .generate(n, seed);
     let exact: f64 = files.iter().sum::<f64>() / n as f64;
 
     // The Chord overlay: n peers, each with Θ(log n) fingers.
@@ -40,12 +44,22 @@ fn main() {
 
     // DRR-gossip on the overlay.
     let mut net = Network::new(SimConfig::new(n).with_seed(seed).with_value_range(10_000.0));
-    let drr = sparse_drr_gossip_ave(&mut net, &graph, &sampler, &files, &SparseGossipConfig::default());
+    let drr = sparse_drr_gossip_ave(
+        &mut net,
+        &graph,
+        &sampler,
+        &files,
+        &SparseGossipConfig::default(),
+    );
     println!("DRR-gossip (Local-DRR + routed root gossip):");
     println!("  average files/peer (exact)  : {exact:.2}");
     println!(
         "  average files/peer (gossip) : {:.2}  (max rel. error {:.2e})",
-        drr.estimates.iter().cloned().find(|e| e.is_finite()).unwrap(),
+        drr.estimates
+            .iter()
+            .cloned()
+            .find(|e| e.is_finite())
+            .unwrap(),
         drr.max_relative_error()
     );
     println!(

@@ -37,7 +37,11 @@ fn main() {
         ],
     );
     for &n in &sizes {
-        let values = ValueDistribution::Uniform { lo: 0.0, hi: 1000.0 }.generate(n, seed);
+        let values = ValueDistribution::Uniform {
+            lo: 0.0,
+            hi: 1000.0,
+        }
+        .generate(n, seed);
         let config = SimConfig::new(n)
             .with_seed(seed)
             .with_loss_prob(0.05)
@@ -74,7 +78,11 @@ fn main() {
         ],
     );
     for &n in &sizes {
-        let values = ValueDistribution::Uniform { lo: 0.0, hi: 1000.0 }.generate(n, seed);
+        let values = ValueDistribution::Uniform {
+            lo: 0.0,
+            hi: 1000.0,
+        }
+        .generate(n, seed);
         let config = SimConfig::new(n)
             .with_seed(seed)
             .with_loss_prob(0.05)
@@ -83,7 +91,10 @@ fn main() {
 
         let mut net = Network::new(config.clone());
         let drr_config = DrrGossipConfig {
-            gossip_ave: GossipAveConfig { rounds_factor: 1.0, epsilon },
+            gossip_ave: GossipAveConfig {
+                rounds_factor: 1.0,
+                epsilon,
+            },
             ..DrrGossipConfig::paper()
         };
         let drr = drr_gossip_ave(&mut net, &values, &drr_config);
@@ -92,14 +103,20 @@ fn main() {
         let uniform = push_sum_average(
             &mut net,
             &values,
-            &PushSumConfig { rounds_factor: 1.0, epsilon },
+            &PushSumConfig {
+                rounds_factor: 1.0,
+                epsilon,
+            },
         );
 
         let mut net = Network::new(config);
         let efficient = efficient_gossip_average(
             &mut net,
             &values,
-            &EfficientGossipConfig { epsilon, ..EfficientGossipConfig::default() },
+            &EfficientGossipConfig {
+                epsilon,
+                ..EfficientGossipConfig::default()
+            },
         );
 
         table.push_row(vec![

@@ -15,7 +15,11 @@ fn main() {
     let seed = 42;
 
     // Every node holds a value; here: uniform in [0, 1000).
-    let values = ValueDistribution::Uniform { lo: 0.0, hi: 1000.0 }.generate(n, seed);
+    let values = ValueDistribution::Uniform {
+        lo: 0.0,
+        hi: 1000.0,
+    }
+    .generate(n, seed);
 
     // A lossy network: every message is dropped independently with
     // probability 5% (the paper's failure model).

@@ -50,13 +50,15 @@ fn main() {
     let negated: Vec<f64> = battery.iter().map(|&b| -b).collect();
     let mut net = Network::new(config.clone());
     let min_report = drr_gossip_max(&mut net, &negated, &DrrGossipConfig::paper());
-    println!(
-        "minimum battery (exact)        : {:.2}%",
-        -min_report.exact
-    );
+    println!("minimum battery (exact)        : {:.2}%", -min_report.exact);
     println!(
         "minimum battery (gossip)       : {:.2}%  ({:.1}% of alive sensors agree exactly)",
-        -min_report.estimates.iter().cloned().find(|e| e.is_finite()).unwrap(),
+        -min_report
+            .estimates
+            .iter()
+            .cloned()
+            .find(|e| e.is_finite())
+            .unwrap(),
         100.0 * min_report.fraction_exact()
     );
     println!(

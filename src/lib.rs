@@ -3,7 +3,8 @@
 //! Facade crate for the *Optimal Gossip-Based Aggregate Computation*
 //! (Chen & Pandurangan, SPAA 2010) reproduction. Re-exports the workspace
 //! crates under stable module names. See `DESIGN.md` for the system map and
-//! `EXPERIMENTS.md` for the reproduced tables and figures.
+//! `README.md` for the quickstart; the tables and figures are regenerated
+//! by `cargo run --release -p gossip-bench -- all`.
 
 #![forbid(unsafe_code)]
 
@@ -12,9 +13,11 @@ pub use gossip_analysis as analysis;
 pub use gossip_baselines as baselines;
 pub use gossip_drr as drr;
 pub use gossip_net as net;
+pub use gossip_runtime as runtime;
 pub use gossip_topology as topology;
 
 /// Commonly used items.
 pub mod prelude {
-    pub use gossip_net::{Network, NodeId, Phase, SimConfig};
+    pub use gossip_net::{Network, NodeId, Phase, SimConfig, Transport};
+    pub use gossip_runtime::{AsyncConfig, AsyncEngine, ChurnModel, LatencyModel, SweepRunner};
 }

@@ -21,8 +21,20 @@ fn network(n: usize, seed: u64, loss: f64, crash: f64, range: f64) -> Network {
 fn max_is_exact_across_workloads() {
     let n = 3000;
     for (seed, dist) in [
-        (1u64, ValueDistribution::Uniform { lo: -500.0, hi: 500.0 }),
-        (2, ValueDistribution::Zipf { max: 1000, exponent: 1.2 }),
+        (
+            1u64,
+            ValueDistribution::Uniform {
+                lo: -500.0,
+                hi: 500.0,
+            },
+        ),
+        (
+            2,
+            ValueDistribution::Zipf {
+                max: 1000,
+                exponent: 1.2,
+            },
+        ),
         (3, ValueDistribution::SingleOutlier { value: 77.0 }),
         (4, ValueDistribution::Constant(3.25)),
     ] {
@@ -48,8 +60,20 @@ fn max_is_exact_across_workloads() {
 fn average_matches_exact_across_workloads() {
     let n = 3000;
     for (seed, dist) in [
-        (11u64, ValueDistribution::Uniform { lo: 0.0, hi: 1000.0 }),
-        (12, ValueDistribution::Normal { mean: 40.0, std_dev: 9.0 }),
+        (
+            11u64,
+            ValueDistribution::Uniform {
+                lo: 0.0,
+                hi: 1000.0,
+            },
+        ),
+        (
+            12,
+            ValueDistribution::Normal {
+                mean: 40.0,
+                std_dev: 9.0,
+            },
+        ),
         (13, ValueDistribution::Exponential { lambda: 0.05 }),
         (14, ValueDistribution::BatteryLevels),
     ] {
@@ -79,7 +103,12 @@ fn mixed_sign_average_close_to_zero_is_handled() {
     let report = drr_gossip_ave(&mut net, &values, &DrrGossipConfig::paper());
     // Relative error is meaningless near zero; the absolute error criterion
     // of Theorem 7's final remark applies.
-    let estimate = report.estimates.iter().cloned().find(|e| e.is_finite()).unwrap();
+    let estimate = report
+        .estimates
+        .iter()
+        .cloned()
+        .find(|e| e.is_finite())
+        .unwrap();
     assert!((estimate - report.exact).abs() < 1.0);
 }
 
@@ -108,7 +137,11 @@ fn drr_beats_uniform_gossip_on_messages_at_scale() {
     // (Theorem 15) while DRR-gossip-max needs Θ(n log log n); at n = 8192 the
     // absolute counts already separate cleanly.
     let n = 1 << 13;
-    let values = ValueDistribution::Uniform { lo: 0.0, hi: 1000.0 }.generate(n, 31);
+    let values = ValueDistribution::Uniform {
+        lo: 0.0,
+        hi: 1000.0,
+    }
+    .generate(n, 31);
     let mut net = network(n, 31, 0.05, 0.0, 1000.0);
     let drr = drr_gossip_max(&mut net, &values, &DrrGossipConfig::paper());
     let mut net = network(n, 31, 0.05, 0.0, 1000.0);
@@ -171,7 +204,11 @@ fn full_protocol_is_deterministic_per_seed_and_varies_across_seeds() {
 #[test]
 fn message_size_budget_holds_for_all_protocols() {
     let n = 2048;
-    let values = ValueDistribution::Uniform { lo: 0.0, hi: 1000.0 }.generate(n, 61);
+    let values = ValueDistribution::Uniform {
+        lo: 0.0,
+        hi: 1000.0,
+    }
+    .generate(n, 61);
     let mut net = network(n, 61, 0.05, 0.0, 1000.0);
     let _ = drr_gossip_ave(&mut net, &values, &DrrGossipConfig::paper());
     assert!(net.metrics().max_message_bits() <= net.config().message_bit_budget());

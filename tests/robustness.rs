@@ -42,7 +42,11 @@ fn extreme_message_loss_still_converges_for_max() {
     // δ far beyond the paper's assumed δ < 1/8: retransmissions in the tree
     // phases and the redundancy of gossip still get the maximum through.
     let n = 1500;
-    let values = ValueDistribution::Uniform { lo: 0.0, hi: 1000.0 }.generate(n, 5);
+    let values = ValueDistribution::Uniform {
+        lo: 0.0,
+        hi: 1000.0,
+    }
+    .generate(n, 5);
     let mut net = network(n, 5, 0.4, 0.0);
     let report = drr_gossip_max(&mut net, &values, &DrrGossipConfig::paper());
     assert!(
@@ -58,7 +62,10 @@ fn massive_initial_crash_rate_is_survivable() {
     let values = ValueDistribution::Uniform { lo: 0.0, hi: 100.0 }.generate(n, 7);
     let mut net = network(n, 7, 0.02, 0.6);
     let alive = net.alive_count();
-    assert!(alive < 1000, "crash probability should have removed most nodes");
+    assert!(
+        alive < 1000,
+        "crash probability should have removed most nodes"
+    );
     let report = drr_gossip_ave(&mut net, &values, &DrrGossipConfig::paper());
     // The aggregate is over the survivors and is still accurate.
     assert!(
@@ -94,7 +101,11 @@ fn constant_and_outlier_workloads() {
 #[test]
 fn negative_values_are_handled_by_every_aggregate() {
     let n = 1500;
-    let values = ValueDistribution::Uniform { lo: -500.0, hi: -100.0 }.generate(n, 11);
+    let values = ValueDistribution::Uniform {
+        lo: -500.0,
+        hi: -100.0,
+    }
+    .generate(n, 11);
     for kind in [
         AggregateKind::Max,
         AggregateKind::Min,
@@ -119,12 +130,12 @@ fn negative_values_are_handled_by_every_aggregate() {
 #[test]
 fn median_is_close_on_a_skewed_workload() {
     let n = 1000;
-    let values = ValueDistribution::Zipf { max: 1000, exponent: 1.5 }.generate(n, 13);
-    let mut net = Network::new(
-        SimConfig::new(n)
-            .with_seed(13)
-            .with_value_range(1000.0),
-    );
+    let values = ValueDistribution::Zipf {
+        max: 1000,
+        exponent: 1.5,
+    }
+    .generate(n, 13);
+    let mut net = Network::new(SimConfig::new(n).with_seed(13).with_value_range(1000.0));
     let report = drr_gossip_median(&mut net, &values, 1.0, &DrrGossipConfig::paper());
     // The exact median of a heavy-tailed Zipf sample is small; the binary
     // search over rank queries should land within a few values of it.

@@ -7,9 +7,7 @@ use drr_gossip::baselines::{routed_push_sum_average, PushSumConfig};
 use drr_gossip::drr::local_drr::run_local_drr;
 use drr_gossip::drr::sparse::{sparse_drr_gossip_ave, sparse_drr_gossip_max, SparseGossipConfig};
 use drr_gossip::net::{Network, SimConfig};
-use drr_gossip::topology::{
-    d_regular, grid2d, ChordOverlay, ChordSampler, RandomWalkSampler,
-};
+use drr_gossip::topology::{d_regular, grid2d, ChordOverlay, ChordSampler, RandomWalkSampler};
 
 #[test]
 fn chord_average_and_max_are_accurate() {
@@ -17,15 +15,39 @@ fn chord_average_and_max_are_accurate() {
     let overlay = ChordOverlay::new(n);
     let graph = overlay.graph();
     let sampler = ChordSampler::new(&overlay);
-    let values = ValueDistribution::Zipf { max: 5000, exponent: 1.3 }.generate(n, 3);
+    let values = ValueDistribution::Zipf {
+        max: 5000,
+        exponent: 1.3,
+    }
+    .generate(n, 3);
 
     let mut net = Network::new(SimConfig::new(n).with_seed(3).with_value_range(5000.0));
-    let ave = sparse_drr_gossip_ave(&mut net, &graph, &sampler, &values, &SparseGossipConfig::default());
-    assert!(ave.max_relative_error() < 0.05, "error {}", ave.max_relative_error());
+    let ave = sparse_drr_gossip_ave(
+        &mut net,
+        &graph,
+        &sampler,
+        &values,
+        &SparseGossipConfig::default(),
+    );
+    assert!(
+        ave.max_relative_error() < 0.05,
+        "error {}",
+        ave.max_relative_error()
+    );
 
     let mut net = Network::new(SimConfig::new(n).with_seed(4).with_value_range(5000.0));
-    let max = sparse_drr_gossip_max(&mut net, &graph, &sampler, &values, &SparseGossipConfig::default());
-    assert!(max.fraction_exact() > 0.99, "fraction {}", max.fraction_exact());
+    let max = sparse_drr_gossip_max(
+        &mut net,
+        &graph,
+        &sampler,
+        &values,
+        &SparseGossipConfig::default(),
+    );
+    assert!(
+        max.fraction_exact() > 0.99,
+        "fraction {}",
+        max.fraction_exact()
+    );
 }
 
 #[test]
@@ -37,7 +59,13 @@ fn drr_gossip_beats_routed_uniform_gossip_on_chord_messages() {
     let values = ValueDistribution::Uniform { lo: 0.0, hi: 100.0 }.generate(n, 7);
 
     let mut net = Network::new(SimConfig::new(n).with_seed(7).with_value_range(100.0));
-    let drr = sparse_drr_gossip_ave(&mut net, &graph, &sampler, &values, &SparseGossipConfig::default());
+    let drr = sparse_drr_gossip_ave(
+        &mut net,
+        &graph,
+        &sampler,
+        &values,
+        &SparseGossipConfig::default(),
+    );
 
     let mut net = Network::new(SimConfig::new(n).with_seed(7).with_value_range(100.0));
     let uniform = routed_push_sum_average(&mut net, &sampler, &values, &PushSumConfig::default());
@@ -86,7 +114,13 @@ fn random_walk_sampler_supports_non_chord_overlays() {
     let sampler = RandomWalkSampler::new(&graph, walk_length);
     let values = ValueDistribution::Uniform { lo: 0.0, hi: 10.0 }.generate(n, 13);
     let mut net = Network::new(SimConfig::new(n).with_seed(13).with_value_range(10.0));
-    let report = sparse_drr_gossip_ave(&mut net, &graph, &sampler, &values, &SparseGossipConfig::default());
+    let report = sparse_drr_gossip_ave(
+        &mut net,
+        &graph,
+        &sampler,
+        &values,
+        &SparseGossipConfig::default(),
+    );
     assert!(
         report.max_relative_error() < 0.1,
         "error {}",
