@@ -1,0 +1,441 @@
+//! The anti-entropy protocol: periodic digest exchange with delta repair.
+//!
+//! Every node runs an [`AeNode`] under the event-driven driver. On its
+//! anti-entropy tick it picks a uniformly random peer and starts a
+//! push-pull exchange (the classic three-way reconciliation):
+//!
+//! 1. `A → B` [`AeMsg::SynReq`] — A's digest (per-origin max stamps).
+//! 2. `B → A` [`AeMsg::SynAck`] — the entries B holds that A's digest
+//!    lacks, plus B's own digest.
+//! 3. `A → B` [`AeMsg::Delta`] — the entries A holds that B's digest
+//!    lacks (omitted when B is already current).
+//!
+//! Any message may be lost; the exchange is stateless on both sides, so a
+//! dropped leg costs nothing but the next tick. On its update tick a node
+//! re-stamps its own entry with the current signal value, which is what
+//! turns one-shot aggregation into **continuous** aggregation: estimates
+//! track the input as it drifts, stale entries age out (see
+//! [`Store::mean_fresh`]), and a churned-and-rejoined node — restarted
+//! with an empty store — pulls the whole state back within a few ticks.
+
+use crate::signal::SignalModel;
+use crate::store::{Digest, Entry, Store, STAMP_BITS};
+use gossip_net::{stagger_us, Handler, Mailbox, NodeId, Phase, TimerId};
+use gossip_runtime::{AsyncConfig, AsyncEngine, EventDriver};
+use serde::{Deserialize, Serialize};
+
+/// The anti-entropy tick timer.
+pub const TIMER_TICK: TimerId = TimerId(0);
+/// The local signal-update timer.
+pub const TIMER_UPDATE: TimerId = TimerId(1);
+
+/// Parameters of the anti-entropy layer.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AeConfig {
+    /// Anti-entropy exchange interval (µs). Each node starts one exchange
+    /// per tick, at a deterministic per-node phase offset (no thundering
+    /// herd).
+    pub tick_us: u64,
+    /// Local signal re-stamp interval (µs); `0` freezes the signal after
+    /// the initial stamp.
+    pub update_us: u64,
+    /// Entries older than this (µs) are excluded from
+    /// [`AeNode::estimate`]; `0` disables expiry. Should comfortably
+    /// exceed `update_us` plus a few ticks of propagation, or live
+    /// origins flicker out of the aggregate between refreshes.
+    pub expiry_us: u64,
+    /// Peers contacted per tick.
+    pub fanout: usize,
+    /// The input signal being aggregated.
+    pub signal: SignalModel,
+}
+
+impl AeConfig {
+    /// Set the anti-entropy interval (µs).
+    pub fn with_tick_us(mut self, tick_us: u64) -> Self {
+        assert!(tick_us >= 1, "tick interval must be at least 1µs");
+        self.tick_us = tick_us;
+        self
+    }
+
+    /// Set the signal-update interval (µs, `0` = static signal).
+    pub fn with_update_us(mut self, update_us: u64) -> Self {
+        self.update_us = update_us;
+        self
+    }
+
+    /// Set the estimate freshness window (µs, `0` = never expire).
+    pub fn with_expiry_us(mut self, expiry_us: u64) -> Self {
+        self.expiry_us = expiry_us;
+        self
+    }
+
+    /// Set the per-tick fanout.
+    pub fn with_fanout(mut self, fanout: usize) -> Self {
+        assert!(fanout >= 1, "fanout must be at least 1");
+        self.fanout = fanout;
+        self
+    }
+
+    /// Set the signal model.
+    pub fn with_signal(mut self, signal: SignalModel) -> Self {
+        self.signal = signal;
+        self
+    }
+}
+
+impl Default for AeConfig {
+    /// 4 ms ticks, 16 ms signal refresh, 80 ms freshness window, fanout 1 —
+    /// proportioned like the ciruela emulator's interval gossip (ticks a
+    /// few latency medians apart).
+    fn default() -> Self {
+        AeConfig {
+            tick_us: 4_000,
+            update_us: 16_000,
+            expiry_us: 80_000,
+            fanout: 1,
+            signal: SignalModel::default(),
+        }
+    }
+}
+
+/// The three-way reconciliation messages.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AeMsg {
+    /// Exchange opener: the initiator's digest.
+    SynReq {
+        /// Per-origin max stamps of the initiator.
+        digest: Digest,
+    },
+    /// The responder's repair: entries the initiator lacks, plus the
+    /// responder's digest so the initiator can repair it in turn.
+    SynAck {
+        /// Entries the initiator's digest was missing.
+        delta: Vec<(NodeId, Entry)>,
+        /// Per-origin max stamps of the responder.
+        digest: Digest,
+    },
+    /// The initiator's counter-repair (third leg; only sent when needed).
+    Delta {
+        /// Entries the responder's digest was missing.
+        delta: Vec<(NodeId, Entry)>,
+    },
+}
+
+/// Per-node protocol counters (diagnostics; not part of the wire state).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AeNodeStats {
+    /// Anti-entropy ticks fired.
+    pub ticks: u64,
+    /// Exchanges initiated (`SynReq`s sent).
+    pub syn_sent: u64,
+    /// Entries adopted from peers' deltas.
+    pub entries_adopted: u64,
+    /// Local signal re-stamps.
+    pub self_updates: u64,
+}
+
+/// One node of the anti-entropy layer. Implements [`Handler`]; host it with
+/// [`ae_driver`] (or any [`EventDriver`]).
+#[derive(Clone, Debug)]
+pub struct AeNode {
+    me: NodeId,
+    id_bits: u32,
+    value_bits: u32,
+    config: AeConfig,
+    store: Store,
+    /// Diagnostic counters.
+    pub stats: AeNodeStats,
+}
+
+impl AeNode {
+    /// A node with an empty store (what a fresh boot — or a rejoiner —
+    /// knows: nothing). `id_bits`/`value_bits` size the modelled wire
+    /// messages.
+    pub fn new(me: NodeId, n: usize, id_bits: u32, value_bits: u32, config: AeConfig) -> Self {
+        AeNode {
+            me,
+            id_bits,
+            value_bits,
+            config,
+            store: Store::new(n),
+            stats: AeNodeStats::default(),
+        }
+    }
+
+    /// The node's replicated store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// The node's current estimate of the network-wide signal mean: the
+    /// mean over fresh entries (see [`AeConfig::expiry_us`]). `None` before
+    /// the first stamp — which cannot happen after `on_start` ran.
+    pub fn estimate(&self, now_us: u64) -> Option<f64> {
+        self.store.mean_fresh(now_us, self.config.expiry_us)
+    }
+
+    /// Re-stamp this node's own entry with the signal's current value.
+    fn refresh_own(&mut self, now_us: u64) {
+        let entry = Entry {
+            stamp: now_us.max(1),
+            value: self.config.signal.value(self.me, now_us),
+        };
+        self.store.merge(self.me, entry);
+    }
+
+    fn digest_bits(&self, digest: &Digest) -> u32 {
+        // Tag byte + one (origin, stamp) pair per known origin; absent
+        // origins compress to nothing on a real wire.
+        let known = digest.iter().filter(|&&s| s > 0).count() as u32;
+        8 + known * (self.id_bits + STAMP_BITS)
+    }
+
+    fn delta_bits(&self, delta: &[(NodeId, Entry)]) -> u32 {
+        8 + delta.len() as u32 * (self.id_bits + STAMP_BITS + self.value_bits)
+    }
+}
+
+impl Handler for AeNode {
+    type Msg = AeMsg;
+
+    fn on_start(&mut self, mailbox: &mut dyn Mailbox<AeMsg>) {
+        self.refresh_own(mailbox.now_us());
+        mailbox.set_timer(stagger_us(self.me, self.config.tick_us, 0xA17), TIMER_TICK);
+        if self.config.update_us > 0 {
+            mailbox.set_timer(
+                stagger_us(self.me, self.config.update_us, 0x5D7),
+                TIMER_UPDATE,
+            );
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerId, mailbox: &mut dyn Mailbox<AeMsg>) {
+        match timer {
+            TIMER_TICK => {
+                self.stats.ticks += 1;
+                // One digest serves every fanout target: the store cannot
+                // change between the sends of one tick.
+                let digest = self.store.digest();
+                let bits = self.digest_bits(&digest);
+                for _ in 0..self.config.fanout {
+                    let peer = mailbox.sample_peer();
+                    mailbox.send(
+                        peer,
+                        Phase::AntiEntropy,
+                        bits,
+                        AeMsg::SynReq {
+                            digest: digest.clone(),
+                        },
+                    );
+                    self.stats.syn_sent += 1;
+                }
+                mailbox.set_timer(self.config.tick_us, TIMER_TICK);
+            }
+            TIMER_UPDATE => {
+                self.stats.self_updates += 1;
+                self.refresh_own(mailbox.now_us());
+                mailbox.set_timer(self.config.update_us, TIMER_UPDATE);
+            }
+            other => debug_assert!(false, "unknown timer {other}"),
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: AeMsg, mailbox: &mut dyn Mailbox<AeMsg>) {
+        match msg {
+            AeMsg::SynReq { digest } => {
+                let delta = self.store.delta_for(&digest);
+                let mine = self.store.digest();
+                let bits = self.delta_bits(&delta) + self.digest_bits(&mine);
+                mailbox.send(
+                    from,
+                    Phase::AntiEntropy,
+                    bits,
+                    AeMsg::SynAck {
+                        delta,
+                        digest: mine,
+                    },
+                );
+            }
+            AeMsg::SynAck { delta, digest } => {
+                self.stats.entries_adopted += self.store.merge_delta(&delta) as u64;
+                let back = self.store.delta_for(&digest);
+                if !back.is_empty() {
+                    let bits = self.delta_bits(&back);
+                    mailbox.send(from, Phase::AntiEntropy, bits, AeMsg::Delta { delta: back });
+                }
+            }
+            AeMsg::Delta { delta } => {
+                self.stats.entries_adopted += self.store.merge_delta(&delta) as u64;
+            }
+        }
+    }
+}
+
+/// Host the anti-entropy layer on an [`AsyncEngine`]: one [`AeNode`] per
+/// node, rejoiners restarting empty (the driver's incarnation contract).
+/// The driver's churn window is aligned with the anti-entropy tick, so the
+/// engine's per-round churn probabilities read as per-*tick* probabilities.
+pub fn ae_driver(engine_config: AsyncConfig, ae_config: AeConfig) -> EventDriver<AeNode> {
+    let n = engine_config.sim.n;
+    let id_bits = engine_config.sim.id_bits();
+    let value_bits = engine_config.sim.value_bits();
+    EventDriver::new(AsyncEngine::new(engine_config), move |me| {
+        AeNode::new(me, n, id_bits, value_bits, ae_config)
+    })
+    .with_window_us(ae_config.tick_us)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_net::{SimConfig, Transport};
+    use gossip_runtime::{ChurnModel, LatencyModel};
+
+    fn driver(n: usize, seed: u64, loss: f64, churn: ChurnModel) -> EventDriver<AeNode> {
+        let config = AsyncConfig::new(
+            SimConfig::new(n)
+                .with_seed(seed)
+                .with_loss_prob(loss)
+                .with_value_range(10_000.0),
+        )
+        .with_latency(LatencyModel::Uniform {
+            lo_us: 200,
+            hi_us: 1_200,
+        })
+        .with_churn(churn);
+        ae_driver(config, AeConfig::default())
+    }
+
+    fn max_error(driver: &EventDriver<AeNode>, at_us: u64) -> f64 {
+        let signal = driver.handlers()[0].config.signal;
+        let alive: Vec<NodeId> = driver.engine().alive_nodes().collect();
+        let truth = signal.true_mean(alive.iter().copied(), at_us).unwrap();
+        alive
+            .iter()
+            .map(|&v| {
+                let est = driver.handler(v).estimate(at_us);
+                est.map_or(f64::INFINITY, |e| ((e - truth) / truth).abs())
+            })
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn every_node_converges_to_the_true_mean() {
+        let mut d = driver(48, 3, 0.02, ChurnModel::none());
+        d.run_until(200_000);
+        let err = max_error(&d, 200_000);
+        assert!(err < 1e-9, "static signal fully reconciles, err = {err}");
+        // Everyone knows everyone.
+        for h in d.handlers() {
+            assert_eq!(h.store().known(), 48);
+        }
+    }
+
+    #[test]
+    fn estimates_track_a_drifting_signal() {
+        let n = 32;
+        let config = AsyncConfig::new(SimConfig::new(n).with_seed(5).with_value_range(10_000.0))
+            .with_latency(LatencyModel::Constant(500));
+        let ae = AeConfig::default()
+            .with_update_us(8_000)
+            .with_signal(SignalModel::uniform(0.0, 10_000.0).with_drift_per_s(5_000.0));
+        let mut d = ae_driver(config, ae);
+        d.run_until(400_000);
+        // Truth moved by 2000 units (0.4 s × 5000/s); estimates follow
+        // within the staleness of one update interval of drift.
+        let signal = ae.signal;
+        let truth = signal.true_mean((0..n).map(NodeId::new), 400_000).unwrap();
+        for (i, h) in d.handlers().iter().enumerate() {
+            let est = h.estimate(400_000).expect("estimate exists");
+            let err = ((est - truth) / truth).abs();
+            assert!(err < 0.02, "node {i}: est {est} vs truth {truth}");
+        }
+    }
+
+    #[test]
+    fn a_rejoiner_recovers_from_an_empty_store() {
+        // Churn on: nodes crash mid-run and rejoin with nothing, while the
+        // protocol keeps running. Recovery is judged against the *reference
+        // estimate* — the mean a fully-synced replica (the union of all
+        // alive stores) holds — because under ongoing churn the ground
+        // truth moves with membership faster than any protocol without a
+        // failure detector can track.
+        let mut d = driver(64, 11, 0.02, ChurnModel::per_round(0.01, 0.15));
+        d.run_until(270_000);
+        let now = d.now_us();
+        let rejoins = d.metrics().rejoin_log.len();
+        assert!(rejoins > 0, "churn produced rejoins");
+
+        // The union of all alive stores: what anti-entropy is converging to
+        // (the same reference RecoveryTracker and E17 measure against).
+        let reference = crate::recovery::reference_store(&d);
+        let expiry = AeConfig::default().expiry_us;
+        let truth = reference.mean_fresh(now, expiry).expect("reference known");
+
+        // Every alive node that has had ≥ 15 ticks since its last rejoin
+        // (or since boot) must sit within 1% of the reference.
+        let grace = 15 * AeConfig::default().tick_us;
+        let mut last_rejoin = vec![0u64; 64];
+        for &(t, node) in &d.metrics().rejoin_log {
+            last_rejoin[node.index()] = t;
+        }
+        let mut checked = 0;
+        for v in d.engine().alive_nodes() {
+            if now - last_rejoin[v.index()] < grace {
+                continue;
+            }
+            let est = d.handler(v).estimate(now).expect("settled node informed");
+            let err = ((est - truth) / truth).abs();
+            assert!(err < 0.01, "node {v:?}: est {est} vs reference {truth}");
+            checked += 1;
+        }
+        assert!(checked > 32, "most of the network is settled ({checked})");
+    }
+
+    #[test]
+    fn exchange_is_loss_tolerant() {
+        let mut d = driver(32, 7, 0.3, ChurnModel::none());
+        d.run_until(300_000);
+        let err = max_error(&d, 300_000);
+        assert!(
+            err < 1e-9,
+            "30% loss only slows reconciliation, err = {err}"
+        );
+    }
+
+    #[test]
+    fn message_sizes_scale_with_content() {
+        let n = 16;
+        let node = AeNode::new(NodeId::new(0), n, 4, 24, AeConfig::default());
+        let empty: Digest = vec![0; n];
+        assert_eq!(node.digest_bits(&empty), 8, "empty digest is just a tag");
+        let full: Digest = vec![1; n];
+        assert_eq!(node.digest_bits(&full), 8 + 16 * (4 + STAMP_BITS));
+        let delta = vec![(
+            NodeId::new(1),
+            Entry {
+                stamp: 1,
+                value: 2.0,
+            },
+        )];
+        assert_eq!(node.delta_bits(&delta), 8 + (4 + STAMP_BITS + 24));
+    }
+
+    #[test]
+    fn runs_reproduce_bit_for_bit() {
+        let run = |seed| {
+            let mut d = driver(40, seed, 0.05, ChurnModel::per_round(0.02, 0.2));
+            d.run_until(120_000);
+            let stores: Vec<Store> = d.handlers().iter().map(|h| h.store().clone()).collect();
+            (
+                stores,
+                d.metrics().order_hash,
+                d.engine().metrics().total_messages(),
+                Transport::alive_count(d.engine()),
+            )
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9).1, run(10).1);
+    }
+}

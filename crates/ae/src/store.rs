@@ -1,0 +1,256 @@
+//! The replicated state: one stamped entry per origin node, merged by
+//! per-key max-timestamp.
+//!
+//! [`Store`] is the CRDT at the bottom of the anti-entropy layer — a
+//! grow-only map from origin node to the freshest [`Entry`] heard from that
+//! origin. Merging keeps the entry with the larger `(stamp, value bits)`
+//! pair, which makes merge **idempotent**, **commutative** and
+//! **associative**: any two replicas that have exchanged the same set of
+//! entries in *any* order and multiplicity hold identical stores (the
+//! property the proptest suite pins). Versions never need coordination
+//! because each origin stamps only its own key, with its local virtual
+//! clock — strictly monotone across updates *and* across incarnations, so a
+//! rejoiner's fresh entries always supersede its pre-crash ones.
+
+use gossip_net::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Timestamps are carried in this many bits on the modelled wire.
+pub const STAMP_BITS: u32 = 32;
+
+/// One origin's value, stamped with the origin's virtual clock at update
+/// time. Stamps are always ≥ 1 (`0` is the digest code for "absent").
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Entry {
+    /// The origin's virtual time (µs) when it produced this value.
+    pub stamp: u64,
+    /// The value itself.
+    pub value: f64,
+}
+
+impl Entry {
+    /// Total order used by the merge: newer stamp wins; equal stamps fall
+    /// back to the value's bit pattern (an arbitrary but *deterministic*
+    /// tiebreak — two honest updates from one origin can never share a
+    /// stamp, but the merge must stay commutative for arbitrary input).
+    pub fn beats(&self, other: &Entry) -> bool {
+        (self.stamp, self.value.to_bits()) > (other.stamp, other.value.to_bits())
+    }
+}
+
+/// A version summary: for every origin, the stamp of the entry a replica
+/// holds (`0` = none). Two replicas compare digests to find exactly the
+/// entries one is missing.
+pub type Digest = Vec<u64>;
+
+/// Per-origin stamped values with max-timestamp merge. See the module docs.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Store {
+    slots: Vec<Option<Entry>>,
+}
+
+impl Store {
+    /// An empty store over `n` origins.
+    pub fn new(n: usize) -> Self {
+        Store {
+            slots: vec![None; n],
+        }
+    }
+
+    /// Number of origins (network size), known and unknown.
+    pub fn n(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of origins this replica holds an entry for.
+    pub fn known(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// The entry held for `origin`, if any.
+    pub fn get(&self, origin: NodeId) -> Option<&Entry> {
+        self.slots[origin.index()].as_ref()
+    }
+
+    /// Merge one entry; returns `true` iff it replaced what was held
+    /// (absent, or beaten per [`Entry::beats`]).
+    pub fn merge(&mut self, origin: NodeId, entry: Entry) -> bool {
+        debug_assert!(entry.stamp >= 1, "stamp 0 is the digest code for absent");
+        let slot = &mut self.slots[origin.index()];
+        match slot {
+            Some(held) if !entry.beats(held) => false,
+            _ => {
+                *slot = Some(entry);
+                true
+            }
+        }
+    }
+
+    /// Merge a batch of `(origin, entry)` pairs; returns how many were
+    /// adopted.
+    pub fn merge_delta(&mut self, delta: &[(NodeId, Entry)]) -> usize {
+        delta
+            .iter()
+            .filter(|&&(origin, entry)| self.merge(origin, entry))
+            .count()
+    }
+
+    /// Merge a whole replica into this one (the CRDT join): pointwise
+    /// per-origin max, one slot scan, no digest/delta detour. Used when
+    /// both stores are in hand — e.g. building the fully-synced reference
+    /// a recovery measurement compares against.
+    pub fn merge_from(&mut self, other: &Store) {
+        debug_assert_eq!(self.slots.len(), other.slots.len(), "arity mismatch");
+        for (mine, theirs) in self.slots.iter_mut().zip(&other.slots) {
+            if let Some(entry) = theirs {
+                match mine {
+                    Some(held) if !entry.beats(held) => {}
+                    _ => *mine = Some(*entry),
+                }
+            }
+        }
+    }
+
+    /// This replica's version summary.
+    pub fn digest(&self) -> Digest {
+        self.slots
+            .iter()
+            .map(|s| s.as_ref().map_or(0, |e| e.stamp))
+            .collect()
+    }
+
+    /// The entries this replica holds that are strictly newer than `their`
+    /// digest claims — exactly what the peer is missing. Ascending origin
+    /// order (deterministic).
+    pub fn delta_for(&self, their: &Digest) -> Vec<(NodeId, Entry)> {
+        debug_assert_eq!(their.len(), self.slots.len(), "digest arity mismatch");
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                let entry = slot.as_ref()?;
+                let theirs = their.get(i).copied().unwrap_or(0);
+                (entry.stamp > theirs).then_some((NodeId::new(i), *entry))
+            })
+            .collect()
+    }
+
+    /// Mean over the held entries no older than `expiry_us` at instant
+    /// `now_us` (`expiry_us == 0` disables expiry). `None` when nothing
+    /// qualifies. Expiry is what keeps a *continuous* aggregate honest
+    /// under churn: a crashed origin stops refreshing its entry, so its
+    /// stale value ages out of everyone's estimate instead of biasing it
+    /// forever.
+    pub fn mean_fresh(&self, now_us: u64, expiry_us: u64) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for entry in self.slots.iter().flatten() {
+            if expiry_us == 0 || now_us.saturating_sub(entry.stamp) <= expiry_us {
+                sum += entry.value;
+                count += 1;
+            }
+        }
+        (count > 0).then(|| sum / count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(stamp: u64, value: f64) -> Entry {
+        Entry { stamp, value }
+    }
+
+    #[test]
+    fn merge_keeps_the_newest_stamp() {
+        let mut s = Store::new(4);
+        assert!(s.merge(NodeId::new(1), e(5, 1.0)));
+        assert!(!s.merge(NodeId::new(1), e(4, 9.0)), "older stamp loses");
+        assert!(!s.merge(NodeId::new(1), e(5, 1.0)), "idempotent");
+        assert!(s.merge(NodeId::new(1), e(6, 2.0)));
+        assert_eq!(s.get(NodeId::new(1)), Some(&e(6, 2.0)));
+        assert_eq!(s.known(), 1);
+        assert_eq!(s.n(), 4);
+    }
+
+    #[test]
+    fn digest_and_delta_round_trip() {
+        let mut a = Store::new(3);
+        let mut b = Store::new(3);
+        a.merge(NodeId::new(0), e(10, 1.0));
+        a.merge(NodeId::new(2), e(3, 2.0));
+        b.merge(NodeId::new(2), e(7, 5.0));
+
+        // What b is missing relative to a: origin 0 entirely, origin 2 no
+        // (b's stamp 7 > a's 3).
+        let delta_ab = a.delta_for(&b.digest());
+        assert_eq!(delta_ab, vec![(NodeId::new(0), e(10, 1.0))]);
+        // And the reverse repair.
+        let delta_ba = b.delta_for(&a.digest());
+        assert_eq!(delta_ba, vec![(NodeId::new(2), e(7, 5.0))]);
+
+        assert_eq!(b.merge_delta(&delta_ab), 1);
+        assert_eq!(a.merge_delta(&delta_ba), 1);
+        assert_eq!(a, b, "push-pull exchange converges the replicas");
+        assert!(a.delta_for(&b.digest()).is_empty());
+    }
+
+    #[test]
+    fn merge_from_is_the_pointwise_join() {
+        let mut a = Store::new(4);
+        let mut b = Store::new(4);
+        a.merge(NodeId::new(0), e(5, 1.0));
+        a.merge(NodeId::new(1), e(2, 2.0));
+        b.merge(NodeId::new(1), e(7, 3.0));
+        b.merge(NodeId::new(3), e(4, 4.0));
+        // Join via merge_from must equal the entry-by-entry union.
+        let mut joined = a.clone();
+        joined.merge_from(&b);
+        let mut reference = a.clone();
+        for i in 0..4 {
+            if let Some(&entry) = b.get(NodeId::new(i)) {
+                reference.merge(NodeId::new(i), entry);
+            }
+        }
+        assert_eq!(joined, reference);
+        assert_eq!(joined.get(NodeId::new(1)), Some(&e(7, 3.0)));
+        // Idempotent and absorbs the smaller side.
+        let again = {
+            let mut j = joined.clone();
+            j.merge_from(&b);
+            j.merge_from(&a);
+            j
+        };
+        assert_eq!(again, joined);
+    }
+
+    #[test]
+    fn mean_fresh_expires_stale_entries() {
+        let mut s = Store::new(3);
+        s.merge(NodeId::new(0), e(1_000, 10.0));
+        s.merge(NodeId::new(1), e(9_000, 20.0));
+        assert_eq!(s.mean_fresh(10_000, 0), Some(15.0), "no expiry");
+        assert_eq!(
+            s.mean_fresh(10_000, 5_000),
+            Some(20.0),
+            "old entry aged out"
+        );
+        assert_eq!(s.mean_fresh(100_000, 5_000), None, "everything expired");
+        assert_eq!(Store::new(2).mean_fresh(0, 0), None, "empty store");
+    }
+
+    #[test]
+    fn equal_stamp_tiebreak_is_deterministic_and_symmetric() {
+        let x = e(5, 1.0);
+        let y = e(5, 2.0);
+        assert!(y.beats(&x) ^ x.beats(&y), "exactly one direction wins");
+        let mut a = Store::new(1);
+        let mut b = Store::new(1);
+        a.merge(NodeId::new(0), x);
+        a.merge(NodeId::new(0), y);
+        b.merge(NodeId::new(0), y);
+        b.merge(NodeId::new(0), x);
+        assert_eq!(a, b, "merge order cannot matter");
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for the digest/delta merge: the algebra that makes
+//! anti-entropy converge.
+//!
+//! The reconciliation of `gossip-ae` is correct only if merging entry sets
+//! is **idempotent** (re-delivering a delta changes nothing),
+//! **commutative/associative** (delivery order cannot matter) and
+//! **convergent** (replicas that saw the same entries — in any order, any
+//! multiplicity, any grouping into deltas — hold identical stores). Those
+//! are exactly the freedoms the network has: anti-entropy messages are
+//! duplicated across exchanges, reordered by per-link latency, and dropped
+//! by loss. The cases here generate arbitrary entry sets (including
+//! adversarial stamp collisions that honest origins never produce) and
+//! arbitrary delivery schedules.
+
+use gossip_ae::{Entry, Store};
+use gossip_net::NodeId;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+const N: usize = 8;
+
+/// Decode a flat `u64` into an `(origin, entry)` triple; squeezing the
+/// whole triple through one integer strategy keeps the shim's strategy
+/// surface simple while still covering stamp collisions (stamps in 1..=4)
+/// and duplicate origins densely. Collisions may carry *different values*
+/// — adversarial input no honest origin produces — which the merge's
+/// deterministic tiebreak must still keep order-free.
+fn decode(raw: u64) -> (NodeId, Entry) {
+    let origin = NodeId::new((raw % N as u64) as usize);
+    let stamp = 1 + (raw >> 3) % 4;
+    let value = ((raw >> 5) % 16) as f64 - 8.0;
+    (origin, Entry { stamp, value })
+}
+
+/// Decode under the *honest-origin* invariant: an origin stamps only its
+/// own key with strictly advancing local time, so a given `(origin, stamp)`
+/// names exactly one value, ever. Digest exchange relies on this — digests
+/// carry stamps only, so same-stamp-different-value forks (which only
+/// byzantine origins could create) are indistinguishable to it.
+fn decode_honest(raw: u64) -> (NodeId, Entry) {
+    let (origin, entry) = decode(raw);
+    let value = (origin.index() as f64) * 100.0 + entry.stamp as f64;
+    (origin, Entry { value, ..entry })
+}
+
+fn store_after<'a>(deliveries: impl IntoIterator<Item = &'a (NodeId, Entry)>) -> Store {
+    let mut store = Store::new(N);
+    for &(origin, entry) in deliveries {
+        store.merge(origin, entry);
+    }
+    store
+}
+
+proptest! {
+    #[test]
+    fn merge_is_idempotent(raws in proptest::collection::vec(0u64..4096, 0..40)) {
+        let deliveries: Vec<_> = raws.iter().copied().map(decode).collect();
+        let mut store = store_after(&deliveries);
+        let once = store.clone();
+        // Re-deliver everything (twice, even) — nothing may change.
+        prop_assert_eq!(store.merge_delta(&deliveries), 0);
+        prop_assert_eq!(store.merge_delta(&deliveries), 0);
+        prop_assert_eq!(&store, &once);
+    }
+
+    #[test]
+    fn merge_is_commutative_under_arbitrary_delivery_orders(
+        raws in proptest::collection::vec(0u64..4096, 0..40),
+        order_seed in 0u64..1_000_000,
+    ) {
+        let deliveries: Vec<_> = raws.iter().copied().map(decode).collect();
+        let reference = store_after(&deliveries);
+        let mut rng = SmallRng::seed_from_u64(order_seed);
+        for _ in 0..4 {
+            let mut shuffled = deliveries.clone();
+            shuffled.shuffle(&mut rng);
+            prop_assert_eq!(store_after(&shuffled), reference.clone());
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_over_delta_groupings(
+        raws in proptest::collection::vec(0u64..4096, 0..40),
+        split in 0usize..41,
+    ) {
+        let deliveries: Vec<_> = raws.iter().copied().map(decode).collect();
+        let split = split.min(deliveries.len());
+        // One batch vs two sub-batches vs entry-at-a-time.
+        let mut grouped = Store::new(N);
+        grouped.merge_delta(&deliveries);
+        let mut two = Store::new(N);
+        two.merge_delta(&deliveries[..split]);
+        two.merge_delta(&deliveries[split..]);
+        prop_assert_eq!(&grouped, &two);
+        prop_assert_eq!(&grouped, &store_after(&deliveries));
+    }
+
+    #[test]
+    fn replicas_converge_through_digest_exchange(
+        raws_a in proptest::collection::vec(0u64..4096, 0..30),
+        raws_b in proptest::collection::vec(0u64..4096, 0..30),
+    ) {
+        // Two replicas with arbitrary honest histories run one full
+        // push-pull exchange; they must end identical, and the result must
+        // equal the order-free union of both histories.
+        let mut a = store_after(&raws_a.iter().copied().map(decode_honest).collect::<Vec<_>>());
+        let mut b = store_after(&raws_b.iter().copied().map(decode_honest).collect::<Vec<_>>());
+        let union = store_after(
+            &raws_a.iter().chain(&raws_b).copied().map(decode_honest).collect::<Vec<_>>(),
+        );
+        let to_a = b.delta_for(&a.digest());
+        a.merge_delta(&to_a);
+        let to_b = a.delta_for(&b.digest());
+        b.merge_delta(&to_b);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &union);
+        // And the exchange is now quiescent in both directions.
+        prop_assert!(a.delta_for(&b.digest()).is_empty());
+        prop_assert!(b.delta_for(&a.digest()).is_empty());
+    }
+
+    #[test]
+    fn digest_never_undersells_the_store(
+        raws in proptest::collection::vec(0u64..4096, 0..40),
+    ) {
+        let store = store_after(&raws.iter().copied().map(decode).collect::<Vec<_>>());
+        let digest = store.digest();
+        prop_assert_eq!(digest.len(), N);
+        for (i, &claimed) in digest.iter().enumerate() {
+            match store.get(NodeId::new(i)) {
+                Some(entry) => prop_assert_eq!(claimed, entry.stamp),
+                None => prop_assert_eq!(claimed, 0),
+            }
+        }
+        // A replica's delta against its own digest is empty (no self-repair).
+        prop_assert!(store.delta_for(&digest).is_empty());
+    }
+}

@@ -117,7 +117,8 @@ impl ValueDistribution {
 
     /// An upper bound on the spread of generated values (the `s` of the
     /// model's `O(log n + log s)` message-size bound), used to configure
-    /// [`gossip_net::SimConfig::with_value_range`] consistently.
+    /// `gossip_net::SimConfig::with_value_range` consistently (no intra-doc
+    /// link: `gossip-net` is not a dependency of this crate).
     pub fn value_range(&self) -> f64 {
         match self {
             ValueDistribution::Constant(v) => v.abs().max(1.0),

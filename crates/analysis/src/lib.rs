@@ -27,4 +27,4 @@ pub use fit::{
     best_fit, fit_all, fit_model, normalized_ratios, ratio_spread, ComplexityModel, ModelFit,
 };
 pub use stats::{summarize_u64, Summary};
-pub use table::{fmt_float, Table};
+pub use table::{fmt_float, fmt_mean_or_dash, Table};

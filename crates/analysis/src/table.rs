@@ -115,6 +115,20 @@ impl Table {
     }
 }
 
+/// Mean of the finite samples, formatted with [`fmt_float`]; `"—"` when no
+/// finite sample remains. The cell renderer for metrics that use NaN as a
+/// no-data sentinel (no rejoins to measure, a column not computable for
+/// one protocol): dropping the sentinels must surface as "not measured",
+/// never collapse to a `0` a reader would take for a measured zero.
+pub fn fmt_mean_or_dash(samples: impl IntoIterator<Item = f64>) -> String {
+    let finite: Vec<f64> = samples.into_iter().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        "—".to_string()
+    } else {
+        fmt_float(crate::stats::Summary::of(&finite).mean)
+    }
+}
+
 /// Format a float compactly for table cells (3 significant decimals, or
 /// scientific notation for very small/large magnitudes).
 pub fn fmt_float(x: f64) -> String {

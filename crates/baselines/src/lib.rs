@@ -8,8 +8,8 @@
 //!   FOCS'03): time-optimal `O(log n)` but `O(n log n)` messages;
 //!   address-oblivious. Includes the routed sparse-network variant used as
 //!   the Chord baseline of Section 4.
-//! * [`push_max`] — uniform (address-oblivious) push / push-pull gossip for
-//!   Max, with coverage instrumentation.
+//! * [`mod@push_max`] — uniform (address-oblivious) push / push-pull gossip
+//!   for Max, with coverage instrumentation.
 //! * [`kashyap`] — **efficient gossip** (Kashyap et al., PODS'06):
 //!   `O(n log log n)` messages but `O(log n log log n)` time;
 //!   non-address-oblivious.

@@ -12,13 +12,14 @@
 //!   with message deliveries in virtual time.
 //!
 //! Reported per configuration: the informed fraction (alive nodes holding a
-//! finite estimate), the consensus among informed nodes (plurality share
-//! for Max, deviation from the median estimate for Ave/push-sum — see
-//! [`judge`]), rounds, messages, and the virtual completion time on the
+//! finite estimate), the stale fraction (alive-but-uninformed rejoiners —
+//! the gap E17's anti-entropy layer closes), the consensus among informed
+//! nodes (plurality share for Max, deviation from the median estimate for
+//! Ave/push-sum — see `judge`), rounds, messages, and the virtual completion time on the
 //! asynchronous backend. Trials fan out over all cores via [`SweepRunner`].
 
 use super::ExperimentOptions;
-use gossip_analysis::{fmt_float, Summary, Table};
+use gossip_analysis::{fmt_mean_or_dash, Table};
 use gossip_baselines::{push_sum_average, PushSumConfig};
 use gossip_drr::protocol::{drr_gossip_ave, drr_gossip_max, DrrGossipConfig, DrrGossipReport};
 use gossip_net::{Network, SimConfig, Transport};
@@ -64,6 +65,10 @@ fn sync_config(n: usize, seed: u64, crash_rate: f64) -> SimConfig {
 
 struct TrialOutcome {
     informed_fraction: f64,
+    /// Alive-but-uninformed share of the final population ([`NodeStatus::Stale`]
+    /// rejoiners the one-shot protocol left behind — what E17's anti-entropy
+    /// layer re-syncs).
+    stale_fraction: f64,
     consensus: f64,
     rounds: f64,
     messages: f64,
@@ -118,13 +123,18 @@ fn consensus_of(informed: &[f64], exact_protocol: bool) -> f64 {
     }
 }
 
-fn run_protocol<T: Transport>(net: &mut T, protocol: &str, vals: &[f64]) -> (f64, f64, f64, f64) {
-    let (informed, consensus, rounds, messages) = match protocol {
+fn run_protocol<T: Transport>(
+    net: &mut T,
+    protocol: &str,
+    vals: &[f64],
+) -> (f64, f64, f64, f64, f64) {
+    match protocol {
         "drr-max" => {
             let report = drr_gossip_max(net, vals, &DrrGossipConfig::paper());
             let (i, a) = judge(&report, true);
             (
                 i,
+                report.fraction_stale(),
                 a,
                 report.total_rounds as f64,
                 report.total_messages as f64,
@@ -135,6 +145,7 @@ fn run_protocol<T: Transport>(net: &mut T, protocol: &str, vals: &[f64]) -> (f64
             let (i, a) = judge(&report, false);
             (
                 i,
+                report.fraction_stale(),
                 a,
                 report.total_rounds as f64,
                 report.total_messages as f64,
@@ -151,16 +162,23 @@ fn run_protocol<T: Transport>(net: &mut T, protocol: &str, vals: &[f64]) -> (f64
             // Same denominator as judge(): the final alive population, so
             // the "informed frac" column is comparable across protocols.
             let alive = net.alive_count().max(1);
+            let informed_fraction = informed.len() as f64 / alive as f64;
             (
-                informed.len() as f64 / alive as f64,
+                informed_fraction,
+                // Stale frac is NOT comparable for push-sum: a rejoiner keeps
+                // its finite pre-crash sum/weight (frozen, wrong — but never
+                // NaN), so the liveness-based Stale classification cannot see
+                // it. Reported as NaN and rendered "—" (see the table note);
+                // the consensus column is where push-sum's frozen rejoiners
+                // show up.
+                f64::NAN,
                 consensus_of(&informed, false),
                 out.rounds as f64,
                 out.messages as f64,
             )
         }
         other => unreachable!("unknown protocol {other}"),
-    };
-    (informed, consensus, rounds, messages)
+    }
 }
 
 fn one_trial(backend: &str, protocol: &str, n: usize, seed: u64, crash_rate: f64) -> TrialOutcome {
@@ -168,10 +186,11 @@ fn one_trial(backend: &str, protocol: &str, n: usize, seed: u64, crash_rate: f64
     match backend {
         "sync" => {
             let mut net = Network::new(sync_config(n, seed, crash_rate));
-            let (informed_fraction, consensus, rounds, messages) =
+            let (informed_fraction, stale_fraction, consensus, rounds, messages) =
                 run_protocol(&mut net, protocol, &vals);
             TrialOutcome {
                 informed_fraction,
+                stale_fraction,
                 consensus,
                 rounds,
                 messages,
@@ -180,10 +199,11 @@ fn one_trial(backend: &str, protocol: &str, n: usize, seed: u64, crash_rate: f64
         }
         "async" => {
             let mut engine = AsyncEngine::new(async_config(n, seed, crash_rate));
-            let (informed_fraction, consensus, rounds, messages) =
+            let (informed_fraction, stale_fraction, consensus, rounds, messages) =
                 run_protocol(&mut engine, protocol, &vals);
             TrialOutcome {
                 informed_fraction,
+                stale_fraction,
                 consensus,
                 rounds,
                 messages,
@@ -207,6 +227,7 @@ pub fn run(options: &ExperimentOptions) -> Vec<Table> {
                 "backend",
                 "crash/round",
                 "informed frac",
+                "stale frac",
                 "consensus",
                 "rounds",
                 "messages",
@@ -220,28 +241,18 @@ pub fn run(options: &ExperimentOptions) -> Vec<Table> {
             });
             for (ci, &crash_rate) in grid.iter().enumerate() {
                 let cell = &outcomes[ci * seeds.len()..(ci + 1) * seeds.len()];
-                let mean = |f: &dyn Fn(&TrialOutcome) -> f64| {
-                    Summary::of(
-                        &cell
-                            .iter()
-                            .map(f)
-                            .filter(|v| v.is_finite())
-                            .collect::<Vec<_>>(),
-                    )
-                    .mean
-                };
+                // NaN is the not-computable sentinel (push-sum's stale frac,
+                // sync's virtual ms); fmt_mean_or_dash renders it "—".
+                let mean = |f: &dyn Fn(&TrialOutcome) -> f64| fmt_mean_or_dash(cell.iter().map(f));
                 table.push_row(vec![
                     backend.to_string(),
                     format!("{:.1}%", crash_rate * 100.0),
-                    fmt_float(mean(&|t| t.informed_fraction)),
-                    fmt_float(mean(&|t| t.consensus)),
-                    fmt_float(mean(&|t| t.rounds)),
-                    fmt_float(mean(&|t| t.messages)),
-                    if backend == "async" {
-                        fmt_float(mean(&|t| t.virtual_ms))
-                    } else {
-                        "—".to_string()
-                    },
+                    mean(&|t| t.informed_fraction),
+                    mean(&|t| t.stale_fraction),
+                    mean(&|t| t.consensus),
+                    mean(&|t| t.rounds),
+                    mean(&|t| t.messages),
+                    mean(&|t| t.virtual_ms),
                 ]);
             }
         }
@@ -252,6 +263,12 @@ pub fn run(options: &ExperimentOptions) -> Vec<Table> {
         table.push_note(
             "consensus: plurality share of bit-identical estimates for drr-max; share of \
              estimates within 1% of the median for drr-ave/push-sum (informed nodes only)",
+        );
+        table.push_note(
+            "stale frac: alive-but-uninformed share of the final population (rejoiners the \
+             one-shot run left behind) — the staleness E17's anti-entropy layer repairs; \
+             not computable for push-sum, whose rejoiners keep frozen (finite but wrong) \
+             pre-crash state that surfaces in the consensus column instead",
         );
         tables.push(table);
     }

@@ -5,6 +5,7 @@
 
 pub mod ablation_probe;
 pub mod ablation_sampling;
+pub mod anti_entropy;
 pub mod chord;
 pub mod churn_resilience;
 pub mod drr_phase;
@@ -138,6 +139,12 @@ pub const EXPERIMENTS: &[ExperimentEntry] = &[
         "latency_tail",
         "E16: virtual-time cost of latency tails under the round barrier (async engine)",
         latency_tail::run,
+    ),
+    (
+        "anti_entropy",
+        "E17: continuous anti-entropy aggregation — staleness & rejoin recovery vs churn \
+         (event-driven runtime)",
+        anti_entropy::run,
     ),
 ];
 

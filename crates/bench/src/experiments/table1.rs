@@ -2,11 +2,11 @@
 //!
 //! The paper's Table 1 compares the three protocols analytically:
 //!
-//! | algorithm             | time             | messages         | address-oblivious |
-//! |-----------------------|------------------|------------------|-------------------|
-//! | efficient gossip [8]  | O(log n log log n) | O(n log log n) | no |
-//! | uniform gossip [9]    | O(log n)         | O(n log n)       | yes |
-//! | DRR-gossip (paper)    | O(log n)         | O(n log log n)   | no |
+//! | algorithm              | time             | messages         | address-oblivious |
+//! |------------------------|------------------|------------------|-------------------|
+//! | efficient gossip \[8\] | O(log n log log n) | O(n log log n) | no |
+//! | uniform gossip \[9\]   | O(log n)         | O(n log n)       | yes |
+//! | DRR-gossip (paper)     | O(log n)         | O(n log log n)   | no |
 //!
 //! This experiment measures all three on the same simulator computing the
 //! same Average aggregate over the same workloads, reporting measured rounds

@@ -188,6 +188,7 @@ pub fn drr_gossip_sum(
         .collect();
 
     DrrGossipReport {
+        statuses: crate::protocol::statuses_of(&estimates, &alive),
         estimates,
         exact,
         alive,

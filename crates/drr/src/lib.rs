@@ -11,9 +11,9 @@
 //! 1. **[`drr`] — Distributed Random Ranking** (Algorithm 1): partition the
 //!    network into a forest of `O(n/log n)` disjoint trees of size
 //!    `O(log n)` each (Theorems 2–4).
-//! 2. **[`convergecast`] / [`broadcast`]** (Algorithms 2–3): aggregate each
-//!    tree's values at its root and tell every member its root's address.
-//! 3. **[`gossip_max`] / [`gossip_ave`] / [`data_spread`]** (Algorithms 4–6):
+//! 2. **[`mod@convergecast`] / [`broadcast`]** (Algorithms 2–3): aggregate
+//!    each tree's values at its root and tell every member its root's address.
+//! 3. **[`mod@gossip_max`] / [`mod@gossip_ave`] / [`mod@data_spread`]** (Algorithms 4–6):
 //!    the roots gossip among themselves — forwarding through non-roots when
 //!    needed (the non-address-oblivious step) — to agree on the global
 //!    aggregate (Theorems 5–7), which is finally broadcast back down the
@@ -45,6 +45,7 @@ pub mod drr;
 pub mod forest;
 pub mod gossip_ave;
 pub mod gossip_max;
+pub mod handler;
 pub mod local_drr;
 pub mod protocol;
 pub mod rank;
@@ -64,8 +65,11 @@ pub use drr::{run_drr, DrrConfig, DrrOutcome, ProbeBudget};
 pub use forest::{Forest, ForestError, ForestStats};
 pub use gossip_ave::{gossip_ave, GossipAveConfig, GossipAveOutcome};
 pub use gossip_max::{gossip_max, GossipMaxConfig, GossipMaxOutcome};
+pub use handler::{MaxGossipConfig, MaxGossipHandler, TIMER_PUSH};
 pub use local_drr::{local_drr_forest, run_local_drr, LocalDrrOutcome};
-pub use protocol::{drr_gossip_ave, drr_gossip_max, DrrGossipConfig, DrrGossipReport, PhaseCost};
+pub use protocol::{
+    drr_gossip_ave, drr_gossip_max, DrrGossipConfig, DrrGossipReport, NodeStatus, PhaseCost,
+};
 pub use rank::Ranks;
 pub use sparse::{
     sparse_drr_gossip_ave, sparse_drr_gossip_max, sparse_gossip_ave, sparse_gossip_max,

@@ -60,11 +60,41 @@ pub struct PhaseCost {
     pub messages: u64,
 }
 
+/// Why a node does — or does not — hold an estimate at the end of a
+/// one-shot run. Distinguishes the two very different kinds of "no data":
+/// a crashed node (expected: it is gone) and a **stale** node (alive at the
+/// end, typically churned away mid-run and rejoined, so the one-shot
+/// protocol never reached it — the gap the anti-entropy layer exists to
+/// close). Experiment tables report these explicitly instead of burying
+/// both as NaN.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeStatus {
+    /// Alive with a finite estimate.
+    Informed,
+    /// Alive but holding no estimate (rejoiner / unreached node).
+    Stale,
+    /// Dead at the end of the run.
+    Crashed,
+}
+
+impl NodeStatus {
+    /// Classify one node from its liveness and estimate.
+    pub fn of(alive: bool, estimate: f64) -> Self {
+        match (alive, estimate.is_finite()) {
+            (false, _) => NodeStatus::Crashed,
+            (true, true) => NodeStatus::Informed,
+            (true, false) => NodeStatus::Stale,
+        }
+    }
+}
+
 /// The result of a full DRR-gossip run.
 #[derive(Clone, Debug)]
 pub struct DrrGossipReport {
     /// Per-node estimate of the aggregate (NaN at crashed nodes).
     pub estimates: Vec<f64>,
+    /// Per-node classification of that estimate (see [`NodeStatus`]).
+    pub statuses: Vec<NodeStatus>,
     /// The exact aggregate over the alive nodes' values.
     pub exact: f64,
     /// Which nodes participated (were alive).
@@ -108,6 +138,30 @@ impl DrrGossipReport {
     pub fn phase(&self, name: &str) -> Option<&PhaseCost> {
         self.phases.iter().find(|p| p.name == name)
     }
+
+    /// Fraction of the final **alive** population that is [`NodeStatus::Stale`]
+    /// — alive but left without an estimate by the one-shot run (0 when
+    /// nobody is alive).
+    pub fn fraction_stale(&self) -> f64 {
+        let alive = self.statuses.iter().filter(|s| **s != NodeStatus::Crashed);
+        let (stale, total) = alive.fold((0usize, 0usize), |(stale, total), s| {
+            (stale + usize::from(*s == NodeStatus::Stale), total + 1)
+        });
+        if total == 0 {
+            0.0
+        } else {
+            stale as f64 / total as f64
+        }
+    }
+}
+
+/// Classify every node of a finished run (see [`NodeStatus`]).
+pub(crate) fn statuses_of(estimates: &[f64], alive: &[bool]) -> Vec<NodeStatus> {
+    estimates
+        .iter()
+        .zip(alive)
+        .map(|(&e, &a)| NodeStatus::of(a, e))
+        .collect()
 }
 
 struct PhaseTracker {
@@ -200,6 +254,7 @@ pub fn drr_gossip_max<T: Transport>(
         .collect();
 
     DrrGossipReport {
+        statuses: statuses_of(&estimates, &alive),
         estimates,
         exact,
         alive,
@@ -315,6 +370,7 @@ pub fn drr_gossip_ave<T: Transport>(
         .collect();
 
     DrrGossipReport {
+        statuses: statuses_of(&estimates, &alive),
         estimates,
         exact,
         alive,
@@ -470,9 +526,50 @@ mod tests {
         for v in net.nodes() {
             if !net.is_alive(v) {
                 assert!(report.estimates[v.index()].is_nan());
+                assert_eq!(report.statuses[v.index()], NodeStatus::Crashed);
             } else {
                 assert!(report.estimates[v.index()].is_finite());
+                assert_eq!(report.statuses[v.index()], NodeStatus::Informed);
             }
+        }
+        // No churn mid-run on the synchronous backend → nobody is stale.
+        assert_eq!(report.fraction_stale(), 0.0);
+    }
+
+    #[test]
+    fn statuses_separate_stale_rejoiners_from_crashes() {
+        // Unit-level: the classification itself.
+        assert_eq!(NodeStatus::of(false, f64::NAN), NodeStatus::Crashed);
+        assert_eq!(NodeStatus::of(false, 3.0), NodeStatus::Crashed);
+        assert_eq!(NodeStatus::of(true, 3.0), NodeStatus::Informed);
+        assert_eq!(NodeStatus::of(true, f64::NAN), NodeStatus::Stale);
+
+        // End-to-end: under ongoing churn, rejoiners finish alive but
+        // uninformed — the report must say `Stale`, not bury them as NaN.
+        use gossip_runtime::{AsyncConfig, AsyncEngine, ChurnModel, LatencyModel};
+        let n = 1500;
+        let values = uniform_values(n);
+        let config = AsyncConfig::new(SimConfig::new(n).with_seed(23).with_loss_prob(0.05))
+            .with_latency(LatencyModel::LogNormal {
+                median_us: 1_000.0,
+                sigma: 0.7,
+            })
+            .with_churn(ChurnModel::per_round(0.01, 0.15).with_min_alive(n / 2));
+        let mut engine = AsyncEngine::new(config);
+        let report = drr_gossip_max(&mut engine, &values, &DrrGossipConfig::paper());
+        let stale = report
+            .statuses
+            .iter()
+            .filter(|&&s| s == NodeStatus::Stale)
+            .count();
+        assert!(stale > 0, "churn strands some rejoiners without estimates");
+        assert!(report.fraction_stale() > 0.0);
+        for (i, &status) in report.statuses.iter().enumerate() {
+            assert_eq!(
+                status,
+                NodeStatus::of(report.alive[i], report.estimates[i]),
+                "status/estimate mismatch at node {i}"
+            );
         }
     }
 

@@ -266,10 +266,12 @@ fn finish_report(
     start_messages: u64,
 ) -> DrrGossipReport {
     let _ = values;
+    let alive: Vec<bool> = net.nodes().map(|v| net.is_alive(v)).collect();
     DrrGossipReport {
+        statuses: crate::protocol::statuses_of(&estimates, &alive),
         estimates,
         exact,
-        alive: net.nodes().map(|v| net.is_alive(v)).collect(),
+        alive,
         forest_stats: forest.stats(),
         phases,
         total_rounds: net.round() - start_rounds,

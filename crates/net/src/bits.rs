@@ -1,4 +1,5 @@
-//! Helpers for message-size accounting.
+//! Helpers for message-size accounting, plus the workspace's shared
+//! deterministic bit mixer.
 //!
 //! The model limits message length to `O(log n + log s)` bits, where `n` is
 //! the network size and `s` the range of values (Section 2 of the paper).
@@ -33,6 +34,20 @@ pub fn value_bits_for_range(range: f64) -> u32 {
     }
 }
 
+/// The SplitMix64 finalizer: a cheap, high-quality deterministic bit mixer.
+///
+/// The workspace's canonical tool for RNG-free per-node derived quantities —
+/// signal base levels, timer stagger offsets, per-link biases: stable for
+/// the whole run, independent of every RNG stream, and well spread. Feed it
+/// a node index (optionally pre-multiplied by an odd constant and salted)
+/// and use as many of the 64 output bits as needed.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,6 +72,20 @@ mod tests {
         assert_eq!(id_bits(2), 1);
         assert_eq!(id_bits(1000), 10);
         assert_eq!(id_bits(1 << 20), 20);
+    }
+
+    #[test]
+    fn mix64_spreads_and_is_pure() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            let m = mix64(i);
+            assert_eq!(m, mix64(i), "pure function");
+            seen.insert(m);
+        }
+        assert_eq!(seen.len(), 10_000, "no collisions on small inputs");
+        // Sequential inputs decorrelate: roughly half the bits flip.
+        let flips = (mix64(1) ^ mix64(2)).count_ones();
+        assert!((16..=48).contains(&flips), "{flips} bits flipped");
     }
 
     #[test]

@@ -44,14 +44,16 @@
 
 pub mod bits;
 pub mod config;
+pub mod mailbox;
 pub mod metrics;
 pub mod network;
 pub mod node;
 pub mod phase;
 pub mod transport;
 
-pub use bits::{ceil_log2, id_bits, value_bits_for_range};
+pub use bits::{ceil_log2, id_bits, mix64, value_bits_for_range};
 pub use config::SimConfig;
+pub use mailbox::{stagger_us, Handler, Mailbox, TimerId};
 pub use metrics::{Metrics, PhaseBreakdown};
 pub use network::Network;
 pub use node::NodeId;

@@ -1,0 +1,243 @@
+//! The event-driven protocol API: [`Handler`] callbacks over a [`Mailbox`].
+//!
+//! The round-barrier [`Transport`](crate::Transport) fits one-shot
+//! aggregation, where a coordinator drives every node through the same
+//! phase sequence. Continuous protocols — anti-entropy, interval-driven
+//! broadcast, failure detectors — have no global phases: each node reacts
+//! to *its own* timers and to messages as they arrive. `Handler` is that
+//! contract:
+//!
+//! * [`Handler::on_start`] — the node (re)joins the system and seeds its
+//!   state and timers. Called once at startup and again after every rejoin
+//!   (with **fresh** handler state: a rejoiner remembers nothing, which is
+//!   exactly the gap anti-entropy closes).
+//! * [`Handler::on_message`] — a message addressed to this node arrived.
+//! * [`Handler::on_timer`] — a timer this node set has fired.
+//!
+//! A handler never touches the network directly; everything it can do is on
+//! the [`Mailbox`] passed into each callback — send a message, arm a timer,
+//! sample a peer, read the clock. The host (the event-driven driver of
+//! `gossip-runtime`) implements `Mailbox` and guarantees deterministic
+//! callback ordering: events dispatch in (virtual time, schedule order),
+//! so a run is a pure function of the seed, exactly like the round-based
+//! backends.
+//!
+//! Messages are plain Rust values ([`Handler::Msg`]); the `bits` argument
+//! of [`Mailbox::send`] keeps the model's message-size accounting honest
+//! (the host records it in [`Metrics`](crate::Metrics) like every other
+//! transmission).
+
+use crate::node::NodeId;
+use crate::phase::Phase;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Names one of a handler's timers. Purely a label the handler chooses —
+/// the host routes the fired timer back via [`Handler::on_timer`] without
+/// interpreting it.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TimerId(pub u32);
+
+impl std::fmt::Display for TimerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "timer#{}", self.0)
+    }
+}
+
+/// What a [`Handler`] callback may do: the endpoint-local view of a
+/// transport. `M` is the protocol's message type.
+pub trait Mailbox<M> {
+    /// This node's own id.
+    fn me(&self) -> NodeId;
+
+    /// Number of nodes in the network (including crashed ones).
+    fn n(&self) -> usize;
+
+    /// Current virtual time (µs).
+    fn now_us(&self) -> u64;
+
+    /// Send `msg` to `to`. Fire-and-forget: delivery is asynchronous and
+    /// may fail (loss, churn, bandwidth, deadline) — the sender learns
+    /// nothing either way, exactly like a datagram. `bits` is the modelled
+    /// wire size, recorded in the metrics.
+    fn send(&mut self, to: NodeId, phase: Phase, bits: u32, msg: M);
+
+    /// Arm a timer to fire at `now + delay_us` (at least 1 µs from now).
+    /// Timers are one-shot; re-arm from [`Handler::on_timer`] for periodic
+    /// behaviour. Timers do not survive a crash: after a rejoin, timers set
+    /// by the previous incarnation never fire.
+    fn set_timer(&mut self, delay_us: u64, timer: TimerId);
+
+    /// The simulation RNG. All protocol randomness must come from here so
+    /// runs are reproducible from the seed.
+    fn rng_mut(&mut self) -> &mut SmallRng;
+
+    /// Sample a uniformly random peer different from `me` (returns `me`
+    /// only in a singleton network). The sampled node may be crashed —
+    /// sending to it is then wasted, which is part of the model.
+    fn sample_peer(&mut self) -> NodeId {
+        let n = self.n();
+        let me = self.me();
+        if n == 1 {
+            return me;
+        }
+        loop {
+            let candidate = NodeId::new(self.rng_mut().gen_range(0..n));
+            if candidate != me {
+                return candidate;
+            }
+        }
+    }
+}
+
+/// Deterministic per-node timer stagger in `[1, interval_us]`.
+///
+/// Interval protocols that start every node's timer at the same offset
+/// tick in lockstep — a thundering herd each interval. This spreads first
+/// firings across the interval with the shared [`mix64`](crate::mix64)
+/// mixer: stable per `(node, salt)`, RNG-free, and distinct per salt so a
+/// handler with several timers (tick vs update) can de-phase them
+/// independently.
+pub fn stagger_us(node: NodeId, interval_us: u64, salt: u64) -> u64 {
+    let z = crate::bits::mix64(
+        (node.index() as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(salt),
+    );
+    1 + z % interval_us.max(1)
+}
+
+/// An event-driven protocol: per-node state plus reactions to the three
+/// event kinds. See the module docs for the lifecycle.
+pub trait Handler {
+    /// The protocol's message type.
+    type Msg;
+
+    /// The node starts (first boot or rejoin after a crash). State is fresh;
+    /// seed it and arm the first timers.
+    fn on_start(&mut self, mailbox: &mut dyn Mailbox<Self::Msg>);
+
+    /// A message from `from` arrived at this node.
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, mailbox: &mut dyn Mailbox<Self::Msg>);
+
+    /// A timer armed by this incarnation of the node fired.
+    fn on_timer(&mut self, timer: TimerId, mailbox: &mut dyn Mailbox<Self::Msg>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::VecDeque;
+
+    /// A minimal single-process mailbox: instant loop-back delivery, timers
+    /// collected for inspection. Exercises the trait surface (including the
+    /// provided `sample_peer`) without the full discrete-event driver.
+    struct LoopbackMailbox {
+        me: NodeId,
+        n: usize,
+        now: u64,
+        rng: SmallRng,
+        outbox: VecDeque<(NodeId, u32)>,
+        timers: Vec<(u64, TimerId)>,
+    }
+
+    impl Mailbox<u32> for LoopbackMailbox {
+        fn me(&self) -> NodeId {
+            self.me
+        }
+        fn n(&self) -> usize {
+            self.n
+        }
+        fn now_us(&self) -> u64 {
+            self.now
+        }
+        fn send(&mut self, to: NodeId, _phase: Phase, _bits: u32, msg: u32) {
+            self.outbox.push_back((to, msg));
+        }
+        fn set_timer(&mut self, delay_us: u64, timer: TimerId) {
+            self.timers.push((self.now + delay_us.max(1), timer));
+        }
+        fn rng_mut(&mut self) -> &mut SmallRng {
+            &mut self.rng
+        }
+    }
+
+    struct CountingHandler {
+        received: Vec<u32>,
+        fires: u32,
+    }
+
+    impl Handler for CountingHandler {
+        type Msg = u32;
+        fn on_start(&mut self, mailbox: &mut dyn Mailbox<u32>) {
+            mailbox.set_timer(10, TimerId(0));
+        }
+        fn on_message(&mut self, _from: NodeId, msg: u32, mailbox: &mut dyn Mailbox<u32>) {
+            self.received.push(msg);
+            let peer = mailbox.sample_peer();
+            mailbox.send(peer, Phase::Other, 8, msg + 1);
+        }
+        fn on_timer(&mut self, _timer: TimerId, mailbox: &mut dyn Mailbox<u32>) {
+            self.fires += 1;
+            mailbox.set_timer(10, TimerId(0));
+        }
+    }
+
+    fn mailbox(n: usize) -> LoopbackMailbox {
+        LoopbackMailbox {
+            me: NodeId::new(0),
+            n,
+            now: 0,
+            rng: SmallRng::seed_from_u64(7),
+            outbox: VecDeque::new(),
+            timers: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn handler_lifecycle_round_trips_through_the_mailbox() {
+        let mut mb = mailbox(8);
+        let mut h = CountingHandler {
+            received: Vec::new(),
+            fires: 0,
+        };
+        h.on_start(&mut mb);
+        assert_eq!(mb.timers, vec![(10, TimerId(0))]);
+        h.on_timer(TimerId(0), &mut mb);
+        assert_eq!(h.fires, 1);
+        h.on_message(NodeId::new(3), 41, &mut mb);
+        assert_eq!(h.received, vec![41]);
+        let (to, msg) = mb.outbox.pop_front().expect("reply sent");
+        assert_eq!(msg, 42);
+        assert_ne!(to, mb.me(), "sample_peer never picks the node itself");
+    }
+
+    #[test]
+    fn sample_peer_excludes_me_and_covers_the_network() {
+        let mut mb = mailbox(5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let p = mb.sample_peer();
+            assert_ne!(p, mb.me());
+            seen.insert(p.index());
+        }
+        assert_eq!(seen.len(), 4, "all non-self peers reachable");
+    }
+
+    #[test]
+    fn singleton_network_samples_self() {
+        let mut mb = mailbox(1);
+        assert_eq!(mb.sample_peer(), NodeId::new(0));
+    }
+
+    #[test]
+    fn timer_ids_are_plain_labels() {
+        assert_eq!(TimerId::default(), TimerId(0));
+        assert!(TimerId(1) < TimerId(2));
+        assert_eq!(format!("{}", TimerId(3)), "timer#3");
+    }
+}

@@ -41,13 +41,15 @@ pub enum Phase {
     Rumor,
     /// Messages spent routing through an overlay (Chord lookups, random walks).
     Routing,
+    /// Continuous anti-entropy: digest exchange and delta repair (gossip-ae).
+    AntiEntropy,
     /// Anything else.
     Other,
 }
 
 impl Phase {
-    /// All phases, in a fixed order matching [`Phase::as_index`].
-    pub const ALL: [Phase; 17] = [
+    /// All phases, exactly once each, in the order of [`Phase::as_index`].
+    pub const ALL: [Phase; Phase::COUNT] = [
         Phase::DrrProbe,
         Phase::DrrReply,
         Phase::DrrConnect,
@@ -63,14 +65,12 @@ impl Phase {
         Phase::Dissemination,
         Phase::Rumor,
         Phase::Routing,
-        Phase::Other,
-        // Placeholder keeps ALL.len() == COUNT; `Other` repeated is harmless
-        // but we use a distinct trailing entry to catch arity drift in tests.
+        Phase::AntiEntropy,
         Phase::Other,
     ];
 
     /// Number of distinct phases.
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 17;
 
     /// Dense index for per-phase counters.
     #[inline]
@@ -91,7 +91,8 @@ impl Phase {
             Phase::Dissemination => 12,
             Phase::Rumor => 13,
             Phase::Routing => 14,
-            Phase::Other => 15,
+            Phase::AntiEntropy => 15,
+            Phase::Other => 16,
         }
     }
 
@@ -113,13 +114,14 @@ impl Phase {
             Phase::Dissemination => "dissemination",
             Phase::Rumor => "rumor",
             Phase::Routing => "routing",
+            Phase::AntiEntropy => "anti-entropy",
             Phase::Other => "other",
         }
     }
 
     /// Iterate over every distinct phase exactly once.
     pub fn iter() -> impl Iterator<Item = Phase> {
-        Phase::ALL.into_iter().take(Phase::COUNT)
+        Phase::ALL.into_iter()
     }
 }
 

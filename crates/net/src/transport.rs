@@ -134,8 +134,35 @@ pub trait Transport {
         }
     }
 
+    /// How much virtual time a retransmission has before its round closes,
+    /// if this backend enforces a delivery deadline. `None` (the default)
+    /// means deliveries never expire — retries are limited only by the
+    /// caller's budget.
+    fn deadline_budget_us(&self) -> Option<u64> {
+        None
+    }
+
+    /// The backend's round-trip-time estimate (µs): roughly how long one
+    /// timeout-plus-retransmission cycle costs. `None` (the default) means
+    /// the backend has no latency model to estimate from.
+    fn rtt_estimate_us(&self) -> Option<u64> {
+        None
+    }
+
     /// Send with up to `max_attempts` retransmissions until delivery. Each
     /// attempt is counted as a message. Returns `(attempts, delivered)`.
+    ///
+    /// RTT-aware under deadlines: when the backend reports both a
+    /// [`deadline_budget_us`](Transport::deadline_budget_us) and an
+    /// [`rtt_estimate_us`](Transport::rtt_estimate_us), the retry budget is
+    /// capped by the serialized-timeout model — attempt `k` ships after
+    /// `k − 1` timeout cycles (`(k−1)·rtt`) and needs one more one-way trip
+    /// (`rtt/2`) to arrive, so attempts past that point are not sent (the
+    /// blind-retransmission waste the `latency_tail` experiment measures as
+    /// `late_drops`). This default applies the model as an a-priori cap;
+    /// backends that track virtual time exactly (the asynchronous engine)
+    /// override this method and charge each retry's elapsed timeout cycles
+    /// against the deadline for real.
     fn send_with_retries(
         &mut self,
         from: NodeId,
@@ -144,6 +171,18 @@ pub trait Transport {
         bits: u32,
         max_attempts: u32,
     ) -> (u32, bool) {
+        let max_attempts = match (self.deadline_budget_us(), self.rtt_estimate_us()) {
+            (Some(deadline), Some(rtt)) if rtt > 0 => {
+                let one_way = rtt / 2;
+                let feasible = if deadline <= one_way {
+                    1 // even the first attempt is a gamble; send it and stop
+                } else {
+                    (1 + (deadline - one_way) / rtt).min(u64::from(u32::MAX)) as u32
+                };
+                max_attempts.min(feasible.max(1))
+            }
+            _ => max_attempts,
+        };
         let mut attempts = 0;
         while attempts < max_attempts {
             attempts += 1;
@@ -192,6 +231,9 @@ mod tests {
         metrics: Metrics,
         rng: SmallRng,
         dead: Vec<bool>,
+        deadline_us: Option<u64>,
+        rtt_us: Option<u64>,
+        deliver: bool,
     }
 
     impl Fake {
@@ -201,6 +243,9 @@ mod tests {
                 metrics: Metrics::new(),
                 rng: SmallRng::seed_from_u64(7),
                 dead: vec![false; n],
+                deadline_us: None,
+                rtt_us: None,
+                deliver: true,
             }
         }
     }
@@ -222,7 +267,7 @@ mod tests {
             &mut self.rng
         }
         fn send(&mut self, from: NodeId, to: NodeId, phase: Phase, bits: u32) -> bool {
-            let ok = self.is_alive(from) && self.is_alive(to);
+            let ok = self.deliver && self.is_alive(from) && self.is_alive(to);
             self.metrics.record_send(phase, bits, ok);
             ok
         }
@@ -231,6 +276,12 @@ mod tests {
         }
         fn reset_metrics(&mut self) {
             self.metrics.reset();
+        }
+        fn deadline_budget_us(&self) -> Option<u64> {
+            self.deadline_us
+        }
+        fn rtt_estimate_us(&self) -> Option<u64> {
+            self.rtt_us
         }
     }
 
@@ -256,6 +307,39 @@ mod tests {
     }
 
     #[test]
+    fn retries_stop_when_the_deadline_cannot_be_met() {
+        // rtt = 2000µs (one-way 1000µs), deadline 5000µs: attempt k arrives
+        // around (k−1)·2000 + 1000, so attempts 1..=3 are feasible, 4+ are
+        // guaranteed-late and must not be sent.
+        let mut fake = Fake::new(4);
+        fake.deliver = false;
+        fake.deadline_us = Some(5_000);
+        fake.rtt_us = Some(2_000);
+        let (attempts, ok) =
+            fake.send_with_retries(NodeId::new(0), NodeId::new(1), Phase::Other, 8, 64);
+        assert!(!ok);
+        assert_eq!(attempts, 3, "retry budget capped by the deadline");
+        assert_eq!(fake.metrics().total_messages(), 3);
+
+        // A deadline shorter than one trip still allows the single gamble.
+        fake.deadline_us = Some(500);
+        let (attempts, _) =
+            fake.send_with_retries(NodeId::new(0), NodeId::new(1), Phase::Other, 8, 64);
+        assert_eq!(attempts, 1);
+
+        // Without a deadline (or without an RTT model) the cap is inactive.
+        fake.deadline_us = None;
+        let (attempts, _) =
+            fake.send_with_retries(NodeId::new(0), NodeId::new(1), Phase::Other, 8, 5);
+        assert_eq!(attempts, 5);
+        fake.deadline_us = Some(5_000);
+        fake.rtt_us = None;
+        let (attempts, _) =
+            fake.send_with_retries(NodeId::new(0), NodeId::new(1), Phase::Other, 8, 5);
+        assert_eq!(attempts, 5);
+    }
+
+    #[test]
     fn network_and_trait_defaults_sample_identically() {
         // Network implements the hot sampling paths itself; the trait default
         // must stay bit-for-bit compatible so protocols behave the same on
@@ -267,6 +351,9 @@ mod tests {
             metrics: Metrics::new(),
             rng: net.rng_mut().clone(),
             dead: vec![false; 64],
+            deadline_us: None,
+            rtt_us: None,
+            deliver: true,
         };
         for _ in 0..200 {
             let a = net.sample_uniform();

@@ -1,0 +1,551 @@
+//! The event-driven host: dispatches [`Handler`] callbacks from the engine's
+//! event queue.
+//!
+//! [`EventDriver`] is the second execution model of this workspace. The
+//! round-barrier [`Transport`] path runs one-shot
+//! protocols whose control flow lives in a coordinator function; the driver
+//! instead gives every node a [`Handler`] — per-node state plus `on_start` /
+//! `on_message` / `on_timer` callbacks — and replays the discrete-event queue
+//! of an [`AsyncEngine`] *through* those callbacks. There is no barrier: the
+//! clock advances from event to event, a node's send schedules a `Deliver` at
+//! `now + latency`, a node's timer schedules a [`Event::Timer`], and both
+//! dispatch in strict `(timestamp, schedule order)` — so a run is a pure
+//! function of the seed, exactly like the round-based backends.
+//!
+//! What the driver adds on top of the raw engine:
+//!
+//! * **Churn windows.** Ongoing churn needs a cadence to draw crash/rejoin
+//!   coins at; the driver opens a window every
+//!   [`window_us`](EventDriver::with_window_us) (default: the latency
+//!   median, mirroring a round). Crashes land at a uniform instant *inside*
+//!   the window and interleave with deliveries and timers; rejoins take
+//!   effect at the boundary.
+//! * **Incarnations.** A rejoined node comes back with **fresh handler
+//!   state** (built by the factory) and a bumped epoch; `on_start` runs
+//!   again, and timers armed by the previous life are dropped as stale
+//!   instead of firing into the new one. This is precisely the
+//!   "churned-and-rejoined node knows nothing" gap that the anti-entropy
+//!   layer (`gossip-ae`) exists to close.
+//! * **Payload transport.** Handler messages are typed values; the driver
+//!   carries them next to the engine's `Deliver` events (keyed by the
+//!   event's schedule sequence), so the engine's loss/latency/churn/
+//!   bandwidth/deadline modelling applies to them unchanged and the
+//!   existing [`Metrics`](gossip_net::Metrics) accounting stays honest.
+//! * **An order fingerprint.** Every dispatched event folds into
+//!   [`DriverMetrics::order_hash`]; the determinism suite pins it across
+//!   re-runs and sweep thread counts.
+
+use crate::engine::AsyncEngine;
+use crate::event::Event;
+use gossip_net::{Handler, Mailbox, NodeId, Phase, TimerId, Transport};
+use rand::rngs::SmallRng;
+use std::collections::HashMap;
+
+/// Counters the driver maintains on top of the engine's metrics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DriverMetrics {
+    /// `on_start` invocations (initial boots + rejoin restarts).
+    pub handler_starts: u64,
+    /// Messages dispatched into `on_message`.
+    pub messages_dispatched: u64,
+    /// Timer events dispatched into `on_timer`.
+    pub timer_fires: u64,
+    /// Timers dropped because their incarnation was superseded by a rejoin
+    /// (or their node is currently dead).
+    pub stale_timer_skips: u64,
+    /// Delivered messages dropped at dispatch because the receiver crashed
+    /// in a later window than the delivery verdict was computed in.
+    pub dead_receiver_drops: u64,
+    /// Every rejoin restart, as `(boundary instant µs, node)` in dispatch
+    /// order. Experiments use this to measure re-sync recovery time.
+    pub rejoin_log: Vec<(u64, NodeId)>,
+    /// FNV-1a fingerprint of the dispatched event sequence (timestamps,
+    /// kinds, endpoints, schedule order). Two runs dispatching the same
+    /// events in the same order — the determinism contract — agree on it.
+    pub order_hash: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+impl DriverMetrics {
+    fn new() -> Self {
+        DriverMetrics {
+            order_hash: FNV_OFFSET,
+            ..DriverMetrics::default()
+        }
+    }
+
+    fn fold(&mut self, words: [u64; 4]) {
+        for w in words {
+            for byte in w.to_le_bytes() {
+                self.order_hash = (self.order_hash ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            }
+        }
+    }
+}
+
+/// The mailbox the driver hands to handler callbacks: a view of the engine
+/// scoped to one node and one incarnation.
+struct DriverMailbox<'a, M> {
+    me: NodeId,
+    epoch: u32,
+    engine: &'a mut AsyncEngine,
+    payloads: &'a mut HashMap<u64, M>,
+}
+
+impl<M> Mailbox<M> for DriverMailbox<'_, M> {
+    fn me(&self) -> NodeId {
+        self.me
+    }
+
+    fn n(&self) -> usize {
+        self.engine.config().n
+    }
+
+    fn now_us(&self) -> u64 {
+        self.engine.now_us()
+    }
+
+    fn send(&mut self, to: NodeId, phase: Phase, bits: u32, msg: M) {
+        // The engine decides loss/latency/churn/bandwidth/deadline and
+        // schedules the Deliver event; the payload rides alongside, keyed
+        // by that event's schedule sequence. Undelivered messages need no
+        // payload — their event pops and is discarded.
+        if self.engine.send(self.me, to, phase, bits) {
+            let seq = self
+                .engine
+                .last_seq()
+                .expect("send always schedules a Deliver event");
+            self.payloads.insert(seq, msg);
+        }
+    }
+
+    fn set_timer(&mut self, delay_us: u64, timer: TimerId) {
+        let at = self.engine.now_us().saturating_add(delay_us.max(1));
+        self.engine.push_event_at(
+            at,
+            Event::Timer {
+                node: self.me,
+                timer,
+                epoch: self.epoch,
+            },
+        );
+    }
+
+    fn rng_mut(&mut self) -> &mut SmallRng {
+        self.engine.rng_mut()
+    }
+}
+
+/// Hosts one [`Handler`] per node on an [`AsyncEngine`]. See the module docs.
+pub struct EventDriver<H: Handler> {
+    engine: AsyncEngine,
+    factory: Box<dyn Fn(NodeId) -> H + Send>,
+    handlers: Vec<H>,
+    /// Incarnation counter per node; bumped at every rejoin restart.
+    epochs: Vec<u32>,
+    /// In-flight handler message payloads, keyed by Deliver-event sequence.
+    payloads: HashMap<u64, H::Msg>,
+    window_us: u64,
+    next_window: u64,
+    started: bool,
+    metrics: DriverMetrics,
+}
+
+impl<H: Handler> EventDriver<H> {
+    /// Build a driver hosting `factory(node)` for every node of `engine`.
+    /// The factory runs once per node up front and again at every rejoin
+    /// (rejoiners restart with fresh state).
+    pub fn new(engine: AsyncEngine, factory: impl Fn(NodeId) -> H + Send + 'static) -> Self {
+        let n = engine.config().n;
+        let window_us = engine.async_config().latency.median_us().max(1);
+        let handlers = (0..n).map(|i| factory(NodeId::new(i))).collect();
+        EventDriver {
+            handlers,
+            factory: Box::new(factory),
+            epochs: vec![0; n],
+            payloads: HashMap::new(),
+            window_us,
+            next_window: window_us,
+            started: false,
+            metrics: DriverMetrics::new(),
+            engine,
+        }
+    }
+
+    /// Set the churn-window length (µs). Must be called before the first
+    /// [`run_until`](EventDriver::run_until).
+    pub fn with_window_us(mut self, window_us: u64) -> Self {
+        assert!(window_us >= 1, "window length must be at least 1µs");
+        assert!(!self.started, "window length is fixed once the run starts");
+        self.window_us = window_us;
+        self.next_window = window_us;
+        self
+    }
+
+    /// Current virtual time (µs).
+    pub fn now_us(&self) -> u64 {
+        self.engine.now_us()
+    }
+
+    /// The hosted engine (metrics, config, liveness).
+    pub fn engine(&self) -> &AsyncEngine {
+        &self.engine
+    }
+
+    /// Whether `node` is currently alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        Transport::is_alive(&self.engine, node)
+    }
+
+    /// Number of currently alive nodes.
+    pub fn alive_count(&self) -> usize {
+        Transport::alive_count(&self.engine)
+    }
+
+    /// The handler currently installed at `node` (the live incarnation).
+    pub fn handler(&self, node: NodeId) -> &H {
+        &self.handlers[node.index()]
+    }
+
+    /// All handlers, indexed by node id.
+    pub fn handlers(&self) -> &[H] {
+        &self.handlers
+    }
+
+    /// Driver-level counters and the dispatch-order fingerprint.
+    pub fn metrics(&self) -> &DriverMetrics {
+        &self.metrics
+    }
+
+    /// Tear down the driver, returning the engine (for metric inspection).
+    pub fn into_engine(self) -> AsyncEngine {
+        self.engine
+    }
+
+    /// Advance virtual time to `t_end_us`, dispatching every event due on
+    /// the way in deterministic `(timestamp, schedule order)`. The first
+    /// call boots all initially-alive handlers (`on_start` at t = 0, in
+    /// node-id order). Resumable: in-flight messages and armed timers
+    /// survive between calls.
+    pub fn run_until(&mut self, t_end_us: u64) {
+        if !self.started {
+            self.started = true;
+            for i in 0..self.engine.config().n {
+                let node = NodeId::new(i);
+                if Transport::is_alive(&self.engine, node) {
+                    self.start_node(node);
+                }
+            }
+        }
+        loop {
+            let next_event = self.engine.next_event_time();
+            match next_event {
+                // Events at the boundary instant dispatch before the
+                // boundary opens the next window — the same `<= horizon`
+                // rule the round drain uses.
+                Some(t) if t <= t_end_us && t <= self.next_window => {
+                    let scheduled = self
+                        .engine
+                        .pop_event_due(t)
+                        .expect("peeked event must pop at its own time");
+                    self.engine.set_now(scheduled.at_us);
+                    self.dispatch(scheduled.at_us, scheduled.seq, scheduled.event);
+                }
+                _ if self.next_window <= t_end_us => {
+                    let boundary = self.next_window;
+                    self.cross_boundary(boundary);
+                    self.next_window += self.window_us;
+                }
+                _ => break,
+            }
+        }
+        self.engine.set_now(t_end_us.max(self.engine.now_us()));
+    }
+
+    /// [`run_until`](EventDriver::run_until) relative to the current clock.
+    pub fn run_for(&mut self, delta_us: u64) {
+        self.run_until(self.now_us().saturating_add(delta_us));
+    }
+
+    fn start_node(&mut self, node: NodeId) {
+        self.metrics.handler_starts += 1;
+        let i = node.index();
+        let mut mailbox = DriverMailbox {
+            me: node,
+            epoch: self.epochs[i],
+            engine: &mut self.engine,
+            payloads: &mut self.payloads,
+        };
+        self.handlers[i].on_start(&mut mailbox);
+    }
+
+    fn cross_boundary(&mut self, boundary: u64) {
+        let mut rejoined = Vec::new();
+        self.engine
+            .begin_window(boundary, self.window_us, &mut rejoined);
+        for node in rejoined {
+            // A rejoiner is a fresh incarnation: new handler state, new
+            // epoch (stale timers die), and a boot callback at the boundary.
+            let i = node.index();
+            self.epochs[i] = self.epochs[i].wrapping_add(1);
+            self.handlers[i] = (self.factory)(node);
+            self.metrics.rejoin_log.push((boundary, node));
+            self.start_node(node);
+        }
+    }
+
+    fn dispatch(&mut self, at_us: u64, seq: u64, event: Event) {
+        match event {
+            Event::Deliver {
+                from,
+                to,
+                delivered,
+                latency_us,
+                ..
+            } => {
+                if !delivered {
+                    return;
+                }
+                self.engine.record_delivered_latency(latency_us);
+                let payload = self.payloads.remove(&seq);
+                if !Transport::is_alive(&self.engine, to) {
+                    // The delivery verdict predates a crash drawn in a later
+                    // window (only possible when latency spans windows).
+                    self.metrics.dead_receiver_drops += 1;
+                    return;
+                }
+                let Some(msg) = payload else {
+                    // A raw Transport::send (no payload) slipped through —
+                    // nothing to hand the handler.
+                    return;
+                };
+                self.metrics.messages_dispatched += 1;
+                self.metrics.fold([
+                    at_us,
+                    seq,
+                    1,
+                    (from.index() as u64) << 32 | to.index() as u64,
+                ]);
+                let i = to.index();
+                let mut mailbox = DriverMailbox {
+                    me: to,
+                    epoch: self.epochs[i],
+                    engine: &mut self.engine,
+                    payloads: &mut self.payloads,
+                };
+                self.handlers[i].on_message(from, msg, &mut mailbox);
+            }
+            Event::Crash { node } => {
+                self.metrics.fold([at_us, seq, 2, node.index() as u64]);
+                self.engine.apply_crash(node);
+            }
+            Event::Timer { node, timer, epoch } => {
+                let i = node.index();
+                if !Transport::is_alive(&self.engine, node) || self.epochs[i] != epoch {
+                    self.metrics.stale_timer_skips += 1;
+                    return;
+                }
+                self.metrics.timer_fires += 1;
+                self.metrics.fold([
+                    at_us,
+                    seq,
+                    3,
+                    (node.index() as u64) << 32 | u64::from(timer.0),
+                ]);
+                let mut mailbox = DriverMailbox {
+                    me: node,
+                    epoch,
+                    engine: &mut self.engine,
+                    payloads: &mut self.payloads,
+                };
+                self.handlers[i].on_timer(timer, &mut mailbox);
+            }
+        }
+    }
+}
+
+impl<H: Handler + std::fmt::Debug> std::fmt::Debug for EventDriver<H> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventDriver")
+            .field("now_us", &self.now_us())
+            .field("window_us", &self.window_us)
+            .field("started", &self.started)
+            .field("metrics", &self.metrics)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::ChurnModel;
+    use crate::engine::AsyncConfig;
+    use crate::latency::LatencyModel;
+    use gossip_net::SimConfig;
+
+    /// Interval-driven rumor flooding (the ciruela emulator shape): every
+    /// tick each node pushes its known-token set to one random peer.
+    #[derive(Debug, Clone)]
+    struct Rumor {
+        me: NodeId,
+        tokens: Vec<u32>,
+        tick_us: u64,
+    }
+
+    const TICK: TimerId = TimerId(7);
+
+    impl Handler for Rumor {
+        type Msg = Vec<u32>;
+
+        fn on_start(&mut self, mailbox: &mut dyn Mailbox<Vec<u32>>) {
+            if self.me.index() == 0 {
+                self.tokens.push(42);
+            }
+            // Deterministic per-node stagger avoids a thundering herd.
+            let offset = 1 + (self.me.index() as u64 * 97) % self.tick_us;
+            mailbox.set_timer(offset, TICK);
+        }
+
+        fn on_message(
+            &mut self,
+            _from: NodeId,
+            msg: Vec<u32>,
+            _mailbox: &mut dyn Mailbox<Vec<u32>>,
+        ) {
+            for t in msg {
+                if !self.tokens.contains(&t) {
+                    self.tokens.push(t);
+                }
+            }
+        }
+
+        fn on_timer(&mut self, timer: TimerId, mailbox: &mut dyn Mailbox<Vec<u32>>) {
+            assert_eq!(timer, TICK);
+            if !self.tokens.is_empty() {
+                let peer = mailbox.sample_peer();
+                let bits = 32 * self.tokens.len() as u32;
+                mailbox.send(peer, Phase::Other, bits, self.tokens.clone());
+            }
+            mailbox.set_timer(self.tick_us, TICK);
+        }
+    }
+
+    fn rumor_driver(n: usize, seed: u64, churn: ChurnModel) -> EventDriver<Rumor> {
+        let config = AsyncConfig::new(SimConfig::new(n).with_seed(seed))
+            .with_latency(LatencyModel::Uniform {
+                lo_us: 200,
+                hi_us: 1_500,
+            })
+            .with_churn(churn);
+        EventDriver::new(AsyncEngine::new(config), move |me| Rumor {
+            me,
+            tokens: Vec::new(),
+            tick_us: 1_000,
+        })
+    }
+
+    #[test]
+    fn interval_gossip_floods_every_node() {
+        let mut driver = rumor_driver(64, 11, ChurnModel::none());
+        driver.run_until(40_000);
+        let informed = driver
+            .handlers()
+            .iter()
+            .filter(|h| h.tokens.contains(&42))
+            .count();
+        assert_eq!(informed, 64, "40 ticks flood a 64-node network");
+        assert!(driver.metrics().timer_fires > 64 * 20);
+        assert!(driver.metrics().messages_dispatched > 0);
+        assert_eq!(driver.metrics().handler_starts, 64);
+        // Virtual time landed exactly where we asked.
+        assert_eq!(driver.now_us(), 40_000);
+        // Protocol traffic is visible in the ordinary metrics.
+        assert!(driver.engine().metrics().total_messages() > 0);
+    }
+
+    #[test]
+    fn runs_are_bit_reproducible() {
+        let fingerprint = |seed| {
+            let mut driver = rumor_driver(96, seed, ChurnModel::per_round(0.02, 0.1));
+            driver.run_until(60_000);
+            (
+                driver.metrics().clone(),
+                driver.engine().metrics().total_messages(),
+                driver
+                    .handlers()
+                    .iter()
+                    .map(|h| h.tokens.len())
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(fingerprint(3), fingerprint(3));
+        let (a, b) = (fingerprint(3), fingerprint(4));
+        assert_ne!(a.0.order_hash, b.0.order_hash, "seed changes the schedule");
+    }
+
+    #[test]
+    fn resumable_runs_match_one_shot_runs() {
+        let mut one_shot = rumor_driver(48, 9, ChurnModel::per_round(0.01, 0.2));
+        one_shot.run_until(50_000);
+        let mut stepped = rumor_driver(48, 9, ChurnModel::per_round(0.01, 0.2));
+        for k in 1..=10 {
+            stepped.run_until(k * 5_000);
+        }
+        assert_eq!(one_shot.metrics(), stepped.metrics());
+        assert_eq!(
+            one_shot.engine().metrics().total_messages(),
+            stepped.engine().metrics().total_messages()
+        );
+    }
+
+    #[test]
+    fn rejoiners_restart_with_fresh_state_and_stale_timers_die() {
+        let mut driver = rumor_driver(128, 21, ChurnModel::per_round(0.05, 0.3));
+        driver.run_until(100_000);
+        let rejoins = driver.metrics().rejoin_log.len();
+        assert!(rejoins > 0, "churn produced rejoins");
+        assert_eq!(
+            driver.metrics().handler_starts,
+            128 + rejoins as u64,
+            "every rejoin reboots exactly one handler"
+        );
+        assert!(
+            driver.metrics().stale_timer_skips > 0,
+            "pre-crash timers must not fire into the new incarnation"
+        );
+        // Rejoin instants sit on window boundaries.
+        for &(t, _) in &driver.metrics().rejoin_log {
+            assert_eq!(t % 850, 0, "rejoins happen at churn-window boundaries");
+        }
+    }
+
+    #[test]
+    fn an_engine_taken_back_from_a_driver_still_runs_rounds() {
+        // into_engine() hands the engine back with handler timers still
+        // armed; the round barrier must let them lapse, not panic.
+        let mut driver = rumor_driver(16, 13, ChurnModel::none());
+        driver.run_until(10_000);
+        let mut engine = driver.into_engine();
+        for _ in 0..30 {
+            engine.send(NodeId::new(0), NodeId::new(1), Phase::Other, 8);
+            engine.advance_round();
+        }
+        assert!(engine.round() > 0);
+    }
+
+    #[test]
+    fn window_length_is_configurable_and_counts_rounds() {
+        let config = AsyncConfig::new(SimConfig::new(8).with_seed(5));
+        let mut driver = EventDriver::new(AsyncEngine::new(config), |me| Rumor {
+            me,
+            tokens: Vec::new(),
+            tick_us: 1_000,
+        })
+        .with_window_us(2_000);
+        driver.run_until(20_000);
+        // Boundaries at 2k, 4k, ..., 20k → 10 windows counted as rounds.
+        assert_eq!(driver.engine().metrics().rounds(), 10);
+    }
+}

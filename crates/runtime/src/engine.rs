@@ -214,7 +214,15 @@ impl AsyncEngine {
 
     /// Draw next-window churn. Called at every round barrier; draws nothing
     /// when churn is disabled (RNG-stream compatibility with `Network`).
-    fn draw_churn(&mut self, window_start: u64, window_len: u64) {
+    /// When `rejoined` is provided, the ids of nodes that rejoined at this
+    /// boundary are appended to it in ascending order (the event-driven
+    /// driver restarts their handlers).
+    fn draw_churn_into(
+        &mut self,
+        window_start: u64,
+        window_len: u64,
+        mut rejoined: Option<&mut Vec<NodeId>>,
+    ) {
         if !self.config.churn.is_enabled() {
             return;
         }
@@ -242,7 +250,29 @@ impl AsyncEngine {
                 self.alive[i] = true;
                 self.alive_count += 1;
                 self.async_metrics.churn_rejoins += 1;
+                if let Some(out) = rejoined.as_deref_mut() {
+                    out.push(node);
+                }
             }
+        }
+    }
+
+    fn draw_churn(&mut self, window_start: u64, window_len: u64) {
+        self.draw_churn_into(window_start, window_len, None);
+    }
+
+    /// Apply one crash event: flip the node to dead and settle the
+    /// scheduled-crash bookkeeping. Shared by the round drain and the
+    /// event-driven driver so both observe identical semantics.
+    pub(crate) fn apply_crash(&mut self, node: NodeId) {
+        let i = node.index();
+        if self.alive[i] {
+            self.alive[i] = false;
+            self.alive_count -= 1;
+            self.async_metrics.churn_crashes += 1;
+        }
+        if self.crash_at[i].take().is_some() {
+            self.pending_crashes -= 1;
         }
     }
 
@@ -253,6 +283,144 @@ impl AsyncEngine {
             RoundPolicy::FixedDeadline(d) => d.max(1),
             RoundPolicy::Stretch => self.config.latency.median_us().max(1),
         }
+    }
+
+    // ---- Event-driven driver hooks (crate-internal) ------------------------
+    //
+    // The `EventDriver` replaces the round barrier with per-event time
+    // advancement: it pops events one at a time, moves the clock to each
+    // event's instant, and dispatches handler callbacks. These hooks expose
+    // exactly the internals that requires, nothing more — protocols never
+    // see them.
+
+    /// Move the clock to `t` (monotone). Subsequent sends schedule their
+    /// arrival relative to `t`.
+    pub(crate) fn set_now(&mut self, t: u64) {
+        debug_assert!(t >= self.window_start, "virtual time must be monotone");
+        self.window_start = self.window_start.max(t);
+        self.round_horizon = self.round_horizon.max(t);
+    }
+
+    /// Earliest pending event time, if any.
+    pub(crate) fn next_event_time(&self) -> Option<u64> {
+        self.queue.next_time()
+    }
+
+    /// Pop the earliest event due at or before `horizon_us`.
+    pub(crate) fn pop_event_due(
+        &mut self,
+        horizon_us: u64,
+    ) -> Option<crate::event::ScheduledEvent> {
+        self.queue.pop_due(horizon_us)
+    }
+
+    /// Sequence number of the most recently scheduled event.
+    pub(crate) fn last_seq(&self) -> Option<u64> {
+        self.queue.last_seq()
+    }
+
+    /// Schedule an arbitrary event (the driver uses this for timers).
+    pub(crate) fn push_event_at(&mut self, at_us: u64, event: Event) {
+        self.queue.push(at_us, event);
+    }
+
+    /// Record the latency of a delivered message (the driver performs the
+    /// delivery bookkeeping the round drain would otherwise do).
+    pub(crate) fn record_delivered_latency(&mut self, latency_us: u64) {
+        self.async_metrics.latency.record(latency_us);
+    }
+
+    /// Open a churn window at `start`: advance the round/metrics barrier,
+    /// reset per-window bandwidth budgets and draw this window's churn.
+    /// Rejoined node ids are appended to `rejoined` in ascending order.
+    pub(crate) fn begin_window(&mut self, start: u64, len: u64, rejoined: &mut Vec<NodeId>) {
+        self.set_now(start);
+        self.bits_this_round.iter_mut().for_each(|b| *b = 0);
+        self.metrics.advance_round();
+        self.draw_churn_into(start, len, Some(rejoined));
+    }
+
+    /// One transmission attempt, `elapsed_us` of virtual time after the
+    /// send instant (`0` for a first attempt; retransmissions carry the
+    /// timeout cycles already burned, see
+    /// [`Transport::send_with_retries`]). The attempt's arrival includes
+    /// the offset, and under [`RoundPolicy::FixedDeadline`] the offset
+    /// counts against the delivery budget.
+    fn send_attempt(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        phase: Phase,
+        bits: u32,
+        elapsed_us: u64,
+    ) -> bool {
+        debug_assert!(from.index() < self.config.sim.n, "sender out of range");
+        debug_assert!(to.index() < self.config.sim.n, "receiver out of range");
+
+        // 1. Endpoint liveness and the loss draw, in exactly the order the
+        //    synchronous Network performs them (RNG-stream compatibility).
+        let mut delivered = self.alive[from.index()] && self.alive[to.index()];
+        if delivered
+            && self.config.sim.loss_prob > 0.0
+            && self.rng.gen_bool(self.config.sim.loss_prob)
+        {
+            delivered = false;
+        }
+
+        // 2. Latency: sampled per message, scaled by the deterministic
+        //    per-link bias. Constant latency with zero spread draws nothing.
+        let mut latency_us = self.config.latency.sample(&mut self.rng);
+        if self.config.link_spread > 0.0 {
+            let bias =
+                LatencyModel::link_bias(self.config.sim.seed, from, to, self.config.link_spread);
+            latency_us = ((latency_us as f64) * bias).round().max(1.0) as u64;
+        }
+        let arrival = self.window_start + elapsed_us + latency_us;
+
+        // 3. Bandwidth budget of the sender for this round.
+        if delivered {
+            if let Some(budget) = self.config.bandwidth_bits_per_round {
+                let used = self.bits_this_round[from.index()];
+                if used + u64::from(bits) > budget {
+                    delivered = false;
+                    self.async_metrics.bandwidth_drops += 1;
+                }
+            }
+        }
+        self.bits_this_round[from.index()] += u64::from(bits);
+
+        // 4. Mid-window churn: the receiver must still be alive when the
+        //    message arrives (sender calls happen at the window start, so a
+        //    sender crashing later this round still gets its call out).
+        if delivered && !self.alive_at(to, arrival) {
+            delivered = false;
+        }
+
+        // 5. Fixed deadlines drop messages that outlive their round — the
+        //    elapsed retransmission offset counts against the budget.
+        if delivered {
+            if let RoundPolicy::FixedDeadline(deadline) = self.config.round_policy {
+                if elapsed_us + latency_us > deadline {
+                    delivered = false;
+                    self.async_metrics.late_drops += 1;
+                }
+            }
+        }
+
+        self.round_horizon = self.round_horizon.max(arrival);
+        self.queue.push(
+            arrival,
+            Event::Deliver {
+                from,
+                to,
+                phase,
+                bits,
+                delivered,
+                latency_us,
+            },
+        );
+        self.metrics.record_send(phase, bits, delivered);
+        delivered
     }
 }
 
@@ -278,72 +446,58 @@ impl Transport for AsyncEngine {
     }
 
     fn send(&mut self, from: NodeId, to: NodeId, phase: Phase, bits: u32) -> bool {
-        debug_assert!(from.index() < self.config.sim.n, "sender out of range");
-        debug_assert!(to.index() < self.config.sim.n, "receiver out of range");
+        self.send_attempt(from, to, phase, bits, 0)
+    }
 
-        // 1. Endpoint liveness and the loss draw, in exactly the order the
-        //    synchronous Network performs them (RNG-stream compatibility).
-        let mut delivered = self.alive[from.index()] && self.alive[to.index()];
-        if delivered
-            && self.config.sim.loss_prob > 0.0
-            && self.rng.gen_bool(self.config.sim.loss_prob)
-        {
-            delivered = false;
-        }
-
-        // 2. Latency: sampled per message, scaled by the deterministic
-        //    per-link bias. Constant latency with zero spread draws nothing.
-        let mut latency_us = self.config.latency.sample(&mut self.rng);
-        if self.config.link_spread > 0.0 {
-            let bias =
-                LatencyModel::link_bias(self.config.sim.seed, from, to, self.config.link_spread);
-            latency_us = ((latency_us as f64) * bias).round().max(1.0) as u64;
-        }
-        let arrival = self.window_start + latency_us;
-
-        // 3. Bandwidth budget of the sender for this round.
-        if delivered {
-            if let Some(budget) = self.config.bandwidth_bits_per_round {
-                let used = self.bits_this_round[from.index()];
-                if used + u64::from(bits) > budget {
-                    delivered = false;
-                    self.async_metrics.bandwidth_drops += 1;
+    /// Under [`RoundPolicy::FixedDeadline`], retransmissions happen in
+    /// *time*: attempt `k` ships only after `k − 1` timeout cycles of one
+    /// RTT each, so its arrival carries that elapsed offset and the offset
+    /// eats into the delivery budget. This is what makes the engine's retry
+    /// cutoff exact: it stops precisely when even a zero-latency
+    /// retransmission could no longer arrive in time, rather than assuming
+    /// every attempt sees the full deadline. Under [`RoundPolicy::Stretch`]
+    /// the round barrier is the idealization that a round's sends are
+    /// simultaneous — retries stay independent same-instant draws with no
+    /// time limit, exactly as on the synchronous `Network`.
+    fn send_with_retries(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        phase: Phase,
+        bits: u32,
+        max_attempts: u32,
+    ) -> (u32, bool) {
+        // The same deadline/RTT figures the backend advertises to the
+        // trait-level a-priori cap — one source of truth for both paths.
+        let deadline = self.deadline_budget_us();
+        let rtt = self
+            .rtt_estimate_us()
+            .expect("the engine always has a latency model");
+        let mut attempts = 0;
+        while attempts < max_attempts {
+            // Timeout cycles burned before this attempt goes out (charged
+            // only when a deadline makes time a finite budget).
+            let elapsed = match deadline {
+                Some(d) => {
+                    let elapsed = u64::from(attempts) * rtt;
+                    if attempts > 0 && elapsed >= d {
+                        // Guaranteed late: elapsed alone exhausts the deadline.
+                        break;
+                    }
+                    elapsed
                 }
+                None => 0,
+            };
+            attempts += 1;
+            if self.send_attempt(from, to, phase, bits, elapsed) {
+                return (attempts, true);
+            }
+            // A dead endpoint will never succeed; avoid burning the budget.
+            if !self.alive[from.index()] || !self.alive[to.index()] {
+                return (attempts, false);
             }
         }
-        self.bits_this_round[from.index()] += u64::from(bits);
-
-        // 4. Mid-window churn: the receiver must still be alive when the
-        //    message arrives (sender calls happen at the window start, so a
-        //    sender crashing later this round still gets its call out).
-        if delivered && !self.alive_at(to, arrival) {
-            delivered = false;
-        }
-
-        // 5. Fixed deadlines drop messages that outlive their round.
-        if delivered {
-            if let RoundPolicy::FixedDeadline(deadline) = self.config.round_policy {
-                if latency_us > deadline {
-                    delivered = false;
-                    self.async_metrics.late_drops += 1;
-                }
-            }
-        }
-
-        self.round_horizon = self.round_horizon.max(arrival);
-        self.queue.push(
-            arrival,
-            Event::Deliver {
-                from,
-                to,
-                phase,
-                bits,
-                delivered,
-                latency_us,
-            },
-        );
-        self.metrics.record_send(phase, bits, delivered);
-        delivered
+        (attempts, false)
     }
 
     fn advance_round(&mut self) {
@@ -369,17 +523,12 @@ impl Transport for AsyncEngine {
                         self.async_metrics.latency.record(latency_us);
                     }
                 }
-                Event::Crash { node } => {
-                    let i = node.index();
-                    if self.alive[i] {
-                        self.alive[i] = false;
-                        self.alive_count -= 1;
-                        self.async_metrics.churn_crashes += 1;
-                    }
-                    if self.crash_at[i].take().is_some() {
-                        self.pending_crashes -= 1;
-                    }
-                }
+                Event::Crash { node } => self.apply_crash(node),
+                // The round barrier never schedules timers, but an engine
+                // taken back from an `EventDriver` (`into_engine`) may still
+                // hold armed handler timers; without a driver there is no
+                // handler to fire into, so they are inert and simply lapse.
+                Event::Timer { .. } => {}
             }
         }
         // Crash instants are drawn inside (window_start, window_start +
@@ -403,6 +552,22 @@ impl Transport for AsyncEngine {
     fn reset_metrics(&mut self) {
         self.metrics.reset();
         self.async_metrics = AsyncMetrics::default();
+    }
+
+    /// Under a fixed deadline a retransmission only has the window budget
+    /// to arrive; stretching rounds wait for every message, so retries are
+    /// never time-limited there.
+    fn deadline_budget_us(&self) -> Option<u64> {
+        match self.config.round_policy {
+            RoundPolicy::FixedDeadline(d) => Some(d.max(1)),
+            RoundPolicy::Stretch => None,
+        }
+    }
+
+    /// One timeout-plus-retransmission cycle ≈ a round trip at the latency
+    /// model's median.
+    fn rtt_estimate_us(&self) -> Option<u64> {
+        Some(2 * self.config.latency.median_us().max(1))
     }
 }
 
@@ -497,6 +662,30 @@ mod tests {
         assert_eq!(u64::from(delivered) + late, 500);
         // Virtual time is exactly rounds × deadline under a fixed policy.
         assert_eq!(engine.now_us(), 500 * 1_000);
+    }
+
+    #[test]
+    fn retries_are_rtt_capped_under_fixed_deadlines_only() {
+        // Constant 1 ms latency → RTT estimate 2 ms. With a 5 ms deadline,
+        // attempt k arrives around (k−1)·2000 + 1000 µs: only 3 attempts
+        // can meet the deadline, however large the caller's budget.
+        let lossy = |policy| {
+            AsyncEngine::new(
+                AsyncConfig::new(SimConfig::new(4).with_seed(2).with_loss_prob(0.99))
+                    .with_round_policy(policy),
+            )
+        };
+        let mut engine = lossy(RoundPolicy::FixedDeadline(5_000));
+        let (attempts, _) =
+            engine.send_with_retries(NodeId::new(0), NodeId::new(1), Phase::Other, 8, 64);
+        assert!(attempts <= 3, "deadline-capped, got {attempts}");
+
+        // Stretching rounds never expire deliveries: the full budget is
+        // available (and with 99% loss this seed burns several attempts).
+        let mut engine = lossy(RoundPolicy::Stretch);
+        let (attempts, _) =
+            engine.send_with_retries(NodeId::new(0), NodeId::new(1), Phase::Other, 8, 64);
+        assert!(attempts > 3, "uncapped under Stretch, got {attempts}");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The discrete-event core: timestamped events in a binary heap.
 
-use gossip_net::{NodeId, Phase};
+use gossip_net::{NodeId, Phase, TimerId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -29,6 +29,19 @@ pub enum Event {
     Crash {
         /// The crashing node.
         node: NodeId,
+    },
+    /// A handler timer fires at `node` (event-driven mode only; the
+    /// round-barrier path never schedules these).
+    Timer {
+        /// The node whose timer fires.
+        node: NodeId,
+        /// The handler-chosen timer label.
+        timer: TimerId,
+        /// The node's incarnation when the timer was armed. A crash +
+        /// rejoin bumps the incarnation, so timers armed by a previous
+        /// life are recognised as stale and dropped instead of firing
+        /// into the fresh handler.
+        epoch: u32,
     },
 }
 
@@ -80,6 +93,14 @@ impl EventQueue {
     /// Earliest pending event time, if any.
     pub fn next_time(&self) -> Option<u64> {
         self.heap.peek().map(|e| e.at_us)
+    }
+
+    /// Sequence number assigned to the most recent [`EventQueue::push`]
+    /// (`None` before the first push). The event-driven driver uses this to
+    /// associate a message payload with the `Deliver` event it just
+    /// scheduled.
+    pub fn last_seq(&self) -> Option<u64> {
+        self.next_seq.checked_sub(1)
     }
 
     /// Pop the earliest event if it is due at or before `horizon_us`.

@@ -47,13 +47,13 @@ impl LatencyModel {
         if spread <= 0.0 {
             return 1.0;
         }
-        // SplitMix64 over a commutativity-breaking combination of the ids.
-        let mut z = seed
-            ^ (from.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            ^ (to.index() as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
+        // The shared mixer over a commutativity-breaking combination of the
+        // ids (same finalizer as before the mix64 extraction, so biases are
+        // unchanged).
+        let z = gossip_net::mix64(
+            seed ^ (from.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (to.index() as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+        );
         let unit = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         1.0 - spread + 2.0 * spread * unit
     }

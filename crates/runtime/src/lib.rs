@@ -25,7 +25,14 @@
 //!   sends beyond the budget are dropped (and accounted).
 //! * **Round policies** ([`RoundPolicy`]): either rounds *stretch* to the
 //!   slowest in-flight delivery (virtual time measures straggler cost), or
-//!   rounds have a *fixed deadline* and late messages are lost.
+//!   rounds have a *fixed deadline* and late messages are lost — in which
+//!   case [`Transport::send_with_retries`](gossip_net::Transport::send_with_retries)
+//!   becomes RTT-aware and stops retrying once the deadline cannot be met.
+//! * **An event-driven host** ([`EventDriver`]): instead of the round
+//!   barrier, per-node [`Handler`](gossip_net::Handler)s (`on_start` /
+//!   `on_message` / `on_timer`) dispatched straight from the event queue,
+//!   with first-class timer events and crash/rejoin incarnations — the
+//!   execution model of the continuous anti-entropy layer (`gossip-ae`).
 //!
 //! Determinism is preserved end to end: a run is a pure function of the
 //! [`SimConfig`](gossip_net::SimConfig) seed and the engine parameters.
@@ -56,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod churn;
+pub mod driver;
 pub mod engine;
 pub mod event;
 pub mod latency;
@@ -63,6 +71,7 @@ pub mod metrics;
 pub mod sweep;
 
 pub use churn::ChurnModel;
+pub use driver::{DriverMetrics, EventDriver};
 pub use engine::{AsyncConfig, AsyncEngine, RoundPolicy};
 pub use event::{Event, EventQueue, ScheduledEvent};
 pub use latency::LatencyModel;

@@ -1,11 +1,16 @@
 //! The determinism suite: seed-reproducibility of the asynchronous engine,
 //! bit-equality with the synchronous backend in the compatibility
-//! configuration, and thread-count invariance of the sweep runner.
+//! configuration, thread-count invariance of the sweep runner, and — for
+//! the event-driven execution model — pinned timer/delivery ordering.
 
 use gossip_baselines::{push_sum_average, PushSumConfig};
+use gossip_drr::handler::{MaxGossipConfig, MaxGossipHandler};
 use gossip_drr::protocol::{drr_gossip_ave, drr_gossip_max, DrrGossipConfig, DrrGossipReport};
-use gossip_net::{Network, SimConfig};
-use gossip_runtime::{AsyncConfig, AsyncEngine, ChurnModel, LatencyModel, SweepRunner};
+use gossip_net::{Handler, Mailbox, Network, NodeId, Phase, SimConfig, TimerId};
+use gossip_runtime::{
+    AsyncConfig, AsyncEngine, ChurnModel, EventDriver, LatencyModel, SweepRunner,
+};
+use std::sync::{Arc, Mutex};
 
 fn values(n: usize) -> Vec<f64> {
     (0..n).map(|i| ((i * 37) % 1009) as f64).collect()
@@ -111,6 +116,163 @@ fn sweep_runner_results_do_not_depend_on_thread_count() {
     let eight = SweepRunner::with_threads(8).run_grid(&[()], &seeds, trial);
     assert_eq!(one, two);
     assert_eq!(one, eight);
+}
+
+/// One recorded callback: `(virtual time, kind, node/sender index)`.
+type ProbeEvent = (u64, &'static str, usize);
+
+/// A handler that records every callback into a shared, globally ordered
+/// log — the instrument for pinning dispatch interleavings.
+#[derive(Debug)]
+struct Probe {
+    me: NodeId,
+    log: Arc<Mutex<Vec<ProbeEvent>>>,
+}
+
+impl Handler for Probe {
+    type Msg = ();
+
+    fn on_start(&mut self, mailbox: &mut dyn Mailbox<()>) {
+        self.log
+            .lock()
+            .unwrap()
+            .push((mailbox.now_us(), "start", self.me.index()));
+        if self.me.index() == 0 {
+            // Scheduled before the timers below: the message's Deliver event
+            // carries a smaller sequence number than any timer.
+            mailbox.send(NodeId::new(1), Phase::Other, 8, ());
+        }
+        mailbox.set_timer(1_000, TimerId(0));
+    }
+
+    fn on_message(&mut self, from: NodeId, _msg: (), mailbox: &mut dyn Mailbox<()>) {
+        self.log
+            .lock()
+            .unwrap()
+            .push((mailbox.now_us(), "msg", from.index()));
+    }
+
+    fn on_timer(&mut self, _timer: TimerId, mailbox: &mut dyn Mailbox<()>) {
+        self.log
+            .lock()
+            .unwrap()
+            .push((mailbox.now_us(), "timer", self.me.index()));
+    }
+}
+
+#[test]
+fn timer_events_order_deterministically_against_deliveries() {
+    // Constant 1 ms latency puts node 0's message and every timer at the
+    // same virtual instant, t = 1000. Ties break by schedule order, which
+    // the on_start sequence fixes completely: node 0 sends before arming
+    // its timer, node 1 arms its timer afterwards. The interleaving is
+    // therefore not merely reproducible — it is *this*:
+    let golden = vec![
+        (0, "start", 0),
+        (0, "start", 1),
+        (1_000, "msg", 0),   // Deliver scheduled first (seq 0)
+        (1_000, "timer", 0), // node 0's timer (seq 1)
+        (1_000, "timer", 1), // node 1's timer (seq 2)
+    ];
+    for _ in 0..3 {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&log);
+        let engine = AsyncEngine::new(AsyncConfig::new(SimConfig::new(2).with_seed(3)));
+        let mut driver = EventDriver::new(engine, move |me| Probe {
+            me,
+            log: Arc::clone(&sink),
+        });
+        driver.run_until(1_000);
+        assert_eq!(*log.lock().unwrap(), golden);
+        assert_eq!(driver.metrics().timer_fires, 2);
+        assert_eq!(driver.metrics().messages_dispatched, 1);
+    }
+}
+
+fn max_gossip_driver(n: usize, seed: u64, vals: Vec<f64>) -> EventDriver<MaxGossipHandler> {
+    let sim = SimConfig::new(n).with_seed(seed).with_loss_prob(0.05);
+    let handler_config = MaxGossipConfig {
+        bits: sim.id_bits() + sim.value_bits(),
+        ..MaxGossipConfig::default()
+    };
+    let config = AsyncConfig::new(sim)
+        .with_latency(LatencyModel::LogNormal {
+            median_us: 700.0,
+            sigma: 0.6,
+        })
+        .with_link_spread(0.25)
+        .with_churn(ChurnModel::per_round(0.005, 0.1).with_min_alive(n / 2));
+    EventDriver::new(AsyncEngine::new(config), move |me| {
+        MaxGossipHandler::new(me, vals[me.index()], handler_config)
+    })
+}
+
+#[test]
+fn event_driven_dispatch_order_is_invariant_across_thread_counts() {
+    // The driver's order hash fingerprints the entire dispatch schedule —
+    // timers, deliveries and crashes in (time, seq) order. Sweeping trials
+    // across worker counts must reproduce it bit for bit, and resuming in
+    // slices must walk the same schedule as one uninterrupted run.
+    let n = 300;
+    let vals = values(n);
+    let seeds = SweepRunner::trial_seeds(0xD1CE, 6);
+    let trial = |&slices: &u64, seed: u64| {
+        let mut driver = max_gossip_driver(n, seed, vals.clone());
+        for k in 1..=slices {
+            driver.run_until(k * 60_000 / slices);
+        }
+        let maxima: Vec<u64> = driver
+            .handlers()
+            .iter()
+            .map(|h| h.current_max().to_bits())
+            .collect();
+        (
+            driver.metrics().order_hash,
+            driver.metrics().timer_fires,
+            driver.metrics().rejoin_log.clone(),
+            maxima,
+        )
+    };
+    let grid = [1u64, 4];
+    let one = SweepRunner::with_threads(1).run_grid(&grid, &seeds, trial);
+    let two = SweepRunner::with_threads(2).run_grid(&grid, &seeds, trial);
+    let eight = SweepRunner::with_threads(8).run_grid(&grid, &seeds, trial);
+    assert_eq!(one, two);
+    assert_eq!(one, eight);
+    // Slicing the run differently must not change the schedule either:
+    // grid row 0 (one shot) equals grid row 1 (four slices), seed by seed.
+    assert_eq!(one[..seeds.len()], one[seeds.len()..]);
+}
+
+#[test]
+fn event_driven_max_agrees_with_the_round_based_backends() {
+    // The same aggregate across all three execution models: synchronous
+    // rounds, asynchronous rounds (bit-identical pair pinned above), and
+    // the event-driven driver — the newcomer must land every node on the
+    // maximum the round protocols compute.
+    let n = 600;
+    let vals = values(n);
+    let mut net = Network::new(SimConfig::new(n).with_seed(31));
+    let round_report = drr_gossip_max(&mut net, &vals, &DrrGossipConfig::paper());
+    assert_eq!(round_report.fraction_exact(), 1.0);
+
+    let sim = SimConfig::new(n).with_seed(31);
+    let handler_config = MaxGossipConfig {
+        bits: sim.id_bits() + sim.value_bits(),
+        ..MaxGossipConfig::default()
+    };
+    let vals_for_driver = vals.clone();
+    let mut driver = EventDriver::new(AsyncEngine::new(AsyncConfig::new(sim)), move |me| {
+        MaxGossipHandler::new(me, vals_for_driver[me.index()], handler_config)
+    });
+    driver.run_until(50_000);
+    for (i, h) in driver.handlers().iter().enumerate() {
+        assert_eq!(
+            h.current_max(),
+            round_report.exact,
+            "node {i} disagrees across execution models"
+        );
+    }
 }
 
 #[test]

@@ -8,6 +8,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use gossip_ae as ae;
 pub use gossip_aggregate as aggregate;
 pub use gossip_analysis as analysis;
 pub use gossip_baselines as baselines;
@@ -18,6 +19,9 @@ pub use gossip_topology as topology;
 
 /// Commonly used items.
 pub mod prelude {
-    pub use gossip_net::{Network, NodeId, Phase, SimConfig, Transport};
-    pub use gossip_runtime::{AsyncConfig, AsyncEngine, ChurnModel, LatencyModel, SweepRunner};
+    pub use gossip_ae::{ae_driver, AeConfig, AeNode, SignalModel};
+    pub use gossip_net::{Handler, Mailbox, Network, NodeId, Phase, SimConfig, TimerId, Transport};
+    pub use gossip_runtime::{
+        AsyncConfig, AsyncEngine, ChurnModel, EventDriver, LatencyModel, SweepRunner,
+    };
 }
