@@ -55,7 +55,9 @@ pub mod recovery;
 pub mod signal;
 pub mod store;
 
-pub use protocol::{ae_driver, AeConfig, AeMsg, AeNode, AeNodeStats, TIMER_TICK, TIMER_UPDATE};
+pub use protocol::{
+    ae_driver, ae_sharded_driver, AeConfig, AeMsg, AeNode, AeNodeStats, TIMER_TICK, TIMER_UPDATE,
+};
 pub use recovery::{
     reference_store, RecoveryOutcome, RecoveryRecord, RecoveryTracker, RECOVERY_BOUND_TICKS,
 };
@@ -65,4 +67,4 @@ pub use store::{Digest, Entry, Store, STAMP_BITS};
 // The building blocks the subsystem is made of, re-exported so dependents
 // of the anti-entropy layer see one coherent API.
 pub use gossip_net::{Handler, Mailbox, TimerId};
-pub use gossip_runtime::{DriverMetrics, EventDriver};
+pub use gossip_runtime::{DriverMetrics, EventDriver, ShardedDriver};

@@ -21,7 +21,7 @@
 use crate::signal::SignalModel;
 use crate::store::{Digest, Entry, Store, STAMP_BITS};
 use gossip_net::{stagger_us, Handler, Mailbox, NodeId, Phase, TimerId};
-use gossip_runtime::{AsyncConfig, AsyncEngine, EventDriver};
+use gossip_runtime::{AsyncConfig, AsyncEngine, EventDriver, ShardedDriver};
 use serde::{Deserialize, Serialize};
 
 /// The anti-entropy tick timer.
@@ -286,6 +286,27 @@ pub fn ae_driver(engine_config: AsyncConfig, ae_config: AeConfig) -> EventDriver
     .with_window_us(ae_config.tick_us)
 }
 
+/// Host the anti-entropy layer on the **sharded** engine: the node space
+/// split into `shards` shards with per-shard event queues and per-node RNG
+/// streams (see `gossip_runtime::shard`), so the same [`AeNode`] handler
+/// scales to n ≥ 10⁶. The churn window is the anti-entropy tick, exactly
+/// like [`ae_driver`]. Runs are shard-count invariant, but *not*
+/// bit-comparable with `ae_driver` runs — the two execution models consume
+/// different RNG streams.
+pub fn ae_sharded_driver(
+    engine_config: AsyncConfig,
+    ae_config: AeConfig,
+    shards: usize,
+) -> ShardedDriver<AeNode> {
+    let n = engine_config.sim.n;
+    let id_bits = engine_config.sim.id_bits();
+    let value_bits = engine_config.sim.value_bits();
+    ShardedDriver::new(engine_config, shards, move |me| {
+        AeNode::new(me, n, id_bits, value_bits, ae_config)
+    })
+    .with_window_us(ae_config.tick_us)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -391,6 +412,65 @@ mod tests {
             checked += 1;
         }
         assert!(checked > 32, "most of the network is settled ({checked})");
+    }
+
+    #[test]
+    fn sharded_host_reconciles_and_is_shard_count_invariant() {
+        // The anti-entropy handler, unchanged, on the sharded engine: a
+        // static signal must still fully reconcile, and the run — order
+        // hash, store contents, estimates — must not depend on the shard
+        // count.
+        let build = |shards| {
+            let config = AsyncConfig::new(
+                SimConfig::new(48)
+                    .with_seed(3)
+                    .with_loss_prob(0.02)
+                    .with_value_range(10_000.0),
+            )
+            .with_latency(LatencyModel::Uniform {
+                lo_us: 200,
+                hi_us: 1_200,
+            })
+            .with_churn(ChurnModel::per_round(0.005, 0.15));
+            ae_sharded_driver(config, AeConfig::default(), shards)
+        };
+        let run = |shards| {
+            let mut d = build(shards);
+            d.run_until(200_000);
+            let estimates: Vec<u64> = d
+                .iter_handlers()
+                .map(|(_, h)| h.estimate(200_000).unwrap_or(f64::NAN).to_bits())
+                .collect();
+            let known: Vec<usize> = d.iter_handlers().map(|(_, h)| h.store().known()).collect();
+            (d.order_hash(), estimates, known)
+        };
+        let reference = run(1);
+        assert_eq!(reference, run(2), "2 shards diverged");
+        assert_eq!(reference, run(8), "8 shards diverged");
+
+        // And without churn the static signal fully reconciles.
+        let config = AsyncConfig::new(
+            SimConfig::new(48)
+                .with_seed(3)
+                .with_loss_prob(0.02)
+                .with_value_range(10_000.0),
+        )
+        .with_latency(LatencyModel::Uniform {
+            lo_us: 200,
+            hi_us: 1_200,
+        });
+        let mut d = ae_sharded_driver(config, AeConfig::default(), 8);
+        d.run_until(200_000);
+        let signal = d.handler(NodeId::new(0)).config.signal;
+        let truth = signal.true_mean((0..48).map(NodeId::new), 200_000).unwrap();
+        for (node, h) in d.iter_handlers() {
+            assert_eq!(h.store().known(), 48, "node {node:?} store incomplete");
+            let est = h.estimate(200_000).expect("informed");
+            assert!(
+                ((est - truth) / truth).abs() < 1e-9,
+                "node {node:?}: est {est} vs truth {truth}"
+            );
+        }
     }
 
     #[test]

@@ -66,6 +66,21 @@ impl Summary {
         }
     }
 
+    /// Summarise only the finite samples, dropping every NaN/∞ sentinel.
+    ///
+    /// Experiment metrics use NaN as a deliberate "not measured" marker
+    /// (push-sum's stale fraction, a rejoin column with no rejoins, the
+    /// synchronous backend's virtual time). [`Summary::of`] must never see
+    /// those — its mean would be poisoned and its percentile sort panics —
+    /// so every aggregation over cells that may carry the sentinel goes
+    /// through here instead. `count` reflects only the retained samples;
+    /// a `count` of 0 means *nothing was measured*, which table renderers
+    /// must surface as "—" (see `fmt_mean_or_dash`), never as a zero.
+    pub fn of_finite<I: IntoIterator<Item = f64>>(samples: I) -> Self {
+        let finite: Vec<f64> = samples.into_iter().filter(|v| v.is_finite()).collect();
+        Summary::of(&finite)
+    }
+
     /// Half-width of the (normal-approximation) 95% confidence interval of
     /// the mean.
     pub fn ci95_half_width(&self) -> f64 {
@@ -109,6 +124,24 @@ mod tests {
         assert_eq!(single.mean, 7.0);
         assert_eq!(single.std_dev, 0.0);
         assert_eq!(single.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn of_finite_drops_sentinels_without_poisoning() {
+        // NaN cells are "not measured" sentinels: the finite samples must
+        // summarise as if the sentinels were never there.
+        let s = Summary::of_finite([1.0, f64::NAN, 3.0, f64::INFINITY, 5.0]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        // All-sentinel input is "nothing measured", not zero.
+        let empty = Summary::of_finite([f64::NAN, f64::NEG_INFINITY]);
+        assert_eq!(empty.count, 0);
+        // And Summary::of on the same input would panic in the percentile
+        // sort — the reason sentinel-bearing paths must route through here.
+        let caught = std::panic::catch_unwind(|| Summary::of(&[1.0, f64::NAN]));
+        assert!(caught.is_err(), "Summary::of must reject NaN loudly");
     }
 
     #[test]

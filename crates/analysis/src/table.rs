@@ -121,11 +121,11 @@ impl Table {
 /// one protocol): dropping the sentinels must surface as "not measured",
 /// never collapse to a `0` a reader would take for a measured zero.
 pub fn fmt_mean_or_dash(samples: impl IntoIterator<Item = f64>) -> String {
-    let finite: Vec<f64> = samples.into_iter().filter(|v| v.is_finite()).collect();
-    if finite.is_empty() {
+    let summary = crate::stats::Summary::of_finite(samples);
+    if summary.count == 0 {
         "—".to_string()
     } else {
-        fmt_float(crate::stats::Summary::of(&finite).mean)
+        fmt_float(summary.mean)
     }
 }
 
@@ -194,6 +194,17 @@ mod tests {
         assert_eq!(fmt_float(1.5e7), "1.50e7");
         assert_eq!(fmt_float(0.00001), "1.00e-5");
         assert_eq!(fmt_float(f64::NAN), "nan");
+    }
+
+    #[test]
+    fn mean_or_dash_isolates_nan_sentinels() {
+        // A mixed cell: the sentinel must not drag the mean to NaN.
+        assert_eq!(fmt_mean_or_dash([2.0, f64::NAN, 4.0]), "3");
+        // An all-sentinel cell renders "—", never a fake measured zero.
+        assert_eq!(fmt_mean_or_dash([f64::NAN, f64::NAN]), "—");
+        assert_eq!(fmt_mean_or_dash(std::iter::empty()), "—");
+        // Infinities are sentinels too (unmeasurable, not huge).
+        assert_eq!(fmt_mean_or_dash([f64::INFINITY, 7.0]), "7");
     }
 
     #[test]

@@ -289,6 +289,18 @@ mod tests {
         for t in &tables {
             assert_eq!(t.num_rows(), 2 * CHURN_RATES.len());
         }
+        // The NaN sentinels flow end-to-end into a rendered "—", never a
+        // "nan" cell or a fake measured zero: push-sum's stale frac (every
+        // row) and the sync backend's virtual ms.
+        let push_sum = tables[2].render();
+        assert!(
+            push_sum.contains('—'),
+            "push-sum stale frac must render as a dash:\n{push_sum}"
+        );
+        assert!(
+            !push_sum.contains("nan"),
+            "no NaN may leak into a rendered cell:\n{push_sum}"
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //!   per-round deadline at 4× the median instead.
 
 use super::ExperimentOptions;
-use gossip_analysis::{fmt_float, Summary, Table};
+use gossip_analysis::{fmt_float, fmt_mean_or_dash, Summary, Table};
 use gossip_drr::protocol::{drr_gossip_max, DrrGossipConfig};
 use gossip_net::SimConfig;
 use gossip_runtime::{AsyncConfig, AsyncEngine, LatencyModel, RoundPolicy, SweepRunner};
@@ -122,8 +122,11 @@ pub fn run(options: &ExperimentOptions) -> Vec<Table> {
         )
     });
 
+    // NaN-sentinel safe: a cell whose every trial is "not measured" must
+    // render "—", and a stray sentinel must not poison the column mean
+    // (Summary::of would panic on it; of_finite drops it).
     let mean = |cell: &[TailOutcome], f: &dyn Fn(&TailOutcome) -> f64| {
-        Summary::of(&cell.iter().map(f).collect::<Vec<_>>()).mean
+        Summary::of_finite(cell.iter().map(f)).mean
     };
     let t = seeds.len();
     let baseline_ms = mean(&stretch[0..t], &|o| o.virtual_ms);
@@ -133,12 +136,12 @@ pub fn run(options: &ExperimentOptions) -> Vec<Table> {
         let virtual_ms = mean(s_cell, &|o| o.virtual_ms);
         table.push_row(vec![
             name.to_string(),
-            fmt_float(mean(s_cell, &|o| o.rounds)),
-            fmt_float(mean(s_cell, &|o| o.p50_us)),
-            fmt_float(mean(s_cell, &|o| o.p99_us)),
+            fmt_mean_or_dash(s_cell.iter().map(|o| o.rounds)),
+            fmt_mean_or_dash(s_cell.iter().map(|o| o.p50_us)),
+            fmt_mean_or_dash(s_cell.iter().map(|o| o.p99_us)),
             fmt_float(virtual_ms),
             format!("{:.2}x", virtual_ms / baseline_ms.max(f64::MIN_POSITIVE)),
-            fmt_float(mean(d_cell, &|o| o.late_fraction)),
+            fmt_mean_or_dash(d_cell.iter().map(|o| o.late_fraction)),
         ]);
     }
     table.push_note(

@@ -9,6 +9,7 @@ pub mod anti_entropy;
 pub mod chord;
 pub mod churn_resilience;
 pub mod drr_phase;
+pub mod engine_scaling;
 pub mod gossip_ave_exp;
 pub mod gossip_max_exp;
 pub mod latency_tail;
@@ -145,6 +146,12 @@ pub const EXPERIMENTS: &[ExperimentEntry] = &[
         "E17: continuous anti-entropy aggregation — staleness & rejoin recovery vs churn \
          (event-driven runtime)",
         anti_entropy::run,
+    ),
+    (
+        "engine_scaling",
+        "E18: sharded event engine vs the one-queue driver — events/sec and wall-clock vs n \
+         (up to 10^6) and shard count",
+        engine_scaling::run,
     ),
 ];
 

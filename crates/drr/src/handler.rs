@@ -179,6 +179,46 @@ mod tests {
     }
 
     #[test]
+    fn sharded_host_converges_and_is_shard_count_invariant() {
+        // The same handler, unchanged, on the sharded execution model: it
+        // must still drive every node to the exact maximum, and the run —
+        // order hash and every node's store — must not depend on how the
+        // node space is partitioned.
+        use gossip_runtime::ShardedDriver;
+        let n = 256;
+        let vals = values(n);
+        let exact = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let run = |shards| {
+            let sim = SimConfig::new(n).with_seed(13).with_loss_prob(0.05);
+            let handler_config = MaxGossipConfig {
+                bits: sim.id_bits() + sim.value_bits(),
+                ..MaxGossipConfig::default()
+            };
+            let config = AsyncConfig::new(sim).with_latency(LatencyModel::Uniform {
+                lo_us: 100,
+                hi_us: 900,
+            });
+            let vals = values(n);
+            let mut d = ShardedDriver::new(config, shards, move |me| {
+                MaxGossipHandler::new(me, vals[me.index()], handler_config)
+            });
+            d.run_until(40_000);
+            let maxima: Vec<u64> = d
+                .iter_handlers()
+                .map(|(_, h)| h.current_max().to_bits())
+                .collect();
+            (d.order_hash(), maxima)
+        };
+        let (hash, maxima) = run(1);
+        assert!(
+            maxima.iter().all(|&m| f64::from_bits(m) == exact),
+            "every node must hold the exact maximum"
+        );
+        assert_eq!((hash, maxima.clone()), run(2));
+        assert_eq!((hash, maxima), run(8));
+    }
+
+    #[test]
     fn runs_reproduce_bit_for_bit() {
         let fingerprint = |seed| {
             let mut d = driver(128, seed, ChurnModel::per_round(0.02, 0.1));

@@ -49,13 +49,15 @@ pub mod metrics;
 pub mod network;
 pub mod node;
 pub mod phase;
+pub mod stream;
 pub mod transport;
 
-pub use bits::{ceil_log2, id_bits, mix64, value_bits_for_range};
+pub use bits::{ceil_log2, id_bits, mix64, value_bits_for_range, SETUP_STREAM_SALT};
 pub use config::SimConfig;
 pub use mailbox::{stagger_us, Handler, Mailbox, TimerId};
 pub use metrics::{Metrics, PhaseBreakdown};
 pub use network::Network;
 pub use node::NodeId;
 pub use phase::Phase;
+pub use stream::node_rng;
 pub use transport::{NodeIdIter, Transport};

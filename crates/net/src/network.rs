@@ -34,7 +34,7 @@ impl Network {
         if let Err(msg) = config.validate() {
             panic!("invalid SimConfig: {msg}");
         }
-        let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut rng = SmallRng::seed_from_u64(config.seed ^ crate::bits::SETUP_STREAM_SALT);
         let mut alive = vec![true; config.n];
         let mut alive_count = config.n;
         if config.initial_crash_prob > 0.0 {

@@ -1,0 +1,77 @@
+//! Per-node deterministic RNG streams.
+//!
+//! The round-synchronous [`Network`](crate::Network) and the asynchronous
+//! engine both funnel every draw through **one** global RNG, so the stream
+//! a node observes depends on the global interleaving of all nodes'
+//! actions. That is fine while one thread owns the whole simulation, but it
+//! is exactly what a *sharded* engine cannot have: two shards would race
+//! for the stream, and the draw order — hence the run — would depend on the
+//! shard count.
+//!
+//! [`node_rng`] is the sharding-safe alternative: an independent stream per
+//! `(seed, node)`, derived by seeding a fresh [`SmallRng`] from a
+//! [`mix64`]-whitened combination of the two. A node's stream
+//! advances only through that node's own actions, so the values it draws
+//! are a pure function of the seed and the node's own event history —
+//! independent of how nodes are partitioned across shards, how many worker
+//! threads run, and how the event loop is sliced. The sharded driver in
+//! `gossip-runtime` builds every protocol-visible draw (peer sampling,
+//! latency, loss) on these streams.
+//!
+//! Streams for distinct nodes are distinct (different additive offsets into
+//! the splitmix-style derivation), and the whole family is disjoint from
+//! the global streams by construction: the global engines seed from
+//! `seed ^ const`, while `node_rng` whitens through `mix64` first.
+
+use crate::bits::mix64;
+use crate::node::NodeId;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Salt separating the per-node stream family from every other derived
+/// stream in the workspace (engine setup, `Transport::derive_rng`, ...).
+const NODE_STREAM_SALT: u64 = 0xA076_1D64_78BD_642F;
+
+/// The deterministic RNG stream owned by `node` in a simulation seeded with
+/// `seed`. See the module docs for the determinism contract.
+pub fn node_rng(seed: u64, node: NodeId) -> SmallRng {
+    let lane = (node.index() as u64)
+        .wrapping_add(1)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    SmallRng::seed_from_u64(mix64(seed ^ NODE_STREAM_SALT).wrapping_add(mix64(lane)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    fn draws(seed: u64, node: usize, k: usize) -> Vec<u64> {
+        let mut rng = node_rng(seed, NodeId::new(node));
+        (0..k).map(|_| rng.next_u64()).collect()
+    }
+
+    #[test]
+    fn streams_are_reproducible() {
+        assert_eq!(draws(7, 3, 16), draws(7, 3, 16));
+    }
+
+    #[test]
+    fn streams_differ_across_nodes_and_seeds() {
+        assert_ne!(draws(7, 3, 16), draws(7, 4, 16));
+        assert_ne!(draws(7, 3, 16), draws(8, 3, 16));
+        // Adjacent nodes and adjacent seeds must not collide either.
+        let mut firsts = std::collections::HashSet::new();
+        for node in 0..512 {
+            assert!(firsts.insert(draws(42, node, 1)[0]), "node {node} collides");
+        }
+    }
+
+    #[test]
+    fn streams_are_disjoint_from_the_global_engine_stream() {
+        let global = SmallRng::seed_from_u64(7 ^ crate::bits::SETUP_STREAM_SALT);
+        for node in 0..64 {
+            assert_ne!(node_rng(7, NodeId::new(node)), global);
+        }
+    }
+}

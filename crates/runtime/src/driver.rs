@@ -65,11 +65,11 @@ pub struct DriverMetrics {
     pub order_hash: u64,
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
 
 impl DriverMetrics {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         DriverMetrics {
             order_hash: FNV_OFFSET,
             ..DriverMetrics::default()
@@ -82,6 +82,12 @@ impl DriverMetrics {
                 self.order_hash = (self.order_hash ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
             }
         }
+    }
+
+    /// Fold one word into the order hash. The sharded driver combines its
+    /// per-node dispatch hashes through this, in node-id order.
+    pub(crate) fn fold_word(&mut self, w: u64) {
+        self.order_hash = (self.order_hash ^ w).wrapping_mul(FNV_PRIME);
     }
 }
 

@@ -32,6 +32,32 @@ use gossip_net::{Metrics, NodeId, Phase, SimConfig, Transport};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+/// Draw the initial liveness pattern exactly like
+/// [`Network::new`](gossip_net::Network::new): the same
+/// `seed ^ SETUP_STREAM_SALT` stream, the same per-node draw order, the
+/// same all-dead rescue. Shared by [`AsyncEngine::new`] and the sharded
+/// driver, so every backend starts from the identical alive set for the
+/// same `SimConfig`. Returns the liveness vector, the alive count, and
+/// the stream positioned for the backend's subsequent churn draws.
+pub(crate) fn draw_initial_liveness(sim: &SimConfig) -> (Vec<bool>, usize, SmallRng) {
+    let mut rng = SmallRng::seed_from_u64(sim.seed ^ gossip_net::SETUP_STREAM_SALT);
+    let mut alive = vec![true; sim.n];
+    let mut alive_count = sim.n;
+    if sim.initial_crash_prob > 0.0 {
+        for slot in alive.iter_mut() {
+            if rng.gen_bool(sim.initial_crash_prob) {
+                *slot = false;
+                alive_count -= 1;
+            }
+        }
+        if alive_count == 0 {
+            alive[0] = true;
+            alive_count = 1;
+        }
+    }
+    (alive, alive_count, rng)
+}
+
 /// How a round window closes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize, Default)]
 pub enum RoundPolicy {
@@ -148,21 +174,7 @@ impl AsyncEngine {
             .validate()
             .expect("invalid simulation configuration");
         let n = config.sim.n;
-        let mut rng = SmallRng::seed_from_u64(config.sim.seed ^ 0x9e37_79b9_7f4a_7c15);
-        let mut alive = vec![true; n];
-        let mut alive_count = n;
-        if config.sim.initial_crash_prob > 0.0 {
-            for slot in alive.iter_mut() {
-                if rng.gen_bool(config.sim.initial_crash_prob) {
-                    *slot = false;
-                    alive_count -= 1;
-                }
-            }
-            if alive_count == 0 {
-                alive[0] = true;
-                alive_count = 1;
-            }
-        }
+        let (alive, alive_count, rng) = draw_initial_liveness(&config.sim);
         AsyncEngine {
             rng,
             alive,
@@ -359,7 +371,8 @@ impl AsyncEngine {
 
         // 1. Endpoint liveness and the loss draw, in exactly the order the
         //    synchronous Network performs them (RNG-stream compatibility).
-        let mut delivered = self.alive[from.index()] && self.alive[to.index()];
+        let sender_alive = self.alive[from.index()];
+        let mut delivered = sender_alive && self.alive[to.index()];
         if delivered
             && self.config.sim.loss_prob > 0.0
             && self.rng.gen_bool(self.config.sim.loss_prob)
@@ -377,7 +390,13 @@ impl AsyncEngine {
         }
         let arrival = self.window_start + elapsed_us + latency_us;
 
-        // 3. Bandwidth budget of the sender for this round.
+        // 3. Bandwidth budget of the sender for this round. Only a live
+        //    sender actually puts bits on the wire: attempts from a node
+        //    that was already dead at step 1 must not accrue against the
+        //    budget it would get back on rejoin. Over-budget attempts by a
+        //    live sender *do* accrue — the NIC tried and burned the slot —
+        //    so an oversized message can starve later small ones until the
+        //    round barrier resets the budget.
         if delivered {
             if let Some(budget) = self.config.bandwidth_bits_per_round {
                 let used = self.bits_this_round[from.index()];
@@ -387,7 +406,9 @@ impl AsyncEngine {
                 }
             }
         }
-        self.bits_this_round[from.index()] += u64::from(bits);
+        if sender_alive {
+            self.bits_this_round[from.index()] += u64::from(bits);
+        }
 
         // 4. Mid-window churn: the receiver must still be alive when the
         //    message arrives (sender calls happen at the window start, so a
@@ -407,7 +428,14 @@ impl AsyncEngine {
             }
         }
 
-        self.round_horizon = self.round_horizon.max(arrival);
+        // Only delivered messages stretch the round: under
+        // `RoundPolicy::Stretch` the barrier waits for the slowest message
+        // that actually arrives — a message lost to loss, churn or the
+        // bandwidth cap leaves no straggler to wait for, so it must not
+        // stretch the round for everyone (the phantom-tail bug).
+        if delivered {
+            self.round_horizon = self.round_horizon.max(arrival);
+        }
         self.queue.push(
             arrival,
             Event::Deliver {
@@ -703,6 +731,81 @@ mod tests {
         assert!(engine.send(NodeId::new(0), NodeId::new(1), Phase::Other, 40));
         // Other senders have their own budget.
         assert!(engine.send(NodeId::new(2), NodeId::new(3), Phase::Other, 40));
+    }
+
+    #[test]
+    fn lost_messages_do_not_stretch_the_round() {
+        // Regression: round_horizon used to advance to the arrival instant
+        // of *undelivered* messages, so under Stretch a message lost to
+        // churn (or loss, or the bandwidth cap) still stretched the round
+        // for everyone — a phantom tail no real barrier would wait for.
+        let median: u64 = 1_000 + (80_000 - 1_000) / 2;
+        let build = || {
+            AsyncEngine::new(
+                AsyncConfig::new(SimConfig::new(8).with_seed(33)).with_latency(
+                    LatencyModel::Uniform {
+                        lo_us: 1_000,
+                        hi_us: 80_000,
+                    },
+                ),
+            )
+        };
+
+        // A round whose every send fails (dead receiver) must close at the
+        // base window length, not at the lost messages' would-be arrivals.
+        let mut engine = build();
+        engine.apply_crash(NodeId::new(7));
+        for i in 0..4 {
+            let ok = engine.send(NodeId::new(i), NodeId::new(7), Phase::Other, 8);
+            assert!(!ok, "send to a crashed receiver cannot deliver");
+        }
+        engine.advance_round();
+        assert_eq!(
+            engine.now_us(),
+            median,
+            "a fully-lossy round inherits no phantom tail"
+        );
+
+        // Control: delivered messages still stretch to the real straggler.
+        let mut engine = build();
+        for i in 0..4 {
+            assert!(engine.send(NodeId::new(i), NodeId::new(i + 4), Phase::Other, 8));
+        }
+        engine.advance_round();
+        let slowest = engine.async_metrics().latency.max_us();
+        assert_eq!(engine.now_us(), slowest.max(median));
+    }
+
+    #[test]
+    fn dead_senders_are_not_charged_bandwidth() {
+        // Regression: bits_this_round[from] was charged unconditionally,
+        // so a crashed node's budget kept accruing while it was dead and
+        // the stale tally was what a rejoiner's accounting started from.
+        let mut engine = AsyncEngine::new(
+            AsyncConfig::new(SimConfig::new(4).with_seed(11)).with_bandwidth_bits_per_round(100),
+        );
+        engine.apply_crash(NodeId::new(0));
+        for _ in 0..5 {
+            let ok = engine.send(NodeId::new(0), NodeId::new(1), Phase::Other, 40);
+            assert!(!ok, "a dead sender transmits nothing");
+        }
+        assert_eq!(
+            engine.bits_this_round[0], 0,
+            "attempts from a dead sender must not accrue against its budget"
+        );
+        assert_eq!(
+            engine.async_metrics().bandwidth_drops,
+            0,
+            "dead-sender drops are liveness drops, not bandwidth drops"
+        );
+
+        // Over-budget sequence from a *live* sender: every transmitted
+        // attempt accrues, including the ones the budget then drops.
+        for _ in 0..4 {
+            engine.send(NodeId::new(2), NodeId::new(3), Phase::Other, 40);
+        }
+        assert_eq!(engine.bits_this_round[2], 160, "live attempts all accrue");
+        assert_eq!(engine.async_metrics().bandwidth_drops, 2);
     }
 
     #[test]

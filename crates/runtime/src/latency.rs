@@ -58,14 +58,17 @@ impl LatencyModel {
         1.0 - spread + 2.0 * spread * unit
     }
 
-    /// Sample one message latency. [`LatencyModel::Constant`] draws nothing
-    /// from `rng`.
+    /// Sample one message latency, floored at 1 µs — no message arrives at
+    /// the instant it was sent, which is also the contract
+    /// [`LatencyModel::min_us`] (and with it the sharded engine's
+    /// cross-shard lookahead) relies on. [`LatencyModel::Constant`] draws
+    /// nothing from `rng`.
     pub fn sample(&self, rng: &mut SmallRng) -> u64 {
         match *self {
-            LatencyModel::Constant(us) => us,
+            LatencyModel::Constant(us) => us.max(1),
             LatencyModel::Uniform { lo_us, hi_us } => {
                 assert!(lo_us <= hi_us, "uniform latency needs lo <= hi");
-                rng.gen_range(lo_us..=hi_us)
+                rng.gen_range(lo_us..=hi_us).max(1)
             }
             LatencyModel::LogNormal { median_us, sigma } => {
                 assert!(
@@ -76,6 +79,21 @@ impl LatencyModel {
                 let x = median_us * (sigma * z).exp();
                 x.round().max(1.0) as u64
             }
+        }
+    }
+
+    /// A hard lower bound on any sampled latency (µs), before the per-link
+    /// bias. Every model floors its samples at 1 µs; the sharded engine
+    /// derives its bounded-lag epoch (the cross-shard lookahead) from this:
+    /// a message sent at `t` can never arrive before `t + min_us`, so
+    /// shards may safely run `min_us` of virtual time apart.
+    pub fn min_us(&self) -> u64 {
+        match *self {
+            LatencyModel::Constant(us) => us.max(1),
+            LatencyModel::Uniform { lo_us, .. } => lo_us.max(1),
+            // Log-normal support reaches (after rounding) all the way down
+            // to the 1 µs floor.
+            LatencyModel::LogNormal { .. } => 1,
         }
     }
 
@@ -105,6 +123,22 @@ mod tests {
         // a is untouched: same next value as the fresh clone b.
         use rand::RngCore;
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn samples_are_floored_at_one_microsecond() {
+        // min_us() promises a 1 µs floor and the sharded engine's bounded-
+        // lag epoch depends on it: a 0 µs sample would let a message arrive
+        // at its own send instant, in a slot the calendar queue has already
+        // detached.
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert_eq!(LatencyModel::Constant(0).sample(&mut rng), 1);
+        assert_eq!(LatencyModel::Constant(0).min_us(), 1);
+        let zeroish = LatencyModel::Uniform { lo_us: 0, hi_us: 1 };
+        for _ in 0..100 {
+            assert!(zeroish.sample(&mut rng) >= 1);
+        }
+        assert_eq!(zeroish.min_us(), 1);
     }
 
     #[test]

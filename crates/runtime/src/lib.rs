@@ -33,6 +33,12 @@
 //!   `on_message` / `on_timer`) dispatched straight from the event queue,
 //!   with first-class timer events and crash/rejoin incarnations — the
 //!   execution model of the continuous anti-entropy layer (`gossip-ae`).
+//! * **A sharded host** ([`ShardedDriver`]): the same `Handler` protocols
+//!   with the node space partitioned across shards — per-shard calendar
+//!   queues, per-node RNG streams ([`gossip_net::node_rng`]) and deterministic
+//!   bounded-lag cross-shard batching — which scales the event loop to
+//!   n ≥ 10⁶ with runs that are bit-identical across shard counts, worker
+//!   threads and event-loop slicings (see the `shard` module docs).
 //!
 //! Determinism is preserved end to end: a run is a pure function of the
 //! [`SimConfig`](gossip_net::SimConfig) seed and the engine parameters.
@@ -68,6 +74,7 @@ pub mod engine;
 pub mod event;
 pub mod latency;
 pub mod metrics;
+pub mod shard;
 pub mod sweep;
 
 pub use churn::ChurnModel;
@@ -76,4 +83,5 @@ pub use engine::{AsyncConfig, AsyncEngine, RoundPolicy};
 pub use event::{Event, EventQueue, ScheduledEvent};
 pub use latency::LatencyModel;
 pub use metrics::{AsyncMetrics, LatencyHistogram};
+pub use shard::ShardedDriver;
 pub use sweep::SweepRunner;

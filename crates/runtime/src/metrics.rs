@@ -145,6 +145,19 @@ pub struct AsyncMetrics {
     pub latency: LatencyHistogram,
 }
 
+impl AsyncMetrics {
+    /// Merge another metrics object into this one (counters add, latency
+    /// histograms merge). The sharded engine keeps one `AsyncMetrics` per
+    /// shard and merges them into the global view on demand.
+    pub fn merge(&mut self, other: &AsyncMetrics) {
+        self.late_drops += other.late_drops;
+        self.bandwidth_drops += other.bandwidth_drops;
+        self.churn_crashes += other.churn_crashes;
+        self.churn_rejoins += other.churn_rejoins;
+        self.latency.merge(&other.latency);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

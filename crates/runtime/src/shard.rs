@@ -1,0 +1,1167 @@
+//! The sharded event engine: the node space partitioned across shards,
+//! each with its own event queue, node state and RNG streams.
+//!
+//! [`EventDriver`](crate::EventDriver) keeps all O(n) per-node state and a
+//! single binary heap behind one thread, which caps every experiment at
+//! small n. [`ShardedDriver`] is the scale-out execution model: the node
+//! space is split into `S` contiguous shards, and each shard owns
+//!
+//! * its nodes' state — handler instances, liveness, incarnation epochs,
+//!   per-window bandwidth tallies,
+//! * a **per-shard event queue** holding exactly the events addressed to
+//!   its nodes, and
+//! * its nodes' **private RNG streams** ([`gossip_net::node_rng`]).
+//!
+//! # Why per-node RNG streams
+//!
+//! The single-queue engines funnel every draw through one global RNG, so
+//! the stream each node sees depends on the global interleaving of all
+//! events — reproducible on one thread, but impossible to preserve once
+//! two shards draw concurrently. The sharded driver therefore re-derives
+//! the determinism contract *per node*: every protocol-visible draw (peer
+//! sampling, loss, latency) comes from the acting node's own stream, which
+//! advances only through that node's own callbacks. A node's behaviour is
+//! then a pure function of the seed and its own event history — identical
+//! whatever the shard count, worker count or event-loop slicing.
+//!
+//! # Deterministic cross-shard batching
+//!
+//! Events are globally ordered by the key `(timestamp, origin node,
+//! per-origin sequence)` — a total order every shard can compute locally,
+//! unlike the single global submission counter of the one-queue engines.
+//! Time advances in **bounded-lag epochs** of at most the latency model's
+//! minimum ([`LatencyModel::min_us`](crate::LatencyModel::min_us), scaled
+//! down by the link spread): a
+//! message sent at `t` can never arrive before `t + lookahead`, so while a
+//! shard processes the epoch `[E, E + lookahead)` every cross-shard message
+//! it emits lands at or beyond the epoch end. Shards therefore run each
+//! epoch completely independently (in parallel when the host has cores to
+//! spare — results are bit-identical either way), buffer cross-shard sends
+//! in per-destination outboxes, and exchange the batches at the epoch
+//! barrier. **Window barriers** (the churn cadence, default one latency
+//! median) are global synchronization points layered on the same loop:
+//! churn coins are drawn serially from a dedicated driver-level stream in
+//! node-id order, rejoiners reboot with fresh handlers and bumped epochs,
+//! and per-window bandwidth budgets reset.
+//!
+//! # The order fingerprint
+//!
+//! Each dispatched event folds into its *destination node's* hash; the
+//! driver's [`DriverMetrics::order_hash`] folds the per-node hashes in
+//! node-id order. Because each node's event sequence is shard-count
+//! invariant, the combined hash is too — the determinism suite pins it
+//! across shard counts {1, 2, 8}, re-runs, slicing, and the parallel vs
+//! sequential execution paths.
+//!
+//! Delivery semantics are the engine's, re-cut along ownership lines: the
+//! *sender's* shard draws loss and latency and enforces the bandwidth
+//! budget and deadline; the *receiver's* shard rules on receiver liveness
+//! at the arrival instant (crashes are events in the same total order) and
+//! records the attempt in its metrics. The two single-queue engines decide
+//! receiver liveness at send time instead, so sharded runs are not
+//! bit-comparable with `EventDriver` runs — each execution model pins its
+//! own golden hashes.
+
+use crate::driver::DriverMetrics;
+use crate::engine::AsyncConfig;
+use crate::metrics::AsyncMetrics;
+use gossip_net::{node_rng, Handler, Mailbox, Metrics, NodeId, Phase, TimerId};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Word-level FNV-style fold for the per-node dispatch hashes, on the same
+/// FNV constants as [`DriverMetrics`]. Three words per event keep the hot
+/// path cheap (the byte-level FNV of the one-queue driver costs 32
+/// multiplies per event; this costs 3).
+#[inline]
+fn fold3(h: &mut u64, a: u64, b: u64, c: u64) {
+    use crate::driver::FNV_PRIME;
+    *h = (*h ^ a).wrapping_mul(FNV_PRIME);
+    *h = (*h ^ b).wrapping_mul(FNV_PRIME);
+    *h = (*h ^ c).wrapping_mul(FNV_PRIME);
+}
+
+/// What happens when a scheduled event reaches its destination node.
+enum EventKind<M> {
+    /// A message arrives (sender-side checks already passed; receiver
+    /// liveness is ruled on here, at the owner).
+    Deliver {
+        phase: Phase,
+        bits: u32,
+        latency_us: u64,
+        msg: M,
+    },
+    /// A timer armed by incarnation `incarnation` of the node fires.
+    Timer { timer: TimerId, incarnation: u32 },
+    /// The node crashes.
+    Crash,
+}
+
+impl<M> EventKind<M> {
+    /// Kind tag folded into the order hash (mirrors the one-queue driver's
+    /// 1 = message, 2 = crash, 3 = timer labelling).
+    fn tag(&self) -> u64 {
+        match self {
+            EventKind::Deliver { .. } => 1,
+            EventKind::Crash => 2,
+            EventKind::Timer { .. } => 3,
+        }
+    }
+}
+
+/// An event addressed to `to`, globally ordered by
+/// `(at_us, origin, oseq)` — a key every shard computes locally, so the
+/// total order is independent of the shard count.
+struct ShardEvent<M> {
+    at_us: u64,
+    /// The node whose action scheduled this event (sender of a message,
+    /// owner of a timer, the crashing node itself).
+    origin: u32,
+    /// The origin's private, monotone event-scheduling counter.
+    oseq: u64,
+    /// Destination node (the shard that owns it dispatches the event).
+    to: u32,
+    kind: EventKind<M>,
+}
+
+/// Wheel size (µs, power of two). Events further than this ahead of the
+/// cursor wait in the overflow list and are folded into the wheel at
+/// revolution boundaries.
+const WHEEL_US: u64 = 4096;
+const WHEEL_MASK: u64 = WHEEL_US - 1;
+
+/// Epochs shorter than this run the shards sequentially even when the
+/// parallel path is enabled: below it, the per-epoch `thread::scope`
+/// setup outweighs the dispatch work an epoch can possibly contain.
+const MIN_PARALLEL_EPOCH_US: u64 = 32;
+
+/// A calendar queue (timing wheel): one bucket per virtual microsecond,
+/// modulo [`WHEEL_US`].
+///
+/// The single-queue engines use a binary heap, whose `O(log k)` pops walk
+/// `k`-sized cold memory — at n = 10⁶ that walk, not the protocol, is the
+/// simulation's hot loop. The sharded driver's time only moves forward in
+/// bounded-lag epochs, which is exactly the access pattern a calendar
+/// queue rewards: `O(1)` pushes into the bucket `at_us & WHEEL_MASK`, and
+/// a cursor that sweeps the buckets in virtual-time order. Determinism is
+/// preserved because every bucket holds events of a single instant (any
+/// two in-wheel events in one slot are equal mod `WHEEL_US` and less than
+/// `WHEEL_US` apart, hence simultaneous) and drains in `(origin, oseq)`
+/// order — the same global `(timestamp, origin, origin-sequence)` total
+/// order a heap would produce.
+struct CalendarQueue<M> {
+    wheel: Vec<Vec<ShardEvent<M>>>,
+    /// Events at or beyond `cursor + WHEEL_US`, parked until their
+    /// revolution comes around.
+    overflow: Vec<ShardEvent<M>>,
+    /// All events strictly below the cursor have been drained.
+    cursor: u64,
+}
+
+impl<M> CalendarQueue<M> {
+    fn new() -> Self {
+        CalendarQueue {
+            wheel: (0..WHEEL_US).map(|_| Vec::new()).collect(),
+            overflow: Vec::new(),
+            cursor: 0,
+        }
+    }
+
+    /// Schedule an event. Its instant must not lie in the past (the
+    /// mailbox floors delays at 1 µs and cross-shard arrivals carry at
+    /// least the lookahead, so this holds by construction).
+    #[inline]
+    fn push(&mut self, ev: ShardEvent<M>) {
+        debug_assert!(ev.at_us >= self.cursor, "event scheduled in the past");
+        if ev.at_us >= self.cursor + WHEEL_US {
+            self.overflow.push(ev);
+        } else {
+            self.wheel[(ev.at_us & WHEEL_MASK) as usize].push(ev);
+        }
+    }
+
+    /// Fold every overflow event whose revolution has arrived into the
+    /// wheel. Called whenever the cursor crosses a multiple of
+    /// [`WHEEL_US`]; an overflow event's instant is always at or beyond
+    /// the *next* boundary, so it is re-filed before the cursor can pass
+    /// it.
+    fn redistribute(&mut self) {
+        let horizon = self.cursor + WHEEL_US;
+        let mut i = 0;
+        while i < self.overflow.len() {
+            if self.overflow[i].at_us < horizon {
+                let ev = self.overflow.swap_remove(i);
+                self.wheel[(ev.at_us & WHEEL_MASK) as usize].push(ev);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Per-shard slice of the driver counters (summed on demand).
+#[derive(Clone, Copy, Debug, Default)]
+struct ShardCounters {
+    messages_dispatched: u64,
+    timer_fires: u64,
+    stale_timer_skips: u64,
+    dead_receiver_drops: u64,
+}
+
+/// One shard: the owner of a contiguous block of nodes.
+struct Shard<H: Handler> {
+    /// First global node id owned by this shard.
+    start: usize,
+    // Per owned node, indexed by `global id - start`:
+    handlers: Vec<H>,
+    alive: Vec<bool>,
+    crash_at: Vec<Option<u64>>,
+    incarnation: Vec<u32>,
+    rng: Vec<SmallRng>,
+    oseq: Vec<u64>,
+    bits_window: Vec<u64>,
+    node_hash: Vec<u64>,
+    // Shard-local aggregates:
+    alive_count: usize,
+    pending_crashes: usize,
+    queue: CalendarQueue<H::Msg>,
+    /// Cross-shard sends buffered per destination shard, exchanged at
+    /// epoch barriers.
+    outbox: Vec<Vec<ShardEvent<H::Msg>>>,
+    metrics: Metrics,
+    async_metrics: AsyncMetrics,
+    counters: ShardCounters,
+}
+
+/// The geometry and engine parameters a dispatching shard needs; shared
+/// read-only across worker threads.
+struct Topology {
+    config: AsyncConfig,
+    /// Nodes per shard (`ceil(n / shards)`); node `i` lives in shard
+    /// `i / chunk`.
+    chunk: usize,
+    num_shards: usize,
+}
+
+/// Split-borrow helper: carves a [`Shard`] into the handler at `local`
+/// plus a [`ShardMailbox`] lending every *other* per-node field — the one
+/// place the mailbox's field wiring is written down. A macro rather than a
+/// method because a method returning the pair would borrow all of `self`,
+/// hiding the field-level disjointness the borrow checker needs.
+/// `$incarnation` must be a pre-evaluated value, not a borrow of the
+/// shard.
+macro_rules! handler_and_mailbox {
+    ($shard:expr, $topo:expr, $local:expr, $now_us:expr, $incarnation:expr) => {{
+        let shard = &mut *$shard;
+        (
+            &mut shard.handlers[$local],
+            ShardMailbox {
+                me: NodeId::new(shard.start + $local),
+                now_us: $now_us,
+                incarnation: $incarnation,
+                topo: $topo,
+                rng: &mut shard.rng[$local],
+                oseq: &mut shard.oseq[$local],
+                bits_window: &mut shard.bits_window[$local],
+                shard_start: shard.start,
+                queue: &mut shard.queue,
+                outbox: &mut shard.outbox,
+                metrics: &mut shard.metrics,
+                async_metrics: &mut shard.async_metrics,
+            },
+        )
+    }};
+}
+
+impl<H: Handler> Shard<H> {
+    /// Dispatch every queued event due strictly before `end_us`, in global
+    /// key order. The bounded-lag contract guarantees no event below
+    /// `end_us` can still be in another shard's outbox.
+    ///
+    /// The cursor sweeps the calendar one microsecond at a time; a slot's
+    /// batch is detached, sorted by `(origin, oseq)` — timestamps within a
+    /// slot are all the cursor instant — and dispatched. Dispatches only
+    /// ever schedule *future* events (delays floor at 1 µs), so the
+    /// detached batch is complete when it is sorted.
+    fn run_epoch(&mut self, end_us: u64, topo: &Topology) {
+        while self.queue.cursor < end_us {
+            if self.queue.cursor & WHEEL_MASK == 0 {
+                self.queue.redistribute();
+            }
+            let slot = (self.queue.cursor & WHEEL_MASK) as usize;
+            if !self.queue.wheel[slot].is_empty() {
+                let mut batch = std::mem::take(&mut self.queue.wheel[slot]);
+                batch.sort_unstable_by_key(|ev| (ev.origin, ev.oseq));
+                for ev in batch.drain(..) {
+                    debug_assert_eq!(ev.at_us, self.queue.cursor, "slot holds one instant");
+                    self.dispatch(ev, topo);
+                }
+                // Hand the allocation back for the slot's next revolution.
+                self.queue.wheel[slot] = batch;
+            }
+            self.queue.cursor += 1;
+        }
+    }
+
+    fn dispatch(&mut self, ev: ShardEvent<H::Msg>, topo: &Topology) {
+        let local = ev.to as usize - self.start;
+        let tagged = ev.kind.tag() << 60 | u64::from(ev.origin) << 28;
+        match ev.kind {
+            EventKind::Crash => {
+                if self.alive[local] {
+                    self.alive[local] = false;
+                    self.alive_count -= 1;
+                    self.async_metrics.churn_crashes += 1;
+                }
+                if self.crash_at[local].take().is_some() {
+                    self.pending_crashes -= 1;
+                }
+                fold3(&mut self.node_hash[local], ev.at_us, tagged, ev.oseq);
+            }
+            EventKind::Deliver {
+                phase,
+                bits,
+                latency_us,
+                msg,
+            } => {
+                // The receiver-side verdict: alive at the arrival instant.
+                // Crashes are events in the same total order, so "at the
+                // arrival instant" is exact, not a window approximation.
+                let ok = self.alive[local];
+                self.metrics.record_send(phase, bits, ok);
+                if !ok {
+                    self.counters.dead_receiver_drops += 1;
+                    return;
+                }
+                self.async_metrics.latency.record(latency_us);
+                self.counters.messages_dispatched += 1;
+                fold3(&mut self.node_hash[local], ev.at_us, tagged, ev.oseq);
+                let incarnation = self.incarnation[local];
+                let (handler, mut mailbox) =
+                    handler_and_mailbox!(self, topo, local, ev.at_us, incarnation);
+                handler.on_message(NodeId::new(ev.origin as usize), msg, &mut mailbox);
+            }
+            EventKind::Timer { timer, incarnation } => {
+                if !self.alive[local] || self.incarnation[local] != incarnation {
+                    self.counters.stale_timer_skips += 1;
+                    return;
+                }
+                self.counters.timer_fires += 1;
+                fold3(
+                    &mut self.node_hash[local],
+                    ev.at_us,
+                    tagged | u64::from(timer.0),
+                    ev.oseq,
+                );
+                let (handler, mut mailbox) =
+                    handler_and_mailbox!(self, topo, local, ev.at_us, incarnation);
+                handler.on_timer(timer, &mut mailbox);
+            }
+        }
+    }
+
+    /// Run `on_start` for the (fresh) handler at local index `local`, with
+    /// the clock at `now_us`. Used for initial boots and rejoin restarts.
+    fn boot(&mut self, local: usize, now_us: u64, topo: &Topology) {
+        let incarnation = self.incarnation[local];
+        let (handler, mut mailbox) = handler_and_mailbox!(self, topo, local, now_us, incarnation);
+        handler.on_start(&mut mailbox);
+    }
+}
+
+/// The mailbox a sharded dispatch hands to handler callbacks: a view of
+/// one node's slice of its shard.
+struct ShardMailbox<'a, M> {
+    me: NodeId,
+    now_us: u64,
+    incarnation: u32,
+    topo: &'a Topology,
+    rng: &'a mut SmallRng,
+    oseq: &'a mut u64,
+    bits_window: &'a mut u64,
+    shard_start: usize,
+    queue: &'a mut CalendarQueue<M>,
+    outbox: &'a mut Vec<Vec<ShardEvent<M>>>,
+    metrics: &'a mut Metrics,
+    async_metrics: &'a mut AsyncMetrics,
+}
+
+impl<M> ShardMailbox<'_, M> {
+    #[inline]
+    fn next_oseq(&mut self) -> u64 {
+        let seq = *self.oseq;
+        *self.oseq += 1;
+        seq
+    }
+
+    #[inline]
+    fn push(&mut self, ev: ShardEvent<M>) {
+        let dest = ev.to as usize / self.topo.chunk;
+        if ev.to as usize >= self.shard_start
+            && (ev.to as usize) < self.shard_start + self.topo.chunk
+        {
+            self.queue.push(ev);
+        } else {
+            self.outbox[dest].push(ev);
+        }
+    }
+}
+
+impl<M> Mailbox<M> for ShardMailbox<'_, M> {
+    fn me(&self) -> NodeId {
+        self.me
+    }
+
+    fn n(&self) -> usize {
+        self.topo.config.sim.n
+    }
+
+    fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    fn send(&mut self, to: NodeId, phase: Phase, bits: u32, msg: M) {
+        let config = &self.topo.config;
+        // Sender-side verdicts, all drawn from the sender's own stream in a
+        // fixed order (the callback only runs on a live node, so the sender
+        // is alive by construction — and its attempt accrues against its
+        // bandwidth budget, exactly the engine's post-fix semantics).
+        let lost = config.sim.loss_prob > 0.0 && self.rng.gen_bool(config.sim.loss_prob);
+        let mut latency_us = config.latency.sample(self.rng);
+        if config.link_spread > 0.0 {
+            let bias = crate::latency::LatencyModel::link_bias(
+                config.sim.seed,
+                self.me,
+                to,
+                config.link_spread,
+            );
+            latency_us = ((latency_us as f64) * bias).round().max(1.0) as u64;
+        }
+        let over_budget = match config.bandwidth_bits_per_round {
+            Some(budget) => *self.bits_window + u64::from(bits) > budget,
+            None => false,
+        };
+        *self.bits_window += u64::from(bits);
+        if lost {
+            self.metrics.record_send(phase, bits, false);
+            return;
+        }
+        if over_budget {
+            self.async_metrics.bandwidth_drops += 1;
+            self.metrics.record_send(phase, bits, false);
+            return;
+        }
+        if let crate::engine::RoundPolicy::FixedDeadline(deadline) = config.round_policy {
+            if latency_us > deadline {
+                self.async_metrics.late_drops += 1;
+                self.metrics.record_send(phase, bits, false);
+                return;
+            }
+        }
+        // In flight: the receiver's shard rules on liveness at arrival and
+        // records the attempt with the final verdict.
+        let oseq = self.next_oseq();
+        let ev = ShardEvent {
+            at_us: self.now_us + latency_us,
+            origin: self.me.index() as u32,
+            oseq,
+            to: to.index() as u32,
+            kind: EventKind::Deliver {
+                phase,
+                bits,
+                latency_us,
+                msg,
+            },
+        };
+        self.push(ev);
+    }
+
+    fn set_timer(&mut self, delay_us: u64, timer: TimerId) {
+        let at_us = self.now_us.saturating_add(delay_us.max(1));
+        let oseq = self.next_oseq();
+        // Timers stay with their owner: always the shard's own queue.
+        self.queue.push(ShardEvent {
+            at_us,
+            origin: self.me.index() as u32,
+            oseq,
+            to: self.me.index() as u32,
+            kind: EventKind::Timer {
+                timer,
+                incarnation: self.incarnation,
+            },
+        });
+    }
+
+    fn rng_mut(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+}
+
+/// Hosts one [`Handler`] per node across `S` shards. See the module docs
+/// for the determinism contract and the cross-shard batching protocol.
+pub struct ShardedDriver<H: Handler> {
+    topo: Topology,
+    shards: Vec<Shard<H>>,
+    factory: Box<dyn Fn(NodeId) -> H + Send>,
+    /// Driver-level stream for initial crashes and churn coins (drawn
+    /// serially at barriers in node-id order; seeded exactly like the
+    /// engine's setup stream, so initial alive sets match `AsyncEngine`'s
+    /// for the same `SimConfig`).
+    churn_rng: SmallRng,
+    /// Churn-window length (µs).
+    window_us: u64,
+    /// Bounded-lag epoch length (µs), ≤ the cross-shard lookahead.
+    epoch_us: u64,
+    /// Next window boundary.
+    next_window: u64,
+    /// Exclusive frontier: every event strictly below this has dispatched.
+    frontier: u64,
+    /// User-facing clock: the largest `run_until` target reached.
+    clock: u64,
+    started: bool,
+    parallel: bool,
+    /// Metrics drained from the shards at barriers (owns the round count:
+    /// one round per window, with per-window message totals).
+    base_metrics: Metrics,
+    base_async: AsyncMetrics,
+    handler_starts: u64,
+    rejoin_log: Vec<(u64, NodeId)>,
+}
+
+impl<H: Handler + Send> ShardedDriver<H>
+where
+    H::Msg: Send,
+{
+    /// Build a driver hosting `factory(node)` for every node, partitioned
+    /// into `shards` contiguous shards. The factory runs once per node up
+    /// front and again at every rejoin.
+    pub fn new(
+        config: AsyncConfig,
+        shards: usize,
+        factory: impl Fn(NodeId) -> H + Send + 'static,
+    ) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        config
+            .sim
+            .validate()
+            .expect("invalid simulation configuration");
+        let n = config.sim.n;
+        let num_shards = shards.min(n);
+        let chunk = n.div_ceil(num_shards);
+        let num_shards = n.div_ceil(chunk); // trailing empty shards dropped
+
+        // Initial crashes: the shared setup stream, drawn in node order —
+        // the identical alive set every backend starts from.
+        let (alive, _, churn_rng) = crate::engine::draw_initial_liveness(&config.sim);
+
+        let lookahead = Self::lookahead_us(&config);
+        let window_us = config.latency.median_us().max(1);
+        let mut shard_vec = Vec::with_capacity(num_shards);
+        for s in 0..num_shards {
+            let start = s * chunk;
+            let end = ((s + 1) * chunk).min(n);
+            let ids = start..end;
+            shard_vec.push(Shard {
+                start,
+                handlers: ids.clone().map(|i| factory(NodeId::new(i))).collect(),
+                alive: alive[start..end].to_vec(),
+                crash_at: vec![None; end - start],
+                incarnation: vec![0; end - start],
+                rng: ids
+                    .clone()
+                    .map(|i| node_rng(config.sim.seed, NodeId::new(i)))
+                    .collect(),
+                oseq: vec![0; end - start],
+                bits_window: vec![0; end - start],
+                node_hash: vec![crate::driver::FNV_OFFSET; end - start],
+                alive_count: alive[start..end].iter().filter(|&&a| a).count(),
+                pending_crashes: 0,
+                queue: CalendarQueue::new(),
+                outbox: (0..num_shards).map(|_| Vec::new()).collect(),
+                metrics: Metrics::new(),
+                async_metrics: AsyncMetrics::default(),
+                counters: ShardCounters::default(),
+            });
+        }
+        let parallel = num_shards > 1
+            && std::thread::available_parallelism()
+                .map(|v| v.get())
+                .unwrap_or(1)
+                > 1;
+        ShardedDriver {
+            topo: Topology {
+                config,
+                chunk,
+                num_shards,
+            },
+            shards: shard_vec,
+            factory: Box::new(factory),
+            churn_rng,
+            window_us,
+            epoch_us: lookahead,
+            next_window: window_us,
+            frontier: 0,
+            clock: 0,
+            started: false,
+            parallel,
+            base_metrics: Metrics::new(),
+            base_async: AsyncMetrics::default(),
+            handler_starts: 0,
+            rejoin_log: Vec::new(),
+        }
+    }
+
+    /// The cross-shard lookahead: the smallest possible effective latency
+    /// (model minimum scaled by the worst-case slow-link bias).
+    fn lookahead_us(config: &AsyncConfig) -> u64 {
+        let min = config.latency.min_us();
+        (((min as f64) * (1.0 - config.link_spread)).floor() as u64).max(1)
+    }
+
+    /// Set the churn-window length (µs). Must precede the first
+    /// [`run_until`](ShardedDriver::run_until).
+    pub fn with_window_us(mut self, window_us: u64) -> Self {
+        assert!(window_us >= 1, "window length must be at least 1µs");
+        assert!(!self.started, "window length is fixed once the run starts");
+        self.window_us = window_us;
+        self.next_window = window_us;
+        self
+    }
+
+    /// Set the bounded-lag epoch length (µs). Shorter epochs exchange
+    /// cross-shard batches more often; longer ones amortize the barrier.
+    ///
+    /// # Panics
+    /// Panics if `epoch_us` exceeds the cross-shard lookahead (the latency
+    /// model's minimum scaled by the link spread) — events would arrive in
+    /// a shard's past and the run would no longer be shard-count invariant
+    /// — or if the run has already started (a mid-run epoch change would
+    /// break the slicing-invariance contract).
+    pub fn with_epoch_us(mut self, epoch_us: u64) -> Self {
+        assert!(!self.started, "epoch length is fixed once the run starts");
+        let lookahead = Self::lookahead_us(&self.topo.config);
+        assert!(
+            (1..=lookahead).contains(&epoch_us),
+            "epoch must lie in [1, {lookahead}] (the cross-shard lookahead), got {epoch_us}"
+        );
+        self.epoch_us = epoch_us;
+        self
+    }
+
+    /// Force the parallel (scoped worker threads) or sequential execution
+    /// path. Results are bit-identical either way; the default uses threads
+    /// whenever the host has more than one core and there is more than one
+    /// shard.
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel && self.topo.num_shards > 1;
+        self
+    }
+
+    /// Number of shards actually in use (`min(requested, n)`).
+    pub fn num_shards(&self) -> usize {
+        self.topo.num_shards
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.topo.config.sim.n
+    }
+
+    /// Current virtual time (µs): the largest instant run so far.
+    pub fn now_us(&self) -> u64 {
+        self.clock
+    }
+
+    /// Whether `node` is currently alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        let (s, local) = self.locate(node.index());
+        self.shards[s].alive[local]
+    }
+
+    /// Number of currently alive nodes.
+    pub fn alive_count(&self) -> usize {
+        self.shards.iter().map(|s| s.alive_count).sum()
+    }
+
+    /// The handler currently installed at `node` (the live incarnation).
+    pub fn handler(&self, node: NodeId) -> &H {
+        let (s, local) = self.locate(node.index());
+        &self.shards[s].handlers[local]
+    }
+
+    /// All handlers with their node ids, in node-id order.
+    pub fn iter_handlers(&self) -> impl Iterator<Item = (NodeId, &H)> {
+        self.shards.iter().flat_map(|shard| {
+            shard
+                .handlers
+                .iter()
+                .enumerate()
+                .map(move |(local, h)| (NodeId::new(shard.start + local), h))
+        })
+    }
+
+    /// Merged protocol metrics: message/bit/drop counts summed across
+    /// shards; one round per crossed window, with per-window message
+    /// totals.
+    pub fn net_metrics(&self) -> Metrics {
+        let mut merged = self.base_metrics.clone();
+        for shard in &self.shards {
+            merged.merge(&shard.metrics);
+        }
+        merged
+    }
+
+    /// Merged engine-level metrics (drop causes, churn counts, latency).
+    pub fn async_metrics(&self) -> AsyncMetrics {
+        let mut merged = self.base_async.clone();
+        for shard in &self.shards {
+            merged.merge(&shard.async_metrics);
+        }
+        merged
+    }
+
+    /// Merged driver counters and the shard-count-invariant order hash.
+    pub fn metrics(&self) -> DriverMetrics {
+        let mut m = DriverMetrics::new();
+        m.handler_starts = self.handler_starts;
+        m.rejoin_log = self.rejoin_log.clone();
+        for shard in &self.shards {
+            m.messages_dispatched += shard.counters.messages_dispatched;
+            m.timer_fires += shard.counters.timer_fires;
+            m.stale_timer_skips += shard.counters.stale_timer_skips;
+            m.dead_receiver_drops += shard.counters.dead_receiver_drops;
+        }
+        for shard in &self.shards {
+            for &h in &shard.node_hash {
+                m.fold_word(h);
+            }
+        }
+        m
+    }
+
+    /// The shard-count-invariant dispatch-order fingerprint (shorthand for
+    /// [`metrics`](ShardedDriver::metrics)`().order_hash`).
+    pub fn order_hash(&self) -> u64 {
+        self.metrics().order_hash
+    }
+
+    /// Total events dispatched (messages + timers + crashes + drops) — the
+    /// throughput numerator of the `engine_scaling` experiment.
+    pub fn events_dispatched(&self) -> u64 {
+        let m = self.metrics();
+        let a = self.async_metrics();
+        m.messages_dispatched
+            + m.timer_fires
+            + m.stale_timer_skips
+            + m.dead_receiver_drops
+            + a.churn_crashes
+    }
+
+    #[inline]
+    fn locate(&self, node: usize) -> (usize, usize) {
+        let s = node / self.topo.chunk;
+        (s, node - self.shards[s].start)
+    }
+
+    /// Advance virtual time to `t_end_us`, dispatching every event due on
+    /// the way in the global `(timestamp, origin, origin-sequence)` order.
+    /// The first call boots all initially-alive handlers (`on_start` at
+    /// t = 0, in node-id order). Resumable: in-flight batches and armed
+    /// timers survive between calls, and slicing a run never changes it.
+    pub fn run_until(&mut self, t_end_us: u64) {
+        if !self.started {
+            self.started = true;
+            for i in 0..self.topo.config.sim.n {
+                let (s, local) = self.locate(i);
+                if self.shards[s].alive[local] {
+                    self.handler_starts += 1;
+                    self.shards[s].boot(local, 0, &self.topo);
+                }
+            }
+            self.exchange();
+        }
+        let target = t_end_us.saturating_add(1);
+        while self.frontier < target {
+            if self.frontier == self.next_window {
+                let boundary = self.next_window;
+                self.cross_barrier(boundary);
+                self.next_window += self.window_us;
+                self.exchange();
+                continue;
+            }
+            let end = (self.frontier + self.epoch_us)
+                .min(self.next_window)
+                .min(target);
+            self.run_epoch(end);
+            self.exchange();
+            self.frontier = end;
+        }
+        self.clock = self.clock.max(t_end_us);
+    }
+
+    /// [`run_until`](ShardedDriver::run_until) relative to the current
+    /// clock.
+    pub fn run_for(&mut self, delta_us: u64) {
+        self.run_until(self.clock.saturating_add(delta_us));
+    }
+
+    /// Dispatch one epoch on every shard — on scoped worker threads when
+    /// enabled, sequentially otherwise. Shards touch only their own state,
+    /// so the two paths are bit-identical.
+    fn run_epoch(&mut self, end_us: u64) {
+        let topo = &self.topo;
+        // Worker threads only pay for themselves when an epoch carries
+        // real work. A model whose lookahead collapses to a few µs (log-
+        // normal's floor is 1) would otherwise spawn a thread scope per
+        // virtual microsecond — strictly slower than just sweeping the
+        // shards in place. Results are bit-identical on either path.
+        if self.parallel && self.epoch_us >= MIN_PARALLEL_EPOCH_US {
+            std::thread::scope(|scope| {
+                for shard in self.shards.iter_mut() {
+                    scope.spawn(move || shard.run_epoch(end_us, topo));
+                }
+            });
+        } else {
+            for shard in self.shards.iter_mut() {
+                shard.run_epoch(end_us, topo);
+            }
+        }
+    }
+
+    /// Move every buffered cross-shard batch into its destination queue.
+    /// Order of insertion is irrelevant — the queues order by the global
+    /// key — so the batches need no sorting.
+    fn exchange(&mut self) {
+        if self.topo.num_shards == 1 {
+            return;
+        }
+        for s in 0..self.shards.len() {
+            let mut outbox = std::mem::take(&mut self.shards[s].outbox);
+            for (d, events) in outbox.iter_mut().enumerate() {
+                if events.is_empty() {
+                    continue;
+                }
+                let queue = &mut self.shards[d].queue;
+                for ev in events.drain(..) {
+                    queue.push(ev);
+                }
+            }
+            self.shards[s].outbox = outbox;
+        }
+    }
+
+    /// A window barrier: drain shard metrics into the base (one round per
+    /// window), reset bandwidth budgets, and draw churn serially in
+    /// node-id order from the driver-level stream. Rejoiners restart with
+    /// fresh handlers, a bumped incarnation and an `on_start` at the
+    /// boundary.
+    fn cross_barrier(&mut self, boundary: u64) {
+        for shard in &mut self.shards {
+            self.base_metrics
+                .merge(&std::mem::replace(&mut shard.metrics, Metrics::new()));
+            self.base_async
+                .merge(&std::mem::take(&mut shard.async_metrics));
+        }
+        self.base_metrics.advance_round();
+        if self.topo.config.bandwidth_bits_per_round.is_some() {
+            for shard in &mut self.shards {
+                shard.bits_window.iter_mut().for_each(|b| *b = 0);
+            }
+        }
+        let churn = self.topo.config.churn;
+        if !churn.is_enabled() {
+            return;
+        }
+        let mut alive_total: usize = self.shards.iter().map(|s| s.alive_count).sum();
+        let mut pending_total: usize = self.shards.iter().map(|s| s.pending_crashes).sum();
+        for i in 0..self.topo.config.sim.n {
+            let (s, local) = self.locate(i);
+            if self.shards[s].alive[local] {
+                let can_crash = alive_total - pending_total > churn.min_alive;
+                if can_crash
+                    && churn.crash_prob > 0.0
+                    && self.shards[s].crash_at[local].is_none()
+                    && self.churn_rng.gen_bool(churn.crash_prob)
+                {
+                    // Uniform instant strictly inside the window, ordered
+                    // against deliveries by the event queue.
+                    let at = boundary + 1 + self.churn_rng.gen_range(0..self.window_us.max(1));
+                    let shard = &mut self.shards[s];
+                    shard.crash_at[local] = Some(at);
+                    shard.pending_crashes += 1;
+                    pending_total += 1;
+                    let oseq = shard.oseq[local];
+                    shard.oseq[local] += 1;
+                    shard.queue.push(ShardEvent {
+                        at_us: at,
+                        origin: i as u32,
+                        oseq,
+                        to: i as u32,
+                        kind: EventKind::Crash,
+                    });
+                }
+            } else if churn.rejoin_prob > 0.0 && self.churn_rng.gen_bool(churn.rejoin_prob) {
+                let node = NodeId::new(i);
+                let shard = &mut self.shards[s];
+                shard.alive[local] = true;
+                shard.alive_count += 1;
+                alive_total += 1;
+                shard.incarnation[local] = shard.incarnation[local].wrapping_add(1);
+                shard.handlers[local] = (self.factory)(node);
+                self.base_async.churn_rejoins += 1;
+                self.rejoin_log.push((boundary, node));
+                self.handler_starts += 1;
+                self.shards[s].boot(local, boundary, &self.topo);
+            }
+        }
+    }
+}
+
+impl<H: Handler> std::fmt::Debug for ShardedDriver<H> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedDriver")
+            .field("n", &self.topo.config.sim.n)
+            .field("shards", &self.topo.num_shards)
+            .field("now_us", &self.clock)
+            .field("window_us", &self.window_us)
+            .field("epoch_us", &self.epoch_us)
+            .field("parallel", &self.parallel)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::ChurnModel;
+    use crate::latency::LatencyModel;
+    use gossip_net::SimConfig;
+
+    /// Interval-driven rumor flooding (the same shape as the one-queue
+    /// driver's test handler): every tick each node pushes its token set to
+    /// one random peer.
+    #[derive(Debug, Clone)]
+    struct Rumor {
+        me: NodeId,
+        tokens: Vec<u32>,
+        tick_us: u64,
+    }
+
+    const TICK: TimerId = TimerId(7);
+
+    impl Handler for Rumor {
+        type Msg = Vec<u32>;
+
+        fn on_start(&mut self, mailbox: &mut dyn Mailbox<Vec<u32>>) {
+            if self.me.index() == 0 {
+                self.tokens.push(42);
+            }
+            let offset = 1 + (self.me.index() as u64 * 97) % self.tick_us;
+            mailbox.set_timer(offset, TICK);
+        }
+
+        fn on_message(
+            &mut self,
+            _from: NodeId,
+            msg: Vec<u32>,
+            _mailbox: &mut dyn Mailbox<Vec<u32>>,
+        ) {
+            for t in msg {
+                if !self.tokens.contains(&t) {
+                    self.tokens.push(t);
+                }
+            }
+        }
+
+        fn on_timer(&mut self, timer: TimerId, mailbox: &mut dyn Mailbox<Vec<u32>>) {
+            assert_eq!(timer, TICK);
+            if !self.tokens.is_empty() {
+                let peer = mailbox.sample_peer();
+                let bits = 32 * self.tokens.len() as u32;
+                mailbox.send(peer, Phase::Other, bits, self.tokens.clone());
+            }
+            mailbox.set_timer(self.tick_us, TICK);
+        }
+    }
+
+    fn rumor_driver(n: usize, seed: u64, shards: usize, churn: ChurnModel) -> ShardedDriver<Rumor> {
+        let config = AsyncConfig::new(SimConfig::new(n).with_seed(seed).with_loss_prob(0.05))
+            .with_latency(LatencyModel::Uniform {
+                lo_us: 200,
+                hi_us: 1_500,
+            })
+            .with_churn(churn);
+        ShardedDriver::new(config, shards, move |me| Rumor {
+            me,
+            tokens: Vec::new(),
+            tick_us: 1_000,
+        })
+    }
+
+    fn fingerprint(driver: &ShardedDriver<Rumor>) -> (u64, u64, u64, Vec<usize>) {
+        (
+            driver.order_hash(),
+            driver.metrics().timer_fires,
+            driver.net_metrics().total_messages(),
+            driver
+                .iter_handlers()
+                .map(|(_, h)| h.tokens.len())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn sharded_gossip_floods_every_node() {
+        let mut driver = rumor_driver(64, 11, 4, ChurnModel::none());
+        driver.run_until(40_000);
+        let informed = driver
+            .iter_handlers()
+            .filter(|(_, h)| h.tokens.contains(&42))
+            .count();
+        assert_eq!(informed, 64, "40 ticks flood a 64-node network");
+        assert_eq!(driver.metrics().handler_starts, 64);
+        assert!(driver.metrics().messages_dispatched > 0);
+        assert_eq!(driver.now_us(), 40_000);
+        assert_eq!(driver.net_metrics().rounds(), 47, "one round per window");
+    }
+
+    #[test]
+    fn shard_count_does_not_change_the_run() {
+        let run = |shards| {
+            let mut d = rumor_driver(96, 3, shards, ChurnModel::per_round(0.02, 0.1));
+            d.run_until(60_000);
+            fingerprint(&d)
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(8));
+        // And the whole thing reproduces.
+        assert_eq!(one, run(1));
+    }
+
+    #[test]
+    fn parallel_and_sequential_paths_agree() {
+        let run = |parallel| {
+            let mut d =
+                rumor_driver(80, 9, 8, ChurnModel::per_round(0.02, 0.2)).with_parallel(parallel);
+            d.run_until(50_000);
+            fingerprint(&d)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn slicing_the_run_does_not_change_it() {
+        let mut one_shot = rumor_driver(48, 9, 4, ChurnModel::per_round(0.01, 0.2));
+        one_shot.run_until(50_000);
+        let mut stepped = rumor_driver(48, 9, 4, ChurnModel::per_round(0.01, 0.2));
+        for k in 1..=10 {
+            stepped.run_until(k * 5_000);
+        }
+        // Uneven slices too (epoch boundaries land differently).
+        let mut uneven = rumor_driver(48, 9, 4, ChurnModel::per_round(0.01, 0.2));
+        for t in [137, 4_200, 17_771, 17_772, 39_999, 50_000] {
+            uneven.run_until(t);
+        }
+        assert_eq!(fingerprint(&one_shot), fingerprint(&stepped));
+        assert_eq!(fingerprint(&one_shot), fingerprint(&uneven));
+    }
+
+    #[test]
+    fn rejoiners_restart_fresh_and_stale_timers_die() {
+        let mut driver = rumor_driver(128, 21, 8, ChurnModel::per_round(0.05, 0.3));
+        driver.run_until(100_000);
+        let m = driver.metrics();
+        let rejoins = m.rejoin_log.len();
+        assert!(rejoins > 0, "churn produced rejoins");
+        assert_eq!(
+            m.handler_starts,
+            128 + rejoins as u64,
+            "every rejoin reboots exactly one handler"
+        );
+        assert!(
+            m.stale_timer_skips > 0,
+            "pre-crash timers must not fire into the new incarnation"
+        );
+        for &(t, _) in &m.rejoin_log {
+            assert_eq!(t % 850, 0, "rejoins happen at window boundaries");
+        }
+        let a = driver.async_metrics();
+        assert!(a.churn_crashes > 0);
+        assert_eq!(a.churn_rejoins, rejoins as u64);
+    }
+
+    #[test]
+    fn bandwidth_and_deadline_verdicts_apply_sender_side() {
+        let config = AsyncConfig::new(SimConfig::new(16).with_seed(5))
+            .with_latency(LatencyModel::Uniform {
+                lo_us: 500,
+                hi_us: 4_000,
+            })
+            .with_bandwidth_bits_per_round(300)
+            .with_round_policy(crate::engine::RoundPolicy::FixedDeadline(2_000));
+        let mut driver = ShardedDriver::new(config, 4, |me| Rumor {
+            me,
+            tokens: (0..8).map(|t| t + me.index() as u32).collect(),
+            tick_us: 1_000,
+        });
+        driver.run_until(60_000);
+        let a = driver.async_metrics();
+        assert!(
+            a.bandwidth_drops > 0,
+            "a second 256-bit push in one window blows the 300-bit cap"
+        );
+        assert!(a.late_drops > 0, "latencies beyond 2ms miss the deadline");
+        let m = driver.net_metrics();
+        assert!(m.total_dropped() >= a.bandwidth_drops + a.late_drops);
+    }
+
+    #[test]
+    fn more_shards_than_nodes_is_fine() {
+        let mut driver = rumor_driver(3, 2, 64, ChurnModel::none());
+        assert_eq!(driver.num_shards(), 3);
+        driver.run_until(20_000);
+        let informed = driver
+            .iter_handlers()
+            .filter(|(_, h)| h.tokens.contains(&42))
+            .count();
+        assert_eq!(informed, 3);
+    }
+
+    #[test]
+    fn initial_crashes_match_the_engine_stream() {
+        let sim = SimConfig::new(256)
+            .with_seed(17)
+            .with_initial_crash_prob(0.2);
+        let engine = crate::engine::AsyncEngine::new(AsyncConfig::new(sim.clone()));
+        let driver = ShardedDriver::new(AsyncConfig::new(sim), 8, |me| Rumor {
+            me,
+            tokens: Vec::new(),
+            tick_us: 1_000,
+        });
+        use gossip_net::Transport;
+        for i in 0..256 {
+            assert_eq!(
+                Transport::is_alive(&engine, NodeId::new(i)),
+                driver.is_alive(NodeId::new(i)),
+                "node {i}"
+            );
+        }
+        assert_eq!(Transport::alive_count(&engine), driver.alive_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "cross-shard lookahead")]
+    fn epochs_beyond_the_lookahead_are_rejected() {
+        let config = AsyncConfig::new(SimConfig::new(8)).with_latency(LatencyModel::Uniform {
+            lo_us: 300,
+            hi_us: 900,
+        });
+        let _ = ShardedDriver::new(config, 2, |me| Rumor {
+            me,
+            tokens: Vec::new(),
+            tick_us: 1_000,
+        })
+        .with_epoch_us(301);
+    }
+}

@@ -1,0 +1,20 @@
+//! Helpers shared by the runtime integration-test binaries.
+
+/// Shard counts exercised by the sharded-engine tests. CI pins the ladder
+/// explicitly via `GOSSIP_TEST_SHARDS` (a comma-separated list — the
+/// experiment-smoke job adds an uneven count like 13 for ragged-chunking
+/// coverage); the default is {1, 2, 8}, so a plain `cargo test` covers the
+/// acceptance ladder too.
+pub fn shard_counts() -> Vec<usize> {
+    match std::env::var("GOSSIP_TEST_SHARDS") {
+        Ok(raw) => raw
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad GOSSIP_TEST_SHARDS entry {s:?}"))
+            })
+            .collect(),
+        Err(_) => vec![1, 2, 8],
+    }
+}

@@ -8,9 +8,12 @@ use gossip_drr::handler::{MaxGossipConfig, MaxGossipHandler};
 use gossip_drr::protocol::{drr_gossip_ave, drr_gossip_max, DrrGossipConfig, DrrGossipReport};
 use gossip_net::{Handler, Mailbox, Network, NodeId, Phase, SimConfig, TimerId};
 use gossip_runtime::{
-    AsyncConfig, AsyncEngine, ChurnModel, EventDriver, LatencyModel, SweepRunner,
+    AsyncConfig, AsyncEngine, ChurnModel, EventDriver, LatencyModel, ShardedDriver, SweepRunner,
 };
 use std::sync::{Arc, Mutex};
+
+mod common;
+use common::shard_counts;
 
 fn values(n: usize) -> Vec<f64> {
     (0..n).map(|i| ((i * 37) % 1009) as f64).collect()
@@ -271,6 +274,124 @@ fn event_driven_max_agrees_with_the_round_based_backends() {
             h.current_max(),
             round_report.exact,
             "node {i} disagrees across execution models"
+        );
+    }
+}
+
+fn sharded_max_driver(n: usize, seed: u64, shards: usize) -> ShardedDriver<MaxGossipHandler> {
+    let sim = SimConfig::new(n).with_seed(seed).with_loss_prob(0.05);
+    let handler_config = MaxGossipConfig {
+        bits: sim.id_bits() + sim.value_bits(),
+        ..MaxGossipConfig::default()
+    };
+    let vals = values(n);
+    let config = AsyncConfig::new(sim)
+        .with_latency(LatencyModel::Uniform {
+            lo_us: 300,
+            hi_us: 2_000,
+        })
+        .with_link_spread(0.25)
+        .with_churn(ChurnModel::per_round(0.005, 0.1).with_min_alive(n / 2));
+    ShardedDriver::new(config, shards, move |me| {
+        MaxGossipHandler::new(me, vals[me.index()], handler_config)
+    })
+}
+
+/// Everything a sharded run can disagree on: the dispatch-order hash, the
+/// driver counters, the rejoin schedule, the merged transport metrics and
+/// every node's final store.
+type ShardedFingerprint = (u64, u64, u64, Vec<(u64, NodeId)>, u64, Vec<u64>);
+
+fn sharded_fingerprint(driver: &ShardedDriver<MaxGossipHandler>) -> ShardedFingerprint {
+    let m = driver.metrics();
+    (
+        m.order_hash,
+        m.timer_fires,
+        m.stale_timer_skips,
+        m.rejoin_log.clone(),
+        driver.net_metrics().total_messages(),
+        driver
+            .iter_handlers()
+            .map(|(_, h)| h.current_max().to_bits())
+            .collect(),
+    )
+}
+
+#[test]
+fn sharded_dispatch_is_invariant_across_shard_counts_and_reruns() {
+    // The sharded engine's determinism contract: the entire dispatch
+    // schedule — fingerprinted by the shard-count-invariant order hash —
+    // and every node's final store are identical across shard counts
+    // (CI pins {1, 2, 8} via GOSSIP_TEST_SHARDS) and across re-runs.
+    let n = 400;
+    let run = |shards| {
+        let mut driver = sharded_max_driver(n, 0xD15C, shards);
+        driver.run_until(60_000);
+        sharded_fingerprint(&driver)
+    };
+    let counts = shard_counts();
+    let reference = run(counts[0]);
+    for &shards in &counts {
+        assert_eq!(reference, run(shards), "shard count {shards} diverged");
+    }
+    // Re-run reproducibility, and seed sensitivity as the control.
+    assert_eq!(reference, run(counts[0]));
+    let mut other = sharded_max_driver(n, 0xD15D, counts[0]);
+    other.run_until(60_000);
+    assert_ne!(reference.0, sharded_fingerprint(&other).0);
+}
+
+#[test]
+fn sharded_runs_are_invariant_across_slicing_and_worker_paths() {
+    // Slicing the event loop differently, or flipping between the scoped-
+    // thread and sequential execution paths, must not move a single event.
+    let n = 300;
+    let one_shot = {
+        let mut driver = sharded_max_driver(n, 0xBEEF, 8).with_parallel(false);
+        driver.run_until(50_000);
+        sharded_fingerprint(&driver)
+    };
+    let sliced = {
+        let mut driver = sharded_max_driver(n, 0xBEEF, 8).with_parallel(false);
+        for t in [1, 999, 12_345, 31_007, 31_008, 50_000] {
+            driver.run_until(t);
+        }
+        sharded_fingerprint(&driver)
+    };
+    let threaded = {
+        let mut driver = sharded_max_driver(n, 0xBEEF, 8).with_parallel(true);
+        driver.run_until(50_000);
+        sharded_fingerprint(&driver)
+    };
+    assert_eq!(one_shot, sliced);
+    assert_eq!(one_shot, threaded);
+}
+
+#[test]
+fn sharded_max_agrees_with_the_other_execution_models() {
+    // Fourth execution model, same aggregate: the sharded driver must land
+    // every alive node on the maximum the round-based protocols compute.
+    let n = 600;
+    let vals = values(n);
+    let mut net = Network::new(SimConfig::new(n).with_seed(31));
+    let round_report = drr_gossip_max(&mut net, &vals, &DrrGossipConfig::paper());
+    assert_eq!(round_report.fraction_exact(), 1.0);
+
+    let sim = SimConfig::new(n).with_seed(31);
+    let handler_config = MaxGossipConfig {
+        bits: sim.id_bits() + sim.value_bits(),
+        ..MaxGossipConfig::default()
+    };
+    let vals_for_driver = vals.clone();
+    let mut driver = ShardedDriver::new(AsyncConfig::new(sim), 8, move |me| {
+        MaxGossipHandler::new(me, vals_for_driver[me.index()], handler_config)
+    });
+    driver.run_until(50_000);
+    for (node, h) in driver.iter_handlers() {
+        assert_eq!(
+            h.current_max(),
+            round_report.exact,
+            "node {node:?} disagrees across execution models"
         );
     }
 }
