@@ -54,6 +54,7 @@ pub mod protocol;
 pub mod recovery;
 pub mod signal;
 pub mod store;
+pub mod wire;
 
 pub use protocol::{
     ae_driver, ae_sharded_driver, AeConfig, AeMsg, AeNode, AeNodeStats, TIMER_TICK, TIMER_UPDATE,

@@ -1,0 +1,134 @@
+//! Wire-codec impls for the anti-entropy messages, so [`AeNode`] runs
+//! unchanged on the real-socket host (`gossip-node`).
+//!
+//! The layout mirrors the modelled sizing of [`AeMsg`]: a one-byte tag,
+//! then the digest
+//! and/or delta. A digest travels as a dense `Vec<u64>` of per-origin
+//! stamps (`0` = absent), a delta as `(origin, stamp, value)` triples —
+//! exactly the fields `digest_bits`/`delta_bits` charge for, so the
+//! simulator's byte accounting and the real wire agree up to header
+//! overhead.
+//!
+//! [`AeNode`]: crate::protocol::AeNode
+
+use crate::protocol::AeMsg;
+use crate::store::Entry;
+use gossip_net::{NodeId, WireError, WireMsg, WireReader, WireWriter};
+
+impl WireMsg for Entry {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.stamp);
+        w.put_f64(self.value);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Entry {
+            stamp: r.take_u64()?,
+            value: r.take_f64()?,
+        })
+    }
+}
+
+const TAG_SYN_REQ: u8 = 0;
+const TAG_SYN_ACK: u8 = 1;
+const TAG_DELTA: u8 = 2;
+
+impl WireMsg for AeMsg {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            AeMsg::SynReq { digest } => {
+                w.put_u8(TAG_SYN_REQ);
+                digest.encode(w);
+            }
+            AeMsg::SynAck { delta, digest } => {
+                w.put_u8(TAG_SYN_ACK);
+                delta.encode(w);
+                digest.encode(w);
+            }
+            AeMsg::Delta { delta } => {
+                w.put_u8(TAG_DELTA);
+                delta.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.take_u8()? {
+            TAG_SYN_REQ => Ok(AeMsg::SynReq {
+                digest: Vec::decode(r)?,
+            }),
+            TAG_SYN_ACK => Ok(AeMsg::SynAck {
+                delta: Vec::<(NodeId, Entry)>::decode(r)?,
+                digest: Vec::decode(r)?,
+            }),
+            TAG_DELTA => Ok(AeMsg::Delta {
+                delta: Vec::<(NodeId, Entry)>::decode(r)?,
+            }),
+            tag => Err(WireError::BadTag { tag }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: &AeMsg) -> AeMsg {
+        let bytes = msg.to_wire_bytes();
+        let mut r = WireReader::new(&bytes);
+        let decoded = AeMsg::decode(&mut r).expect("decodes");
+        assert_eq!(r.remaining(), 0, "decode consumes everything");
+        decoded
+    }
+
+    fn entry(stamp: u64, value: f64) -> Entry {
+        Entry { stamp, value }
+    }
+
+    #[test]
+    fn all_three_legs_round_trip() {
+        let digest = vec![0u64, 5, 0, 12];
+        let delta = vec![
+            (NodeId::new(1), entry(5, 1.25)),
+            (NodeId::new(3), entry(12, -7.5)),
+        ];
+        for msg in [
+            AeMsg::SynReq {
+                digest: digest.clone(),
+            },
+            AeMsg::SynAck {
+                delta: delta.clone(),
+                digest: digest.clone(),
+            },
+            AeMsg::Delta {
+                delta: delta.clone(),
+            },
+            AeMsg::SynReq { digest: Vec::new() },
+            AeMsg::Delta { delta: Vec::new() },
+        ] {
+            assert_eq!(round_trip(&msg), msg);
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        let mut bytes = AeMsg::SynReq { digest: vec![1] }.to_wire_bytes();
+        bytes[0] = 9;
+        assert_eq!(
+            AeMsg::decode(&mut WireReader::new(&bytes)),
+            Err(WireError::BadTag { tag: 9 })
+        );
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let msg = AeMsg::SynAck {
+            delta: vec![(NodeId::new(2), entry(9, 3.0))],
+            digest: vec![0, 9],
+        };
+        let bytes = msg.to_wire_bytes();
+        for cut in 0..bytes.len() {
+            assert!(AeMsg::decode(&mut WireReader::new(&bytes[..cut])).is_err());
+        }
+    }
+}

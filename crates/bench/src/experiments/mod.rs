@@ -13,6 +13,7 @@ pub mod engine_scaling;
 pub mod gossip_ave_exp;
 pub mod gossip_max_exp;
 pub mod latency_tail;
+pub mod loopback_cluster;
 pub mod lower_bound;
 pub mod phase_breakdown;
 pub mod rumor_exp;
@@ -152,6 +153,12 @@ pub const EXPERIMENTS: &[ExperimentEntry] = &[
         "E18: sharded event engine vs the one-queue driver — events/sec and wall-clock vs n \
          (up to 10^6) and shard count",
         engine_scaling::run,
+    ),
+    (
+        "loopback_cluster",
+        "E19: real UDP loopback cluster vs the simulator's prediction — convergence time and \
+         bytes on the wire (gossip-node)",
+        loopback_cluster::run,
     ),
 ];
 

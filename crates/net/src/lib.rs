@@ -51,6 +51,7 @@ pub mod node;
 pub mod phase;
 pub mod stream;
 pub mod transport;
+pub mod wire;
 
 pub use bits::{ceil_log2, id_bits, mix64, value_bits_for_range, SETUP_STREAM_SALT};
 pub use config::SimConfig;
@@ -61,3 +62,7 @@ pub use node::NodeId;
 pub use phase::Phase;
 pub use stream::node_rng;
 pub use transport::{NodeIdIter, Transport};
+pub use wire::{
+    decode_frame, encode_frame, WireError, WireMsg, WireReader, WireWriter, FRAME_HEADER_BYTES,
+    MAX_PAYLOAD_BYTES, WIRE_MAGIC, WIRE_VERSION,
+};

@@ -69,7 +69,21 @@ pub trait Mailbox<M> {
     /// Timers are one-shot; re-arm from [`Handler::on_timer`] for periodic
     /// behaviour. Timers do not survive a crash: after a rejoin, timers set
     /// by the previous incarnation never fire.
+    ///
+    /// Hosts may add **jitter** on top of `delay_us` (an opt-in host
+    /// configuration, e.g. `with_timer_jitter_us`): a uniform draw in
+    /// `[0, jitter]` from the acting node's RNG stream, so staggered
+    /// protocols de-phase naturally while runs stay a pure function of
+    /// the seed.
     fn set_timer(&mut self, delay_us: u64, timer: TimerId);
+
+    /// Cancel every pending timer with this label that *this node* armed
+    /// before now. A timer armed after the cancellation (same label
+    /// included) fires normally — cancel-then-re-arm is the backoff idiom
+    /// this exists for. Cancelling a label with no pending timer is a
+    /// no-op. Cancellation is deterministic: hosts count suppressed firings
+    /// but never reorder the surviving events.
+    fn cancel_timer(&mut self, timer: TimerId);
 
     /// The simulation RNG. All protocol randomness must come from here so
     /// runs are reproducible from the seed.
@@ -161,6 +175,9 @@ mod tests {
         fn set_timer(&mut self, delay_us: u64, timer: TimerId) {
             self.timers.push((self.now + delay_us.max(1), timer));
         }
+        fn cancel_timer(&mut self, timer: TimerId) {
+            self.timers.retain(|&(_, t)| t != timer);
+        }
         fn rng_mut(&mut self) -> &mut SmallRng {
             &mut self.rng
         }
@@ -232,6 +249,20 @@ mod tests {
     fn singleton_network_samples_self() {
         let mut mb = mailbox(1);
         assert_eq!(mb.sample_peer(), NodeId::new(0));
+    }
+
+    #[test]
+    fn cancel_timer_only_drops_the_named_label() {
+        let mut mb = mailbox(4);
+        mb.set_timer(10, TimerId(0));
+        mb.set_timer(20, TimerId(1));
+        mb.set_timer(30, TimerId(0));
+        mb.cancel_timer(TimerId(0));
+        assert_eq!(mb.timers, vec![(20, TimerId(1))]);
+        // Re-arming after a cancel works; cancelling nothing is a no-op.
+        mb.cancel_timer(TimerId(7));
+        mb.set_timer(40, TimerId(0));
+        assert_eq!(mb.timers, vec![(20, TimerId(1)), (40, TimerId(0))]);
     }
 
     #[test]

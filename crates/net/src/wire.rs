@@ -1,0 +1,636 @@
+//! The wire codec: how [`Handler`](crate::Handler) messages travel over a
+//! real network.
+//!
+//! The simulation backends carry handler messages as plain Rust values —
+//! a `send` hands the payload to the host, the host hands it to the
+//! receiver's callback, and the `bits` argument merely *models* a wire
+//! size. A socket host (`gossip-node`) has no such luxury: the payload
+//! must round-trip through bytes, and the bytes come off an untrusted
+//! datagram socket. This module is that boundary:
+//!
+//! * [`WireMsg`] — encode/decode for a protocol's message type. The
+//!   workspace's `serde` is an offline no-op shim (see `DESIGN.md` §8), so
+//!   the data model is hand-rolled: fixed-width little-endian primitives
+//!   through a [`WireWriter`]/[`WireReader`] pair, with blanket impls for
+//!   the shapes protocol messages are built from (integers, floats,
+//!   `Vec`, tuples, `Option`, [`NodeId`]).
+//! * **Frames** — one datagram is one frame: a fixed header (magic,
+//!   version, sender id, payload length) followed by exactly
+//!   `payload length` bytes of `WireMsg`-encoded payload. See
+//!   [`encode_frame`]/[`decode_frame`].
+//!
+//! The decoder is total: any input — truncated mid-header, truncated
+//! mid-payload, oversized, version-skewed, trailing garbage, absurd
+//! collection lengths — produces a [`WireError`], never a panic and never
+//! an attempt to allocate what the length field claims before the bytes
+//! are actually there. A node must be able to eat arbitrary datagrams off
+//! the network and shrug.
+
+use crate::node::NodeId;
+use std::fmt;
+
+/// First two bytes of every frame (little-endian on the wire). Chosen to
+/// be unlikely as the start of stray ASCII traffic.
+pub const WIRE_MAGIC: u16 = 0xCA75;
+
+/// Current wire-format version. Bump on any incompatible layout change;
+/// the decoder rejects every other version.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Frame header size in bytes: magic (2) + version (1) + flags (1) +
+/// sender id (4) + payload length (4).
+pub const FRAME_HEADER_BYTES: usize = 12;
+
+/// Hard ceiling on a frame's payload length, chosen so that header +
+/// payload always fits a single unfragmented-at-the-API UDP datagram
+/// (65 507 bytes of UDP payload max). The decoder rejects length fields
+/// beyond this *before* trusting them.
+pub const MAX_PAYLOAD_BYTES: usize = 65_000;
+
+/// Everything that can be wrong with bytes off the wire.
+///
+/// Every variant is a *rejection*, not a crash: the decoder returns these
+/// for arbitrary input and a socket host counts them and moves on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value being decoded did: the decoder
+    /// asked for `need` bytes when only `have` remained.
+    Truncated {
+        /// Bytes the failing read requested (in total, not the shortfall).
+        need: usize,
+        /// Bytes actually remaining.
+        have: usize,
+    },
+    /// The first two bytes are not [`WIRE_MAGIC`] — not one of ours.
+    BadMagic {
+        /// The magic actually found.
+        found: u16,
+    },
+    /// The frame's version byte differs from [`WIRE_VERSION`].
+    VersionMismatch {
+        /// The version actually found.
+        found: u8,
+    },
+    /// The header's length field exceeds [`MAX_PAYLOAD_BYTES`] (or the
+    /// datagram's own size): rejected before any allocation trusts it.
+    Oversized {
+        /// The claimed payload length.
+        claimed: usize,
+        /// The largest length that would have been accepted.
+        limit: usize,
+    },
+    /// The payload decoded cleanly but did not consume every payload
+    /// byte — a length/content mismatch, so the frame is rejected rather
+    /// than silently ignoring the tail.
+    TrailingBytes {
+        /// Unconsumed payload bytes.
+        extra: usize,
+    },
+    /// An enum tag byte holds a value the message type does not define.
+    BadTag {
+        /// The offending tag.
+        tag: u8,
+    },
+    /// A collection length field claims more elements than the remaining
+    /// bytes could possibly encode — rejected before allocating.
+    BadLength {
+        /// The claimed element count.
+        claimed: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            WireError::Truncated { need, have } => {
+                write!(f, "truncated frame: read wanted {need} bytes, had {have}")
+            }
+            WireError::BadMagic { found } => write!(f, "bad frame magic {found:#06x}"),
+            WireError::VersionMismatch { found } => {
+                write!(f, "wire version {found} (this build speaks {WIRE_VERSION})")
+            }
+            WireError::Oversized { claimed, limit } => {
+                write!(f, "payload length {claimed} exceeds limit {limit}")
+            }
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing payload bytes after decode")
+            }
+            WireError::BadTag { tag } => write!(f, "unknown enum tag {tag}"),
+            WireError::BadLength { claimed } => {
+                write!(
+                    f,
+                    "collection length {claimed} cannot fit the remaining bytes"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append-only byte sink for encoding. All integers are little-endian.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        WireWriter::default()
+    }
+
+    /// The bytes written so far.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u16` (little-endian).
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u32` (little-endian).
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64` (little-endian).
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` as its IEEE-754 bit pattern (bit-exact round-trip,
+    /// NaN payloads included).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append raw bytes verbatim.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// Bounds-checked cursor over received bytes for decoding.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                need: n,
+                have: self.remaining(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read one byte.
+    pub fn take_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn take_u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an `f64` from its bit pattern.
+    pub fn take_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Validate a collection length field against the bytes that remain:
+    /// `claimed` elements of at least `min_elem_bytes` each must fit. This
+    /// is what keeps a hostile length field from driving a huge allocation.
+    pub fn check_len(&self, claimed: usize, min_elem_bytes: usize) -> Result<(), WireError> {
+        let fits = claimed
+            .checked_mul(min_elem_bytes.max(1))
+            .is_some_and(|total| total <= self.remaining());
+        if fits {
+            Ok(())
+        } else {
+            Err(WireError::BadLength { claimed })
+        }
+    }
+}
+
+/// A message type that can cross a real wire. Implemented by every
+/// protocol message a socket host can carry; the simulation backends never
+/// call it.
+///
+/// The contract the property suite pins: `decode(encode(m)) == m` for all
+/// values, and `decode` returns `Err` (never panics) on arbitrary bytes.
+pub trait WireMsg: Sized {
+    /// Append this value's encoding to `w`.
+    fn encode(&self, w: &mut WireWriter);
+
+    /// Decode one value, advancing the reader past exactly the bytes
+    /// [`encode`](WireMsg::encode) produced.
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+
+    /// Convenience: encode into a fresh byte vector.
+    fn to_wire_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+}
+
+impl WireMsg for u8 {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u8(*self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.take_u8()
+    }
+}
+
+impl WireMsg for u16 {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u16(*self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.take_u16()
+    }
+}
+
+impl WireMsg for u32 {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(*self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.take_u32()
+    }
+}
+
+impl WireMsg for u64 {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(*self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.take_u64()
+    }
+}
+
+impl WireMsg for f64 {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_f64(*self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.take_f64()
+    }
+}
+
+impl WireMsg for bool {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u8(u8::from(*self));
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::BadTag { tag }),
+        }
+    }
+}
+
+impl WireMsg for NodeId {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.0);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(NodeId(r.take_u32()?))
+    }
+}
+
+impl<T: WireMsg> WireMsg for Vec<T> {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.len() as u32);
+        for item in self {
+            item.encode(w);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let len = r.take_u32()? as usize;
+        // Every element costs at least one byte on the wire, so the length
+        // field is validated against the remaining buffer before any
+        // allocation happens.
+        r.check_len(len, 1)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: WireMsg, B: WireMsg> WireMsg for (A, B) {
+    fn encode(&self, w: &mut WireWriter) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: WireMsg, B: WireMsg, C: WireMsg> WireMsg for (A, B, C) {
+    fn encode(&self, w: &mut WireWriter) {
+        self.0.encode(w);
+        self.1.encode(w);
+        self.2.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+impl<T: WireMsg> WireMsg for Option<T> {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.take_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            tag => Err(WireError::BadTag { tag }),
+        }
+    }
+}
+
+/// Encode one frame: header ([`WIRE_MAGIC`], [`WIRE_VERSION`], sender id,
+/// payload length) followed by the encoded payload.
+///
+/// # Panics
+/// Panics if the encoded payload exceeds [`MAX_PAYLOAD_BYTES`] — that is a
+/// protocol-design bug (a message type too large for one datagram), not a
+/// runtime condition, and it must fail loudly at the sender rather than be
+/// silently rejected by every receiver.
+pub fn encode_frame<M: WireMsg>(from: NodeId, msg: &M) -> Vec<u8> {
+    let payload = msg.to_wire_bytes();
+    assert!(
+        payload.len() <= MAX_PAYLOAD_BYTES,
+        "encoded payload ({} bytes) exceeds the {}-byte frame limit",
+        payload.len(),
+        MAX_PAYLOAD_BYTES
+    );
+    let mut w = WireWriter::new();
+    w.put_u16(WIRE_MAGIC);
+    w.put_u8(WIRE_VERSION);
+    w.put_u8(0); // flags, reserved
+    w.put_u32(from.0);
+    w.put_u32(payload.len() as u32);
+    w.put_bytes(&payload);
+    w.into_bytes()
+}
+
+/// Decode one frame: validates magic, version and the length field, then
+/// decodes the payload and requires it to consume every payload byte.
+/// Returns the sender id carried in the header and the payload.
+///
+/// Total over arbitrary input — every failure is a [`WireError`].
+pub fn decode_frame<M: WireMsg>(buf: &[u8]) -> Result<(NodeId, M), WireError> {
+    let mut r = WireReader::new(buf);
+    let magic = r.take_u16()?;
+    if magic != WIRE_MAGIC {
+        return Err(WireError::BadMagic { found: magic });
+    }
+    let version = r.take_u8()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::VersionMismatch { found: version });
+    }
+    let _flags = r.take_u8()?;
+    let from = NodeId(r.take_u32()?);
+    let claimed = r.take_u32()? as usize;
+    if claimed > MAX_PAYLOAD_BYTES {
+        return Err(WireError::Oversized {
+            claimed,
+            limit: MAX_PAYLOAD_BYTES,
+        });
+    }
+    if claimed != r.remaining() {
+        // A datagram is one frame: the payload must fill the rest exactly.
+        // Shorter is truncation; longer is trailing garbage.
+        if claimed > r.remaining() {
+            return Err(WireError::Truncated {
+                need: claimed,
+                have: r.remaining(),
+            });
+        }
+        return Err(WireError::TrailingBytes {
+            extra: r.remaining() - claimed,
+        });
+    }
+    let msg = M::decode(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(WireError::TrailingBytes {
+            extra: r.remaining(),
+        });
+    }
+    Ok((from, msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = WireWriter::new();
+        0xABu8.encode(&mut w);
+        0xBEEFu16.encode(&mut w);
+        0xDEAD_BEEFu32.encode(&mut w);
+        0x0123_4567_89AB_CDEFu64.encode(&mut w);
+        (-1234.5678f64).encode(&mut w);
+        true.encode(&mut w);
+        NodeId::new(17).encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(u8::decode(&mut r), Ok(0xAB));
+        assert_eq!(u16::decode(&mut r), Ok(0xBEEF));
+        assert_eq!(u32::decode(&mut r), Ok(0xDEAD_BEEF));
+        assert_eq!(u64::decode(&mut r), Ok(0x0123_4567_89AB_CDEF));
+        assert_eq!(f64::decode(&mut r), Ok(-1234.5678));
+        assert_eq!(bool::decode(&mut r), Ok(true));
+        assert_eq!(NodeId::decode(&mut r), Ok(NodeId::new(17)));
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn composites_round_trip() {
+        type Composite = (u32, Vec<(NodeId, f64)>, Option<u64>);
+        let value: Composite = (
+            7,
+            vec![(NodeId::new(1), 1.5), (NodeId::new(2), f64::NEG_INFINITY)],
+            Some(99),
+        );
+        let bytes = value.to_wire_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(Composite::decode(&mut r), Ok(value));
+        assert_eq!(r.remaining(), 0);
+
+        let none: Option<u64> = None;
+        let bytes = none.to_wire_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(Option::<u64>::decode(&mut r), Ok(None));
+    }
+
+    #[test]
+    fn nan_bit_patterns_survive() {
+        let weird = f64::from_bits(0x7FF8_0000_0000_1234);
+        let bytes = weird.to_wire_bytes();
+        let decoded = f64::decode(&mut WireReader::new(&bytes)).unwrap();
+        assert_eq!(decoded.to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let msg: Vec<u64> = vec![3, 1, 4, 1, 5];
+        let frame = encode_frame(NodeId::new(9), &msg);
+        assert_eq!(frame.len(), FRAME_HEADER_BYTES + msg.to_wire_bytes().len());
+        let (from, decoded): (NodeId, Vec<u64>) = decode_frame(&frame).unwrap();
+        assert_eq!(from, NodeId::new(9));
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn truncated_frames_error_at_every_cut() {
+        let frame = encode_frame(NodeId::new(3), &vec![1u64, 2, 3]);
+        for cut in 0..frame.len() {
+            let err = decode_frame::<Vec<u64>>(&frame[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    WireError::Truncated { .. } | WireError::BadLength { .. }
+                ),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn version_and_magic_mismatches_are_rejected() {
+        let mut frame = encode_frame(NodeId::new(0), &42u64);
+        frame[2] = WIRE_VERSION + 1;
+        assert_eq!(
+            decode_frame::<u64>(&frame),
+            Err(WireError::VersionMismatch {
+                found: WIRE_VERSION + 1
+            })
+        );
+        let mut frame = encode_frame(NodeId::new(0), &42u64);
+        frame[0] ^= 0xFF;
+        assert!(matches!(
+            decode_frame::<u64>(&frame),
+            Err(WireError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_fields_are_rejected_before_allocation() {
+        // A frame whose header claims a payload far beyond the limit.
+        let mut w = WireWriter::new();
+        w.put_u16(WIRE_MAGIC);
+        w.put_u8(WIRE_VERSION);
+        w.put_u8(0);
+        w.put_u32(0);
+        w.put_u32(u32::MAX);
+        let err = decode_frame::<u64>(&w.into_bytes()).unwrap_err();
+        assert!(matches!(err, WireError::Oversized { .. }));
+
+        // A vector whose length field claims more elements than the bytes
+        // behind it could hold.
+        let mut w = WireWriter::new();
+        w.put_u32(u32::MAX);
+        w.put_u64(1);
+        let err = Vec::<u64>::decode(&mut WireReader::new(&w.into_bytes())).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::BadLength {
+                claimed: u32::MAX as usize
+            }
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut frame = encode_frame(NodeId::new(1), &7u64);
+        frame.push(0xFF);
+        assert!(matches!(
+            decode_frame::<u64>(&frame),
+            Err(WireError::TrailingBytes { .. })
+        ));
+        // Payload shorter than its content claims: the inner decode sees
+        // trailing bytes *inside* the declared payload.
+        let frame = encode_frame(NodeId::new(1), &(7u64, 8u64));
+        assert!(decode_frame::<u64>(&frame).is_err());
+    }
+
+    #[test]
+    fn errors_display_usefully() {
+        let errors: Vec<Box<dyn std::error::Error>> = vec![
+            Box::new(WireError::Truncated { need: 8, have: 3 }),
+            Box::new(WireError::BadMagic { found: 0x1234 }),
+            Box::new(WireError::VersionMismatch { found: 9 }),
+            Box::new(WireError::Oversized {
+                claimed: 1 << 30,
+                limit: MAX_PAYLOAD_BYTES,
+            }),
+            Box::new(WireError::TrailingBytes { extra: 4 }),
+            Box::new(WireError::BadTag { tag: 7 }),
+            Box::new(WireError::BadLength { claimed: 1 << 40 }),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

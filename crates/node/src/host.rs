@@ -1,0 +1,546 @@
+//! The socket host: one [`Handler`] on one UDP socket.
+//!
+//! [`NodeHost`] is the deployable counterpart of the simulators'
+//! `EventDriver`: the same callbacks, the same [`Mailbox`] surface, but
+//! `send` writes a [wire frame](gossip_net::wire) to a real
+//! [`UdpSocket`] and `now_us` reads a real clock. The event loop keeps the
+//! driver's dispatch discipline where reality permits it:
+//!
+//! * **Timers** fire in exact `(due instant, arm order)` order — the
+//!   `(timestamp, seq)` key of the simulators — from a monotonic queue
+//!   that survives between loop iterations. [`Mailbox::cancel_timer`] and
+//!   host-injected jitter work exactly as on the simulated hosts.
+//! * **Messages** dispatch in kernel arrival order with the receive
+//!   instant as their timestamp. Due timers are drained before the socket
+//!   is read, so a timer is never starved by a packet burst.
+//!
+//! What real time *breaks* relative to virtual time is documented in
+//! `DESIGN.md` §6: there is no global barrier, no replayable total order
+//! across nodes, and loss/latency are whatever the network does —
+//! protocols built for the simulators' failure models (idempotent merges,
+//! stateless exchanges, re-arming timers) carry over; protocols that
+//! secretly relied on determinism do not.
+
+use gossip_net::{
+    decode_frame, encode_frame, node_rng, Handler, Mailbox, Metrics, NodeId, Phase, TimerId,
+    WireMsg,
+};
+use rand::rngs::SmallRng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::time::{Duration, Instant};
+
+/// Largest datagram a host will accept (header + max payload).
+const RECV_BUF_BYTES: usize = 1 << 16;
+
+/// Datagrams drained per [`NodeHost::poll`] call before yielding, so a
+/// flood cannot starve the timer queue or the caller's loop.
+const MAX_RECV_BATCH: usize = 64;
+
+/// Ceiling on one blocking wait in [`NodeHost::run_until_deadline`]: the
+/// loop wakes at least this often to re-check timers and the deadline.
+const MAX_BLOCK_WAIT: Duration = Duration::from_millis(10);
+
+/// Wire- and dispatch-level counters of one host. Where the simulators
+/// count *modelled* events, these count what actually happened on the
+/// socket.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// `on_start` invocations (1 after [`NodeHost::start`]).
+    pub handler_starts: u64,
+    /// Timer callbacks dispatched.
+    pub timer_fires: u64,
+    /// Timers suppressed by [`Mailbox::cancel_timer`].
+    pub cancelled_timer_skips: u64,
+    /// Messages dispatched into `on_message`.
+    pub messages_dispatched: u64,
+    /// Datagrams handed to the kernel.
+    pub datagrams_sent: u64,
+    /// Bytes handed to the kernel (frame bytes, headers included).
+    pub bytes_sent: u64,
+    /// Sends that failed locally (kernel error or an out-of-range peer).
+    pub send_errors: u64,
+    /// Datagrams received.
+    pub datagrams_received: u64,
+    /// Bytes received.
+    pub bytes_received: u64,
+    /// Socket-level receive failures other than "nothing there" (the
+    /// symmetric twin of [`send_errors`](NodeStats::send_errors)).
+    pub recv_errors: u64,
+    /// Datagrams rejected by the frame decoder (truncated, oversized,
+    /// version-mismatched, malformed payload) — counted, never fatal.
+    pub decode_errors: u64,
+    /// Frames whose sender id is outside `0..n`.
+    pub unknown_sender_drops: u64,
+    /// Frames whose kernel-reported source address differs from the
+    /// address book's entry for the claimed sender. Delivered anyway
+    /// (NATs rewrite sources; this host is simulation-grade, not
+    /// authenticated) but counted so a test can assert zero on loopback.
+    pub addr_mismatches: u64,
+}
+
+impl NodeStats {
+    /// Field-wise sum (cluster-level totals).
+    pub fn merge(&mut self, other: &NodeStats) {
+        self.handler_starts += other.handler_starts;
+        self.timer_fires += other.timer_fires;
+        self.cancelled_timer_skips += other.cancelled_timer_skips;
+        self.messages_dispatched += other.messages_dispatched;
+        self.datagrams_sent += other.datagrams_sent;
+        self.bytes_sent += other.bytes_sent;
+        self.send_errors += other.send_errors;
+        self.datagrams_received += other.datagrams_received;
+        self.bytes_received += other.bytes_received;
+        self.recv_errors += other.recv_errors;
+        self.decode_errors += other.decode_errors;
+        self.unknown_sender_drops += other.unknown_sender_drops;
+        self.addr_mismatches += other.addr_mismatches;
+    }
+}
+
+/// A pending timer: `(due µs, arm sequence, label)` — the heap pops in
+/// exactly the simulators' `(timestamp, seq)` order.
+type PendingTimer = Reverse<(u64, u64, u32)>;
+
+/// Outcome of one receive attempt.
+enum Recv {
+    /// Nothing available (empty socket, or the read timeout elapsed).
+    Idle,
+    /// A message was dispatched into the handler.
+    Dispatched,
+    /// A datagram arrived but was rejected (counted in the stats).
+    Rejected,
+    /// The socket itself errored (counted; callers back off — an erroring
+    /// socket returns instantly instead of sleeping on its timeout).
+    Error,
+}
+
+/// One node of a real deployment: a [`Handler`] driven by a UDP socket.
+/// See the module docs for the dispatch discipline.
+pub struct NodeHost<H: Handler> {
+    me: NodeId,
+    socket: UdpSocket,
+    /// Address book: `peers[i]` is where frames for node `i` go. Indexed
+    /// by [`NodeId`]; `peers[me]` is this host's own bind address.
+    peers: Vec<SocketAddr>,
+    handler: H,
+    rng: SmallRng,
+    /// Real-clock origin: `now_us` is the time since this instant, so a
+    /// cluster sharing one epoch gets comparable timestamps.
+    epoch: Instant,
+    timers: BinaryHeap<PendingTimer>,
+    timer_seq: u64,
+    /// Cancellation watermarks (label → arm-sequence): pending timers with
+    /// a smaller sequence are suppressed at dispatch.
+    cancels: HashMap<u32, u64>,
+    timer_jitter_us: u64,
+    started: bool,
+    nonblocking: bool,
+    read_timeout: Option<Duration>,
+    metrics: Metrics,
+    stats: NodeStats,
+    recv_buf: Vec<u8>,
+}
+
+impl<H: Handler> NodeHost<H>
+where
+    H::Msg: WireMsg,
+{
+    /// Bind a fresh UDP socket at `bind_addr` (e.g. `"127.0.0.1:7000"`,
+    /// port 0 for ephemeral) and host `handler` as node `me` of the
+    /// cluster described by `peers`.
+    pub fn bind(
+        bind_addr: impl ToSocketAddrs,
+        me: NodeId,
+        peers: Vec<SocketAddr>,
+        seed: u64,
+        handler: H,
+    ) -> io::Result<Self> {
+        let socket = UdpSocket::bind(bind_addr)?;
+        Self::from_socket(socket, me, peers, seed, handler)
+    }
+
+    /// Host `handler` on an already-bound socket. `peers.len()` is the
+    /// network size `n`; `me` must index into it.
+    pub fn from_socket(
+        socket: UdpSocket,
+        me: NodeId,
+        peers: Vec<SocketAddr>,
+        seed: u64,
+        handler: H,
+    ) -> io::Result<Self> {
+        assert!(
+            me.index() < peers.len(),
+            "node {me} outside the {}-entry address book",
+            peers.len()
+        );
+        Ok(NodeHost {
+            me,
+            socket,
+            peers,
+            handler,
+            // The same per-node stream derivation the sharded driver uses:
+            // protocol draws depend on (seed, me), not on global order.
+            rng: node_rng(seed, me),
+            epoch: Instant::now(),
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            cancels: HashMap::new(),
+            timer_jitter_us: 0,
+            started: false,
+            nonblocking: false,
+            read_timeout: None,
+            metrics: Metrics::new(),
+            stats: NodeStats::default(),
+            recv_buf: vec![0; RECV_BUF_BYTES],
+        })
+    }
+
+    /// Share a clock origin with other hosts (a cluster passes one
+    /// `Instant` to all members so their `now_us` values are comparable).
+    /// Must precede [`start`](NodeHost::start).
+    pub fn with_epoch(mut self, epoch: Instant) -> Self {
+        assert!(!self.started, "the epoch is fixed once the host starts");
+        self.epoch = epoch;
+        self
+    }
+
+    /// Add host-injected jitter to every [`Mailbox::set_timer`]: a uniform
+    /// draw in `[0, jitter_us]` from this node's stream, exactly like the
+    /// simulated hosts' `with_timer_jitter_us`.
+    pub fn with_timer_jitter_us(mut self, jitter_us: u64) -> Self {
+        self.timer_jitter_us = jitter_us;
+        self
+    }
+
+    /// Run `on_start` once. Idempotent; [`poll`](NodeHost::poll) and the
+    /// blocking loops call it implicitly.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        self.stats.handler_starts += 1;
+        let now = self.now_us();
+        self.with_mailbox(now, |handler, mailbox| handler.on_start(mailbox));
+    }
+}
+
+impl<H: Handler> NodeHost<H> {
+    /// This node's id.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Network size (address-book length).
+    pub fn n(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// The socket's actual bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// Microseconds since the host's epoch — what handler callbacks see as
+    /// [`Mailbox::now_us`].
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// The hosted handler.
+    pub fn handler(&self) -> &H {
+        &self.handler
+    }
+
+    /// Wire-level counters.
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats
+    }
+
+    /// Modelled protocol metrics (the `bits` accounting every backend
+    /// keeps). `delivered` here means "handed to the kernel" — a datagram's
+    /// real fate is unknowable at the sender, exactly like the fire-and-
+    /// forget contract of [`Mailbox::send`].
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+}
+
+impl<H: Handler> NodeHost<H>
+where
+    H::Msg: WireMsg,
+{
+    /// One non-blocking pump: fire every due timer, then drain up to a
+    /// batch of waiting datagrams (re-checking timers between packets).
+    /// Returns the number of callbacks dispatched; `0` means idle. Never
+    /// blocks — the loopback cluster round-robins this across hosts.
+    pub fn poll(&mut self) -> usize {
+        self.start();
+        self.set_nonblocking(true);
+        let mut dispatched = self.fire_due_timers();
+        for _ in 0..MAX_RECV_BATCH {
+            match self.recv_one() {
+                Recv::Dispatched => dispatched += 1,
+                Recv::Rejected | Recv::Error => {} // counted, not dispatched
+                Recv::Idle => break,               // nothing waiting
+            }
+            dispatched += self.fire_due_timers();
+        }
+        dispatched
+    }
+
+    /// Blocking event loop until `deadline`: sleeps in the kernel on the
+    /// socket (bounded by the next timer's due instant), wakes for
+    /// datagrams and timers, returns when the deadline passes.
+    pub fn run_until_deadline(&mut self, deadline: Instant) {
+        self.start();
+        self.set_nonblocking(false);
+        loop {
+            self.fire_due_timers();
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            let mut wait = (deadline - now).min(MAX_BLOCK_WAIT);
+            if let Some(Reverse((at, _, _))) = self.timers.peek() {
+                let due = self.epoch + Duration::from_micros(*at);
+                wait = wait.min(due.saturating_duration_since(now));
+            }
+            // set_read_timeout(Some(0)) is an error; anything due fires on
+            // the next loop iteration anyway.
+            self.set_read_timeout(wait.max(Duration::from_micros(100)));
+            if let Recv::Error = self.recv_one() {
+                // A socket in a persistent error state returns instantly
+                // instead of sleeping on the timeout; back off so the loop
+                // cannot busy-spin a core until the deadline.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+
+    /// [`run_until_deadline`](NodeHost::run_until_deadline) for a duration.
+    pub fn run_for(&mut self, wall: Duration) {
+        self.run_until_deadline(Instant::now() + wall);
+    }
+
+    fn set_nonblocking(&mut self, nonblocking: bool) {
+        if self.nonblocking != nonblocking {
+            // Failing to flip the mode would hang the loop; this is the
+            // one socket option the host cannot run without.
+            self.socket
+                .set_nonblocking(nonblocking)
+                .expect("set_nonblocking is supported on every UDP target");
+            self.nonblocking = nonblocking;
+        }
+    }
+
+    fn set_read_timeout(&mut self, timeout: Duration) {
+        if self.read_timeout != Some(timeout) {
+            self.socket
+                .set_read_timeout(Some(timeout))
+                .expect("set_read_timeout accepts any positive duration");
+            self.read_timeout = Some(timeout);
+        }
+    }
+
+    /// Fire every timer due at the current clock, in `(due, seq)` order.
+    fn fire_due_timers(&mut self) -> usize {
+        let mut fired = 0;
+        loop {
+            let now = self.now_us();
+            match self.timers.peek() {
+                Some(Reverse((at, _, _))) if *at <= now => {}
+                _ => return fired,
+            }
+            let Reverse((at, seq, label)) = self.timers.pop().expect("peeked");
+            if self
+                .cancels
+                .get(&label)
+                .is_some_and(|&watermark| seq < watermark)
+            {
+                self.stats.cancelled_timer_skips += 1;
+                continue;
+            }
+            self.stats.timer_fires += 1;
+            fired += 1;
+            // The callback's clock never runs behind the timer's instant.
+            let cb_now = now.max(at);
+            self.with_mailbox(cb_now, |handler, mailbox| {
+                handler.on_timer(TimerId(label), mailbox)
+            });
+        }
+    }
+
+    /// Receive and dispatch one datagram.
+    fn recv_one(&mut self) -> Recv {
+        let (len, src) = match self.socket.recv_from(&mut self.recv_buf) {
+            Ok(got) => got,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Recv::Idle,
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => return Recv::Idle,
+            // Other kernel-level errors (e.g. a previous send's ICMP
+            // port-unreachable surfacing on Linux) are not fatal to the
+            // loop, but they are counted — and the blocking loop backs off
+            // on them, since an erroring socket returns without sleeping.
+            Err(_) => {
+                self.stats.recv_errors += 1;
+                return Recv::Error;
+            }
+        };
+        self.stats.datagrams_received += 1;
+        self.stats.bytes_received += len as u64;
+        let (from, msg) = match decode_frame::<H::Msg>(&self.recv_buf[..len]) {
+            Ok(decoded) => decoded,
+            Err(_) => {
+                self.stats.decode_errors += 1;
+                return Recv::Rejected;
+            }
+        };
+        if from.index() >= self.peers.len() {
+            self.stats.unknown_sender_drops += 1;
+            return Recv::Rejected;
+        }
+        if self.peers[from.index()] != src {
+            // Deliverable but odd: a NAT rewrite, or something spoofing a
+            // member id. Counted; the payload still carries the header id,
+            // which is what the protocols key on.
+            self.stats.addr_mismatches += 1;
+        }
+        self.stats.messages_dispatched += 1;
+        let now = self.now_us();
+        self.with_mailbox(now, |handler, mailbox| {
+            handler.on_message(from, msg, mailbox)
+        });
+        Recv::Dispatched
+    }
+
+    /// Split-borrow the host into its handler plus a mailbox over every
+    /// other field, and run `f` — the socket-host analogue of the drivers'
+    /// `handler_and_mailbox!`.
+    fn with_mailbox(&mut self, now_us: u64, f: impl FnOnce(&mut H, &mut dyn Mailbox<H::Msg>)) {
+        let NodeHost {
+            me,
+            socket,
+            peers,
+            handler,
+            rng,
+            timers,
+            timer_seq,
+            cancels,
+            timer_jitter_us,
+            metrics,
+            stats,
+            ..
+        } = self;
+        let mut mailbox = SocketMailbox {
+            me: *me,
+            now_us,
+            socket,
+            peers,
+            rng,
+            timers,
+            timer_seq,
+            cancels,
+            jitter_us: *timer_jitter_us,
+            metrics,
+            stats,
+            _msg: std::marker::PhantomData,
+        };
+        f(handler, &mut mailbox);
+    }
+}
+
+impl<H: Handler + std::fmt::Debug> std::fmt::Debug for NodeHost<H> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeHost")
+            .field("me", &self.me)
+            .field("n", &self.peers.len())
+            .field("now_us", &self.now_us())
+            .field("started", &self.started)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The endpoint view handed to handler callbacks: sends encode frames to
+/// the address book, timers go to the host's monotonic queue.
+struct SocketMailbox<'a, M> {
+    me: NodeId,
+    now_us: u64,
+    socket: &'a UdpSocket,
+    peers: &'a [SocketAddr],
+    rng: &'a mut SmallRng,
+    timers: &'a mut BinaryHeap<PendingTimer>,
+    timer_seq: &'a mut u64,
+    cancels: &'a mut HashMap<u32, u64>,
+    jitter_us: u64,
+    metrics: &'a mut Metrics,
+    stats: &'a mut NodeStats,
+    _msg: std::marker::PhantomData<fn(M)>,
+}
+
+impl<M: WireMsg> Mailbox<M> for SocketMailbox<'_, M> {
+    fn me(&self) -> NodeId {
+        self.me
+    }
+
+    fn n(&self) -> usize {
+        self.peers.len()
+    }
+
+    fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    fn send(&mut self, to: NodeId, phase: Phase, bits: u32, msg: M) {
+        let ok = if let Some(&addr) = self.peers.get(to.index()) {
+            let frame = encode_frame(self.me, &msg);
+            match self.socket.send_to(&frame, addr) {
+                Ok(_) => {
+                    self.stats.datagrams_sent += 1;
+                    self.stats.bytes_sent += frame.len() as u64;
+                    true
+                }
+                Err(_) => {
+                    self.stats.send_errors += 1;
+                    false
+                }
+            }
+        } else {
+            self.stats.send_errors += 1;
+            false
+        };
+        // The modelled accounting the Mailbox contract requires:
+        // `delivered` means "handed to the kernel" — real delivery is as
+        // unknowable as the fire-and-forget contract says.
+        self.metrics.record_send(phase, bits, ok);
+    }
+
+    fn set_timer(&mut self, delay_us: u64, timer: TimerId) {
+        use rand::Rng;
+        let jitter = if self.jitter_us > 0 {
+            self.rng.gen_range(0..=self.jitter_us)
+        } else {
+            0
+        };
+        let at = self
+            .now_us
+            .saturating_add(delay_us.max(1))
+            .saturating_add(jitter);
+        let seq = *self.timer_seq;
+        *self.timer_seq += 1;
+        self.timers.push(Reverse((at, seq, timer.0)));
+    }
+
+    fn cancel_timer(&mut self, timer: TimerId) {
+        // The same watermark scheme as the simulated hosts: everything
+        // armed before now (seq < watermark) is suppressed at dispatch.
+        self.cancels.insert(timer.0, *self.timer_seq);
+    }
+
+    fn rng_mut(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+}

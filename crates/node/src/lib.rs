@@ -1,0 +1,38 @@
+//! # gossip-node
+//!
+//! The **real-socket host**: the fourth execution backend of this
+//! workspace, and the one that is not a simulator. Any
+//! [`Handler`](gossip_net::Handler) written for `EventDriver` or
+//! `ShardedDriver` runs here **unchanged** over UDP datagrams — the
+//! anti-entropy node of `gossip-ae`, the event-driven gossip-max of
+//! `gossip-drr`, anything speaking the `Mailbox` contract.
+//!
+//! ```text
+//! Handler  ──callbacks──  NodeHost          (crate::host)
+//!                           │ frames         (gossip_net::wire)
+//!                           ▼
+//!                        UdpSocket  ⇄  the actual network
+//! ```
+//!
+//! * [`NodeHost`] — one node: a bound UDP socket, a peer address book, a
+//!   monotonic timer queue (with `cancel_timer` and host jitter), and an
+//!   event loop that keeps the simulators' `(timestamp, seq)` dispatch
+//!   discipline wherever reality permits it.
+//! * [`LoopbackCluster`] — N hosts on 127.0.0.1 ephemeral ports, pumped
+//!   from one thread: the integration harness that lets a test assert
+//!   "this protocol converges over real sockets" in milliseconds.
+//!
+//! What carries over from the simulators and what does not is written up
+//! in `DESIGN.md` §6. The short version: the protocol semantics carry
+//! (idempotent merges, stateless exchanges, re-arming timers — everything
+//! the simulators' failure models forced the protocols to get right); the
+//! *determinism* does not (real clocks, real schedulers, real loss).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod host;
+
+pub use cluster::LoopbackCluster;
+pub use host::{NodeHost, NodeStats};

@@ -53,6 +53,8 @@ pub struct DriverMetrics {
     /// Timers dropped because their incarnation was superseded by a rejoin
     /// (or their node is currently dead).
     pub stale_timer_skips: u64,
+    /// Timers suppressed by [`Mailbox::cancel_timer`] before they fired.
+    pub cancelled_timer_skips: u64,
     /// Delivered messages dropped at dispatch because the receiver crashed
     /// in a later window than the delivery verdict was computed in.
     pub dead_receiver_drops: u64,
@@ -96,8 +98,11 @@ impl DriverMetrics {
 struct DriverMailbox<'a, M> {
     me: NodeId,
     epoch: u32,
+    /// Host-injected timer jitter ceiling (µs); `0` = disabled, no draw.
+    jitter_us: u64,
     engine: &'a mut AsyncEngine,
     payloads: &'a mut HashMap<u64, M>,
+    cancels: &'a mut HashMap<(NodeId, TimerId), u64>,
 }
 
 impl<M> Mailbox<M> for DriverMailbox<'_, M> {
@@ -128,7 +133,20 @@ impl<M> Mailbox<M> for DriverMailbox<'_, M> {
     }
 
     fn set_timer(&mut self, delay_us: u64, timer: TimerId) {
-        let at = self.engine.now_us().saturating_add(delay_us.max(1));
+        // Host-injected jitter: a uniform draw on top of the requested
+        // delay. Disabled (the default) it draws nothing, preserving the
+        // RNG stream of jitter-free runs.
+        let jitter = if self.jitter_us > 0 {
+            use rand::Rng;
+            self.engine.rng_mut().gen_range(0..=self.jitter_us)
+        } else {
+            0
+        };
+        let at = self
+            .engine
+            .now_us()
+            .saturating_add(delay_us.max(1))
+            .saturating_add(jitter);
         self.engine.push_event_at(
             at,
             Event::Timer {
@@ -137,6 +155,16 @@ impl<M> Mailbox<M> for DriverMailbox<'_, M> {
                 epoch: self.epoch,
             },
         );
+    }
+
+    fn cancel_timer(&mut self, timer: TimerId) {
+        // Lazy cancellation: the heap cannot remove an entry, so record a
+        // watermark — every timer with this label scheduled at or below
+        // the engine's current sequence counter is suppressed at dispatch.
+        // A later set_timer gets a larger sequence number and fires.
+        if let Some(watermark) = self.engine.last_seq() {
+            self.cancels.insert((self.me, timer), watermark);
+        }
     }
 
     fn rng_mut(&mut self) -> &mut SmallRng {
@@ -153,6 +181,11 @@ pub struct EventDriver<H: Handler> {
     epochs: Vec<u32>,
     /// In-flight handler message payloads, keyed by Deliver-event sequence.
     payloads: HashMap<u64, H::Msg>,
+    /// Cancellation watermarks: timers of `(node, label)` scheduled at or
+    /// below the recorded sequence number are suppressed at dispatch.
+    cancels: HashMap<(NodeId, TimerId), u64>,
+    /// Host-injected timer jitter ceiling (µs); `0` disables it.
+    timer_jitter_us: u64,
     window_us: u64,
     next_window: u64,
     started: bool,
@@ -172,6 +205,8 @@ impl<H: Handler> EventDriver<H> {
             factory: Box::new(factory),
             epochs: vec![0; n],
             payloads: HashMap::new(),
+            cancels: HashMap::new(),
+            timer_jitter_us: 0,
             window_us,
             next_window: window_us,
             started: false,
@@ -187,6 +222,17 @@ impl<H: Handler> EventDriver<H> {
         assert!(!self.started, "window length is fixed once the run starts");
         self.window_us = window_us;
         self.next_window = window_us;
+        self
+    }
+
+    /// Add host-injected jitter to every [`Mailbox::set_timer`]: a uniform
+    /// draw in `[0, jitter_us]` on top of the requested delay, from the
+    /// simulation RNG — deterministic per seed, but note that enabling it
+    /// changes the RNG stream relative to a jitter-free run. Must precede
+    /// the first [`run_until`](EventDriver::run_until).
+    pub fn with_timer_jitter_us(mut self, jitter_us: u64) -> Self {
+        assert!(!self.started, "timer jitter is fixed once the run starts");
+        self.timer_jitter_us = jitter_us;
         self
     }
 
@@ -281,8 +327,10 @@ impl<H: Handler> EventDriver<H> {
         let mut mailbox = DriverMailbox {
             me: node,
             epoch: self.epochs[i],
+            jitter_us: self.timer_jitter_us,
             engine: &mut self.engine,
             payloads: &mut self.payloads,
+            cancels: &mut self.cancels,
         };
         self.handlers[i].on_start(&mut mailbox);
     }
@@ -338,8 +386,10 @@ impl<H: Handler> EventDriver<H> {
                 let mut mailbox = DriverMailbox {
                     me: to,
                     epoch: self.epochs[i],
+                    jitter_us: self.timer_jitter_us,
                     engine: &mut self.engine,
                     payloads: &mut self.payloads,
+                    cancels: &mut self.cancels,
                 };
                 self.handlers[i].on_message(from, msg, &mut mailbox);
             }
@@ -353,6 +403,18 @@ impl<H: Handler> EventDriver<H> {
                     self.metrics.stale_timer_skips += 1;
                     return;
                 }
+                if self
+                    .cancels
+                    .get(&(node, timer))
+                    .is_some_and(|&watermark| seq <= watermark)
+                {
+                    // Armed before the cancellation watermark: suppressed
+                    // without folding into the order hash (a cancelled
+                    // timer is a non-event; jitter-free runs keep their
+                    // golden fingerprints).
+                    self.metrics.cancelled_timer_skips += 1;
+                    return;
+                }
                 self.metrics.timer_fires += 1;
                 self.metrics.fold([
                     at_us,
@@ -363,8 +425,10 @@ impl<H: Handler> EventDriver<H> {
                 let mut mailbox = DriverMailbox {
                     me: node,
                     epoch,
+                    jitter_us: self.timer_jitter_us,
                     engine: &mut self.engine,
                     payloads: &mut self.payloads,
+                    cancels: &mut self.cancels,
                 };
                 self.handlers[i].on_timer(timer, &mut mailbox);
             }
@@ -525,6 +589,70 @@ mod tests {
         for &(t, _) in &driver.metrics().rejoin_log {
             assert_eq!(t % 850, 0, "rejoins happen at churn-window boundaries");
         }
+    }
+
+    /// Exercises the cancel-then-re-arm idiom: T0 fires at 10, cancels the
+    /// T1 armed at boot (due 20) and re-arms it; only the re-armed T1 may
+    /// fire.
+    #[derive(Debug, Default)]
+    struct Canceller {
+        fired: Vec<(u64, TimerId)>,
+    }
+
+    impl Handler for Canceller {
+        type Msg = ();
+        fn on_start(&mut self, mailbox: &mut dyn Mailbox<()>) {
+            mailbox.set_timer(10, TimerId(0));
+            mailbox.set_timer(20, TimerId(1));
+        }
+        fn on_message(&mut self, _from: NodeId, _msg: (), _mailbox: &mut dyn Mailbox<()>) {}
+        fn on_timer(&mut self, timer: TimerId, mailbox: &mut dyn Mailbox<()>) {
+            self.fired.push((mailbox.now_us(), timer));
+            if timer == TimerId(0) {
+                mailbox.cancel_timer(TimerId(1));
+                mailbox.set_timer(30, TimerId(1));
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_timers_are_suppressed_and_rearmed_ones_fire() {
+        let config = AsyncConfig::new(SimConfig::new(1).with_seed(3));
+        let mut driver = EventDriver::new(AsyncEngine::new(config), |_| Canceller::default());
+        driver.run_until(100);
+        assert_eq!(
+            driver.handler(NodeId::new(0)).fired,
+            vec![(10, TimerId(0)), (40, TimerId(1))],
+            "the boot-armed T1 (due 20) is suppressed; the re-armed one fires at 40"
+        );
+        assert_eq!(driver.metrics().cancelled_timer_skips, 1);
+        assert_eq!(driver.metrics().timer_fires, 2);
+    }
+
+    #[test]
+    fn timer_jitter_delays_but_never_advances_and_reproduces() {
+        let run = |jitter| {
+            let config = AsyncConfig::new(SimConfig::new(4).with_seed(9));
+            let mut driver = EventDriver::new(AsyncEngine::new(config), |me| Rumor {
+                me,
+                tokens: Vec::new(),
+                tick_us: 1_000,
+            })
+            .with_timer_jitter_us(jitter);
+            driver.run_until(20_000);
+            (
+                driver.metrics().clone(),
+                driver.engine().metrics().total_messages(),
+            )
+        };
+        // Jittered runs are as reproducible as plain ones.
+        assert_eq!(run(300), run(300));
+        // And jitter actually perturbs the schedule.
+        assert_ne!(run(0).0.order_hash, run(300).0.order_hash);
+        // Ticks still fire at the expected rate (jitter delays, it does
+        // not drop): ~20 intervals per node, give or take the drift the
+        // jitter accumulates.
+        assert!(run(300).0.timer_fires >= 4 * 15);
     }
 
     #[test]

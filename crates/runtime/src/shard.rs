@@ -68,6 +68,7 @@ use crate::metrics::AsyncMetrics;
 use gossip_net::{node_rng, Handler, Mailbox, Metrics, NodeId, Phase, TimerId};
 use rand::rngs::SmallRng;
 use rand::Rng;
+use std::collections::HashMap;
 
 /// Word-level FNV-style fold for the per-node dispatch hashes, on the same
 /// FNV constants as [`DriverMetrics`]. Three words per event keep the hot
@@ -205,6 +206,7 @@ struct ShardCounters {
     messages_dispatched: u64,
     timer_fires: u64,
     stale_timer_skips: u64,
+    cancelled_timer_skips: u64,
     dead_receiver_drops: u64,
 }
 
@@ -221,6 +223,11 @@ struct Shard<H: Handler> {
     oseq: Vec<u64>,
     bits_window: Vec<u64>,
     node_hash: Vec<u64>,
+    /// Per-node cancellation watermarks: a timer label maps to the node's
+    /// `oseq` at cancel time; pending timers with a smaller `oseq` are
+    /// suppressed at dispatch. `oseq` is monotone across incarnations, so
+    /// stale entries can never cancel a post-rejoin timer.
+    cancels: Vec<HashMap<u32, u64>>,
     // Shard-local aggregates:
     alive_count: usize,
     pending_crashes: usize,
@@ -241,6 +248,10 @@ struct Topology {
     /// `i / chunk`.
     chunk: usize,
     num_shards: usize,
+    /// Host-injected timer jitter ceiling (µs); `0` disables it. Jitter is
+    /// drawn from the acting node's private stream, so it is shard-count
+    /// invariant like every other protocol draw.
+    timer_jitter_us: u64,
 }
 
 /// Split-borrow helper: carves a [`Shard`] into the handler at `local`
@@ -263,6 +274,7 @@ macro_rules! handler_and_mailbox {
                 rng: &mut shard.rng[$local],
                 oseq: &mut shard.oseq[$local],
                 bits_window: &mut shard.bits_window[$local],
+                cancels: &mut shard.cancels[$local],
                 shard_start: shard.start,
                 queue: &mut shard.queue,
                 outbox: &mut shard.outbox,
@@ -346,6 +358,16 @@ impl<H: Handler> Shard<H> {
                     self.counters.stale_timer_skips += 1;
                     return;
                 }
+                if self.cancels[local]
+                    .get(&timer.0)
+                    .is_some_and(|&watermark| ev.oseq < watermark)
+                {
+                    // Suppressed by cancel_timer; not folded into the node
+                    // hash — a cancelled timer is a non-event, so runs that
+                    // never cancel keep their golden fingerprints.
+                    self.counters.cancelled_timer_skips += 1;
+                    return;
+                }
                 self.counters.timer_fires += 1;
                 fold3(
                     &mut self.node_hash[local],
@@ -379,6 +401,7 @@ struct ShardMailbox<'a, M> {
     rng: &'a mut SmallRng,
     oseq: &'a mut u64,
     bits_window: &'a mut u64,
+    cancels: &'a mut HashMap<u32, u64>,
     shard_start: usize,
     queue: &'a mut CalendarQueue<M>,
     outbox: &'a mut Vec<Vec<ShardEvent<M>>>,
@@ -477,7 +500,17 @@ impl<M> Mailbox<M> for ShardMailbox<'_, M> {
     }
 
     fn set_timer(&mut self, delay_us: u64, timer: TimerId) {
-        let at_us = self.now_us.saturating_add(delay_us.max(1));
+        // Host-injected jitter from the node's own stream (shard-count
+        // invariant); disabled it draws nothing, preserving the stream.
+        let jitter = if self.topo.timer_jitter_us > 0 {
+            self.rng.gen_range(0..=self.topo.timer_jitter_us)
+        } else {
+            0
+        };
+        let at_us = self
+            .now_us
+            .saturating_add(delay_us.max(1))
+            .saturating_add(jitter);
         let oseq = self.next_oseq();
         // Timers stay with their owner: always the shard's own queue.
         self.queue.push(ShardEvent {
@@ -490,6 +523,13 @@ impl<M> Mailbox<M> for ShardMailbox<'_, M> {
                 incarnation: self.incarnation,
             },
         });
+    }
+
+    fn cancel_timer(&mut self, timer: TimerId) {
+        // Watermark = the node's next oseq: every pending timer with this
+        // label was scheduled with a smaller oseq and is suppressed at
+        // dispatch; a later set_timer draws a larger one and fires.
+        self.cancels.insert(timer.0, *self.oseq);
     }
 
     fn rng_mut(&mut self) -> &mut SmallRng {
@@ -574,6 +614,7 @@ where
                 oseq: vec![0; end - start],
                 bits_window: vec![0; end - start],
                 node_hash: vec![crate::driver::FNV_OFFSET; end - start],
+                cancels: vec![HashMap::new(); end - start],
                 alive_count: alive[start..end].iter().filter(|&&a| a).count(),
                 pending_crashes: 0,
                 queue: CalendarQueue::new(),
@@ -593,6 +634,7 @@ where
                 config,
                 chunk,
                 num_shards,
+                timer_jitter_us: 0,
             },
             shards: shard_vec,
             factory: Box::new(factory),
@@ -645,6 +687,19 @@ where
             "epoch must lie in [1, {lookahead}] (the cross-shard lookahead), got {epoch_us}"
         );
         self.epoch_us = epoch_us;
+        self
+    }
+
+    /// Add host-injected jitter to every [`Mailbox::set_timer`]: a uniform
+    /// draw in `[0, jitter_us]` on top of the requested delay, taken from
+    /// the **acting node's** private stream — so jittered runs stay
+    /// shard-count, slicing and thread-path invariant like everything
+    /// else. Enabling it changes each node's RNG stream relative to a
+    /// jitter-free run. Must precede the first
+    /// [`run_until`](ShardedDriver::run_until).
+    pub fn with_timer_jitter_us(mut self, jitter_us: u64) -> Self {
+        assert!(!self.started, "timer jitter is fixed once the run starts");
+        self.topo.timer_jitter_us = jitter_us;
         self
     }
 
@@ -729,6 +784,7 @@ where
             m.messages_dispatched += shard.counters.messages_dispatched;
             m.timer_fires += shard.counters.timer_fires;
             m.stale_timer_skips += shard.counters.stale_timer_skips;
+            m.cancelled_timer_skips += shard.counters.cancelled_timer_skips;
             m.dead_receiver_drops += shard.counters.dead_receiver_drops;
         }
         for shard in &self.shards {
@@ -1114,6 +1170,69 @@ mod tests {
         assert!(a.late_drops > 0, "latencies beyond 2ms miss the deadline");
         let m = driver.net_metrics();
         assert!(m.total_dropped() >= a.bandwidth_drops + a.late_drops);
+    }
+
+    /// The cancel-then-re-arm idiom on the sharded host (mirrors the
+    /// one-queue driver's unit test: T0 at 10 cancels the boot-armed T1
+    /// due 20 and re-arms it for 40).
+    #[derive(Debug, Default)]
+    struct Canceller {
+        fired: Vec<(u64, TimerId)>,
+    }
+
+    impl Handler for Canceller {
+        type Msg = ();
+        fn on_start(&mut self, mailbox: &mut dyn Mailbox<()>) {
+            mailbox.set_timer(10, TimerId(0));
+            mailbox.set_timer(20, TimerId(1));
+        }
+        fn on_message(&mut self, _from: NodeId, _msg: (), _mailbox: &mut dyn Mailbox<()>) {}
+        fn on_timer(&mut self, timer: TimerId, mailbox: &mut dyn Mailbox<()>) {
+            self.fired.push((mailbox.now_us(), timer));
+            if timer == TimerId(0) {
+                mailbox.cancel_timer(TimerId(1));
+                mailbox.set_timer(30, TimerId(1));
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_timers_are_suppressed_and_rearmed_ones_fire() {
+        let config = AsyncConfig::new(SimConfig::new(3).with_seed(3));
+        let mut driver = ShardedDriver::new(config, 3, |_| Canceller::default());
+        driver.run_until(100);
+        for (node, h) in driver.iter_handlers() {
+            assert_eq!(
+                h.fired,
+                vec![(10, TimerId(0)), (40, TimerId(1))],
+                "node {node:?}"
+            );
+        }
+        let m = driver.metrics();
+        assert_eq!(m.cancelled_timer_skips, 3);
+        assert_eq!(m.timer_fires, 6);
+    }
+
+    #[test]
+    fn jittered_runs_are_shard_count_invariant() {
+        let run = |shards| {
+            let config = AsyncConfig::new(SimConfig::new(64).with_seed(21).with_loss_prob(0.05))
+                .with_latency(LatencyModel::Uniform {
+                    lo_us: 200,
+                    hi_us: 1_500,
+                });
+            let mut d = ShardedDriver::new(config, shards, |me| Rumor {
+                me,
+                tokens: Vec::new(),
+                tick_us: 1_000,
+            })
+            .with_timer_jitter_us(400);
+            d.run_until(30_000);
+            fingerprint(&d)
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(8));
     }
 
     #[test]

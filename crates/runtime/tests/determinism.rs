@@ -396,6 +396,147 @@ fn sharded_max_agrees_with_the_other_execution_models() {
     }
 }
 
+/// A failure-detector-shaped workload for the cancellation contract: every
+/// node heartbeats a random peer each interval and keeps one "suspect"
+/// timer armed, cancelled and re-armed by every message it receives. Under
+/// loss and churn both paths run hot: cancels suppress armed timers, and
+/// quiet stretches let suspicion fire.
+#[derive(Debug, Clone)]
+struct Suspector {
+    me: NodeId,
+    heartbeat_us: u64,
+    suspect_us: u64,
+    heartbeats_seen: u64,
+    suspicions: u64,
+}
+
+const HB: TimerId = TimerId(0);
+const SUSPECT: TimerId = TimerId(1);
+
+impl Handler for Suspector {
+    type Msg = ();
+
+    fn on_start(&mut self, mailbox: &mut dyn Mailbox<()>) {
+        mailbox.set_timer(gossip_net::stagger_us(self.me, self.heartbeat_us, 2), HB);
+        mailbox.set_timer(self.suspect_us, SUSPECT);
+    }
+
+    fn on_message(&mut self, _from: NodeId, _msg: (), mailbox: &mut dyn Mailbox<()>) {
+        self.heartbeats_seen += 1;
+        mailbox.cancel_timer(SUSPECT);
+        mailbox.set_timer(self.suspect_us, SUSPECT);
+    }
+
+    fn on_timer(&mut self, timer: TimerId, mailbox: &mut dyn Mailbox<()>) {
+        match timer {
+            HB => {
+                let peer = mailbox.sample_peer();
+                mailbox.send(peer, Phase::Other, 16, ());
+                mailbox.set_timer(self.heartbeat_us, HB);
+            }
+            SUSPECT => {
+                self.suspicions += 1;
+                mailbox.set_timer(self.suspect_us, SUSPECT);
+            }
+            other => panic!("unexpected timer {other}"),
+        }
+    }
+}
+
+fn suspector_factory(n: usize) -> impl Fn(NodeId) -> Suspector + Send + 'static {
+    let _ = n;
+    move |me| Suspector {
+        me,
+        heartbeat_us: 1_000,
+        suspect_us: 3_500,
+        heartbeats_seen: 0,
+        suspicions: 0,
+    }
+}
+
+#[test]
+fn cancellation_is_order_stable_across_shard_counts() {
+    // The determinism contract extended to cancel_timer + jitter: the
+    // dispatch schedule (order hash), the suppressed-timer count and every
+    // node's observable state must not depend on how the node space is
+    // sharded — with and without host-injected timer jitter.
+    let n = 96;
+    let run = |shards, jitter| {
+        let config = AsyncConfig::new(SimConfig::new(n).with_seed(0xCA9).with_loss_prob(0.2))
+            .with_latency(LatencyModel::Uniform {
+                lo_us: 300,
+                hi_us: 2_000,
+            })
+            .with_churn(ChurnModel::per_round(0.01, 0.1).with_min_alive(n / 2));
+        let mut d =
+            ShardedDriver::new(config, shards, suspector_factory(n)).with_timer_jitter_us(jitter);
+        d.run_until(60_000);
+        let m = d.metrics();
+        let states: Vec<(u64, u64)> = d
+            .iter_handlers()
+            .map(|(_, h)| (h.heartbeats_seen, h.suspicions))
+            .collect();
+        (
+            m.order_hash,
+            m.cancelled_timer_skips,
+            m.timer_fires,
+            m.stale_timer_skips,
+            states,
+        )
+    };
+    for &jitter in &[0u64, 250] {
+        let counts = common::shard_counts();
+        let reference = run(counts[0], jitter);
+        assert!(
+            reference.1 > 0,
+            "the workload must actually exercise cancellation (jitter {jitter})"
+        );
+        let suspicions: u64 = reference.4.iter().map(|&(_, s)| s).sum();
+        assert!(
+            suspicions > 0,
+            "quiet stretches must let suspicion fire (jitter {jitter})"
+        );
+        for &shards in &counts {
+            assert_eq!(
+                reference,
+                run(shards, jitter),
+                "shard count {shards} changed a cancellation-heavy run (jitter {jitter})"
+            );
+        }
+    }
+}
+
+#[test]
+fn cancellation_reproduces_on_the_one_queue_driver() {
+    // Same workload on the EventDriver: bit-reproducible, cancellation
+    // counted, and a seed change moves the schedule.
+    let n = 64;
+    let run = |seed| {
+        let config = AsyncConfig::new(SimConfig::new(n).with_seed(seed).with_loss_prob(0.2))
+            .with_latency(LatencyModel::Uniform {
+                lo_us: 300,
+                hi_us: 2_000,
+            })
+            .with_churn(ChurnModel::per_round(0.01, 0.1).with_min_alive(n / 2));
+        let mut d = EventDriver::new(AsyncEngine::new(config), suspector_factory(n));
+        d.run_until(60_000);
+        let states: Vec<(u64, u64)> = d
+            .handlers()
+            .iter()
+            .map(|h| (h.heartbeats_seen, h.suspicions))
+            .collect();
+        (
+            d.metrics().order_hash,
+            d.metrics().cancelled_timer_skips,
+            states,
+        )
+    };
+    let a = run(0xF00D);
+    assert_eq!(a, run(0xF00D));
+    assert!(a.1 > 0, "cancellation exercised");
+    assert_ne!(a.0, run(0xF00E).0);
+}
+
 #[test]
 fn drr_gossip_still_converges_under_churn_and_heavy_tails() {
     // The acceptance scenario: ≥ 1% per-round churn, log-normal latency.

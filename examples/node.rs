@@ -1,0 +1,224 @@
+//! Run a real gossip node: the simulators' protocols on actual UDP sockets.
+//!
+//! Two modes:
+//!
+//! * **Cluster mode** (default) — spin an in-process loopback cluster and
+//!   watch it converge; the zero-setup demo:
+//!   ```text
+//!   cargo run --release --example node -- --cluster 16 --protocol max
+//!   cargo run --release --example node -- --cluster 16 --protocol ae
+//!   ```
+//! * **Member mode** — be *one* node of a deployment: bind a socket, join
+//!   a peer list (one address per node id, comma-separated, your own
+//!   included), run to a deadline, report. One process per node — run
+//!   several in parallel shells or machines:
+//!   ```text
+//!   cargo run --release --example node -- \
+//!     --me 0 --peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 \
+//!     --protocol max --run-ms 3000
+//!   ```
+//!   (node `i` binds `peers[i]`; every process must get the same list.)
+//!
+//! `--protocol max` runs the event-driven uniform gossip-max
+//! (`gossip_drr::handler::MaxGossipHandler`, each node's input derived
+//! from its id); `--protocol ae` runs the anti-entropy node
+//! (`gossip_ae::AeNode`, static signal). Both are the exact handler types
+//! the simulator suites pin — nothing is reimplemented here.
+
+use drr_gossip::ae::protocol::{AeConfig, AeNode};
+use drr_gossip::ae::signal::SignalModel;
+use drr_gossip::drr::handler::{MaxGossipConfig, MaxGossipHandler};
+use drr_gossip::net::{Handler, NodeId, SimConfig, WireMsg};
+use gossip_node::{LoopbackCluster, NodeHost};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+struct Args {
+    cluster: Option<usize>,
+    me: usize,
+    peers: Vec<SocketAddr>,
+    protocol: String,
+    run_ms: u64,
+    seed: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  node --cluster <n> [--protocol max|ae] [--run-ms MS] [--seed S]\n  \
+         node --me <i> --peers a:p,b:p,... [--protocol max|ae] [--run-ms MS] [--seed S]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        cluster: None,
+        me: usize::MAX,
+        peers: Vec::new(),
+        protocol: "max".to_string(),
+        run_ms: 2_000,
+        seed: 7,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--cluster" => args.cluster = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--me" => args.me = value().parse().unwrap_or_else(|_| usage()),
+            "--peers" => {
+                args.peers = value()
+                    .split(',')
+                    .map(|a| a.parse().unwrap_or_else(|_| usage()))
+                    .collect()
+            }
+            "--protocol" => args.protocol = value(),
+            "--run-ms" => args.run_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    if args.cluster.is_none() && (args.peers.is_empty() || args.me >= args.peers.len()) {
+        usage();
+    }
+    args
+}
+
+/// Each node's gossip-max input, derived from its id (every process
+/// computes the same vector, so the true maximum is known everywhere).
+fn own_value(me: NodeId) -> f64 {
+    ((me.index() * 37) % 1009) as f64
+}
+
+fn max_handler(n: usize, me: NodeId) -> MaxGossipHandler {
+    let sim = SimConfig::new(n);
+    let config = MaxGossipConfig {
+        bits: sim.id_bits() + sim.value_bits(),
+        push_interval_us: 1_000,
+        fanout: 1,
+    };
+    MaxGossipHandler::new(me, own_value(me), config)
+}
+
+fn ae_handler(n: usize, me: NodeId) -> AeNode {
+    let sim = SimConfig::new(n).with_value_range(10_000.0);
+    let config = AeConfig::default()
+        .with_tick_us(4_000)
+        .with_update_us(0)
+        .with_expiry_us(0)
+        .with_signal(SignalModel::uniform(0.0, 10_000.0));
+    AeNode::new(me, n, sim.id_bits(), sim.value_bits(), config)
+}
+
+fn run_member<H: Handler>(args: &Args, handler: H, report: impl Fn(&NodeHost<H>) -> String)
+where
+    H::Msg: WireMsg,
+{
+    let me = NodeId::new(args.me);
+    let bind = args.peers[args.me];
+    let mut host =
+        NodeHost::bind(bind, me, args.peers.clone(), args.seed, handler).unwrap_or_else(|e| {
+            eprintln!("cannot bind {bind}: {e}");
+            std::process::exit(1);
+        });
+    println!(
+        "node {me} up on {} ({} peers), running {} ms",
+        host.local_addr().expect("bound socket has an address"),
+        host.n(),
+        args.run_ms
+    );
+    host.run_for(Duration::from_millis(args.run_ms));
+    let stats = host.stats();
+    println!(
+        "node {me} done: {} msgs in / {} out ({} wire bytes out), {} timer fires, {} decode errors",
+        stats.messages_dispatched,
+        stats.datagrams_sent,
+        stats.bytes_sent,
+        stats.timer_fires,
+        stats.decode_errors
+    );
+    println!("  {}", report(&host));
+}
+
+fn run_cluster<H: Handler>(
+    n: usize,
+    args: &Args,
+    factory: impl Fn(NodeId) -> H,
+    done: impl Fn(&NodeHost<H>) -> bool,
+    report: impl Fn(&NodeHost<H>) -> String,
+) where
+    H::Msg: WireMsg,
+{
+    let mut cluster = LoopbackCluster::bind(n, args.seed, factory).unwrap_or_else(|e| {
+        eprintln!("cannot bind a loopback cluster: {e}");
+        std::process::exit(1);
+    });
+    println!("loopback cluster: {n} nodes on 127.0.0.1 ephemeral ports");
+    let timeout = Duration::from_millis(args.run_ms.max(1));
+    match cluster.run_until(timeout, |hosts| hosts.iter().all(&done)) {
+        Some(elapsed) => println!("converged in {:.1} ms (wall)", elapsed.as_secs_f64() * 1e3),
+        None => println!("not converged within {} ms", args.run_ms),
+    }
+    let totals = cluster.total_stats();
+    println!(
+        "wire totals: {} datagrams / {} bytes sent, {} dispatched, {} decode errors",
+        totals.datagrams_sent, totals.bytes_sent, totals.messages_dispatched, totals.decode_errors
+    );
+    for (node, _) in cluster.iter_handlers().take(4) {
+        println!("  node {node}: {}", report(cluster.host(node)));
+    }
+    if n > 4 {
+        println!("  ... ({} more nodes)", n - 4);
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    match (args.cluster, args.protocol.as_str()) {
+        (Some(n), "max") => {
+            let exact = (0..n)
+                .map(|i| own_value(NodeId::new(i)))
+                .fold(f64::NEG_INFINITY, f64::max);
+            run_cluster(
+                n,
+                &args,
+                move |me| max_handler(n, me),
+                move |host| host.handler().current_max() == exact,
+                |host| format!("max estimate = {}", host.handler().current_max()),
+            );
+        }
+        (Some(n), "ae") => run_cluster(
+            n,
+            &args,
+            move |me| ae_handler(n, me),
+            move |host| host.handler().store().known() == n,
+            |host| {
+                format!(
+                    "knows {}/{} origins, mean estimate = {:?}",
+                    host.handler().store().known(),
+                    host.n(),
+                    host.handler().estimate(u64::MAX)
+                )
+            },
+        ),
+        (None, "max") => {
+            let n = args.peers.len();
+            let me = NodeId::new(args.me);
+            run_member(&args, max_handler(n, me), |host| {
+                format!("max estimate = {}", host.handler().current_max())
+            });
+        }
+        (None, "ae") => {
+            let n = args.peers.len();
+            let me = NodeId::new(args.me);
+            run_member(&args, ae_handler(n, me), |host| {
+                format!(
+                    "knows {}/{} origins, mean estimate = {:?}",
+                    host.handler().store().known(),
+                    n,
+                    host.handler().estimate(u64::MAX)
+                )
+            });
+        }
+        _ => usage(),
+    }
+}
