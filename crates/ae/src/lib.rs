@@ -17,6 +17,11 @@
 //!   ([`AeMsg`]), and on every update re-stamps its own entry from the
 //!   moving [`SignalModel`]. Estimates are means over *fresh* entries, so
 //!   crashed origins age out instead of biasing the aggregate forever.
+//! * [`merkle`]: hash-tree digests ([`DigestTree`]) and the descent
+//!   reconciliation engine — [`DigestMode::Merkle`] swaps the O(n) flat
+//!   digest for an O(log n) root-hash exchange whose every message stays
+//!   datagram-sized at any n (what lets the socket host run anti-entropy
+//!   at the scales the sharded engine simulates).
 //! * [`ae_driver`]: hosts one `AeNode` per node on the discrete-event
 //!   [`AsyncEngine`](gossip_runtime::AsyncEngine) — latency, loss, churn
 //!   and bandwidth are the engine's, determinism is the driver's, and a
@@ -50,20 +55,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod merkle;
 pub mod protocol;
 pub mod recovery;
 pub mod signal;
 pub mod store;
 pub mod wire;
 
+pub use merkle::{reconcile, DigestTree, Handled, PROBE_BATCH};
 pub use protocol::{
-    ae_driver, ae_sharded_driver, AeConfig, AeMsg, AeNode, AeNodeStats, TIMER_TICK, TIMER_UPDATE,
+    ae_driver, ae_sharded_driver, AeConfig, AeMsg, AeNode, AeNodeStats, DigestMode, TIMER_TICK,
+    TIMER_UPDATE,
 };
 pub use recovery::{
     reference_store, RecoveryOutcome, RecoveryRecord, RecoveryTracker, RECOVERY_BOUND_TICKS,
 };
 pub use signal::SignalModel;
-pub use store::{Digest, Entry, Store, STAMP_BITS};
+pub use store::{sparse_digest_well_formed, Digest, Entry, SparseDigest, Store, STAMP_BITS};
+pub use wire::payload_bytes;
 
 // The building blocks the subsystem is made of, re-exported so dependents
 // of the anti-entropy layer see one coherent API.

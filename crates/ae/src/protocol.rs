@@ -2,13 +2,20 @@
 //!
 //! Every node runs an [`AeNode`] under the event-driven driver. On its
 //! anti-entropy tick it picks a uniformly random peer and starts a
-//! push-pull exchange (the classic three-way reconciliation):
+//! push-pull exchange. In [`DigestMode::Dense`], that is the classic
+//! three-way reconciliation:
 //!
-//! 1. `A → B` [`AeMsg::SynReq`] — A's digest (per-origin max stamps).
+//! 1. `A → B` [`AeMsg::SynReq`] — A's digest (per-origin max stamps,
+//!    carried sparse: one `(origin, stamp)` pair per known origin).
 //! 2. `B → A` [`AeMsg::SynAck`] — the entries B holds that A's digest
 //!    lacks, plus B's own digest.
 //! 3. `A → B` [`AeMsg::Delta`] — the entries A holds that B's digest
 //!    lacks (omitted when B is already current).
+//!
+//! In [`DigestMode::Merkle`] the opener is a constant-size root hash and
+//! the exchange descends a digest tree instead, repairing only the
+//! subtrees that differ — O(log n) steady-state bits and no message that
+//! grows with n (see [`crate::merkle`] for the descent).
 //!
 //! Any message may be lost; the exchange is stateless on both sides, so a
 //! dropped leg costs nothing but the next tick. On its update tick a node
@@ -18,8 +25,9 @@
 //! [`Store::mean_fresh`]), and a churned-and-rejoined node — restarted
 //! with an empty store — pulls the whole state back within a few ticks.
 
+use crate::merkle::{reconcile, DigestTree};
 use crate::signal::SignalModel;
-use crate::store::{Digest, Entry, Store, STAMP_BITS};
+use crate::store::{Entry, SparseDigest, Store, STAMP_BITS};
 use gossip_net::{stagger_us, Handler, Mailbox, NodeId, Phase, TimerId};
 use gossip_runtime::{AsyncConfig, AsyncEngine, EventDriver, ShardedDriver};
 use serde::{Deserialize, Serialize};
@@ -28,6 +36,24 @@ use serde::{Deserialize, Serialize};
 pub const TIMER_TICK: TimerId = TimerId(0);
 /// The local signal-update timer.
 pub const TIMER_UPDATE: TimerId = TimerId(1);
+
+/// How a node summarises its store for reconciliation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DigestMode {
+    /// The classic flat digest: every exchange opens with one
+    /// `(origin, stamp)` pair per known origin — O(n) bits per exchange,
+    /// and beyond ~5,500 known origins the opener no longer fits one UDP
+    /// datagram.
+    #[default]
+    Dense,
+    /// Merkle digest trees (see [`crate::merkle`]): exchanges open with a
+    /// constant-size root hash and descend only into mismatching subtrees,
+    /// so the steady-state cost is O(log n) and **every** message stays
+    /// within a bounded number of
+    /// [`merkle_fallback_slots`](AeConfig::merkle_fallback_slots)-sized
+    /// ranges — datagram-safe at any n.
+    Merkle,
+}
 
 /// Parameters of the anti-entropy layer.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -48,6 +74,17 @@ pub struct AeConfig {
     pub fanout: usize,
     /// The input signal being aggregated.
     pub signal: SignalModel,
+    /// Digest representation for exchanges (dense flat digests by
+    /// default; [`DigestMode::Merkle`] for O(log n) hash-tree digests).
+    pub digest_mode: DigestMode,
+    /// In Merkle mode, subtrees of at most this many slots stop the hash
+    /// descent and fall back to a dense per-slot range digest (where one
+    /// small range is cheaper to ship than to keep probing). Also the
+    /// digest tree's leaf span, and the widest range repair a node will
+    /// *accept* — so, like the store arity, it must agree across a
+    /// cluster (a mismatched peer's range legs are counted as digest
+    /// mismatches and dropped). Ignored in dense mode.
+    pub merkle_fallback_slots: usize,
 }
 
 impl AeConfig {
@@ -82,6 +119,19 @@ impl AeConfig {
         self.signal = signal;
         self
     }
+
+    /// Set the digest representation.
+    pub fn with_digest_mode(mut self, digest_mode: DigestMode) -> Self {
+        self.digest_mode = digest_mode;
+        self
+    }
+
+    /// Set the Merkle descent's dense-fallback subtree size (slots).
+    pub fn with_merkle_fallback_slots(mut self, slots: usize) -> Self {
+        assert!(slots >= 1, "fallback must cover at least one slot");
+        self.merkle_fallback_slots = slots;
+        self
+    }
 }
 
 impl Default for AeConfig {
@@ -95,29 +145,90 @@ impl Default for AeConfig {
             expiry_us: 80_000,
             fanout: 1,
             signal: SignalModel::default(),
+            digest_mode: DigestMode::Dense,
+            merkle_fallback_slots: 32,
         }
     }
 }
 
-/// The three-way reconciliation messages.
+/// The reconciliation messages: the classic three-way flat-digest legs
+/// plus the Merkle descent legs (see [`crate::merkle`]).
+///
+/// Every digest-bearing variant carries the sender's store arity `n` and
+/// is validated against the receiver's own arity before anything is
+/// trusted: `AeMsg` arrives over real sockets, where a short digest is an
+/// amplification lever (it makes the responder ship its whole store) and
+/// a long or ill-ranged one would index out of bounds. Mismatches are
+/// dropped and counted in [`AeNodeStats::digest_mismatches`].
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum AeMsg {
-    /// Exchange opener: the initiator's digest.
+    /// Flat-digest exchange opener: the initiator's digest, in sparse
+    /// `(origin, stamp)` form — exactly the pairs the modelled
+    /// `digest_bits` accounting charges for, and exactly what the wire
+    /// encodes (absent origins cost nothing in either).
     SynReq {
-        /// Per-origin max stamps of the initiator.
-        digest: Digest,
+        /// The initiator's store arity (validated by the receiver).
+        n: u32,
+        /// `(origin, max stamp)` per origin the initiator holds.
+        digest: SparseDigest,
     },
     /// The responder's repair: entries the initiator lacks, plus the
     /// responder's digest so the initiator can repair it in turn.
     SynAck {
+        /// The responder's store arity (validated by the receiver).
+        n: u32,
         /// Entries the initiator's digest was missing.
         delta: Vec<(NodeId, Entry)>,
-        /// Per-origin max stamps of the responder.
-        digest: Digest,
+        /// `(origin, max stamp)` per origin the responder holds.
+        digest: SparseDigest,
     },
-    /// The initiator's counter-repair (third leg; only sent when needed).
+    /// The counter-repair leg (flat and Merkle modes both end ranges with
+    /// it; only sent when needed).
     Delta {
-        /// Entries the responder's digest was missing.
+        /// Entries the peer's digest was missing.
+        delta: Vec<(NodeId, Entry)>,
+    },
+    /// Merkle exchange opener: the initiator's root hash. Identical
+    /// replicas answer with silence — this one constant-size message *is*
+    /// the steady-state exchange.
+    MerkleSyn {
+        /// The initiator's store arity (validated by the receiver).
+        n: u32,
+        /// The initiator's digest-tree root hash.
+        root: u64,
+    },
+    /// One level of the descent: subtree hashes the sender holds for tree
+    /// nodes on the mismatch frontier. The receiver compares each against
+    /// its own tree and answers mismatches with deeper probes or range
+    /// fallbacks.
+    MerkleProbe {
+        /// The sender's store arity (validated by the receiver).
+        n: u32,
+        /// `(tree node index, sender's subtree hash)` pairs, at most
+        /// [`crate::merkle::PROBE_BATCH`] per message.
+        probes: Vec<(u32, u64)>,
+    },
+    /// Dense fallback for one mismatching leaf range: the sender's
+    /// per-slot stamps for `[start, start + stamps.len())`.
+    RangeSyn {
+        /// The sender's store arity (validated by the receiver).
+        n: u32,
+        /// First slot of the range.
+        start: u32,
+        /// Per-slot stamps (`0` = absent), one per slot in the range.
+        stamps: Vec<u64>,
+    },
+    /// The range repair: entries of the range the [`RangeSyn`](Self::RangeSyn)
+    /// sender lacked, plus the responder's own stamps for the range so the
+    /// initiator can counter-repair with a [`Delta`](Self::Delta).
+    RangeAck {
+        /// The responder's store arity (validated by the receiver).
+        n: u32,
+        /// First slot of the range.
+        start: u32,
+        /// The responder's per-slot stamps for the range.
+        stamps: Vec<u64>,
+        /// Entries the range-syn's stamps were missing.
         delta: Vec<(NodeId, Entry)>,
     },
 }
@@ -133,6 +244,12 @@ pub struct AeNodeStats {
     pub entries_adopted: u64,
     /// Local signal re-stamps.
     pub self_updates: u64,
+    /// Malformed reconciliation input dropped: digest arity mismatches,
+    /// out-of-range or unsorted digest pairs, out-of-range delta origins,
+    /// zero stamps, probe indices outside the tree. Hostile or
+    /// version-skewed traffic lands here instead of panicking the node or
+    /// amplifying its sends.
+    pub digest_mismatches: u64,
 }
 
 /// One node of the anti-entropy layer. Implements [`Handler`]; host it with
@@ -144,6 +261,9 @@ pub struct AeNode {
     value_bits: u32,
     config: AeConfig,
     store: Store,
+    /// The digest tree, maintained incrementally on every adoption
+    /// (`Some` iff `config.digest_mode` is [`DigestMode::Merkle`]).
+    tree: Option<DigestTree>,
     /// Diagnostic counters.
     pub stats: AeNodeStats,
 }
@@ -153,12 +273,18 @@ impl AeNode {
     /// knows: nothing). `id_bits`/`value_bits` size the modelled wire
     /// messages.
     pub fn new(me: NodeId, n: usize, id_bits: u32, value_bits: u32, config: AeConfig) -> Self {
+        let store = Store::new(n);
+        let tree = match config.digest_mode {
+            DigestMode::Dense => None,
+            DigestMode::Merkle => Some(DigestTree::new(&store, config.merkle_fallback_slots)),
+        };
         AeNode {
             me,
             id_bits,
             value_bits,
             config,
-            store: Store::new(n),
+            store,
+            tree,
             stats: AeNodeStats::default(),
         }
     }
@@ -166,6 +292,20 @@ impl AeNode {
     /// The node's replicated store.
     pub fn store(&self) -> &Store {
         &self.store
+    }
+
+    /// Inject one entry directly into the store (digest tree kept
+    /// current). Bootstrap/test plumbing — a deployment that warm-starts a
+    /// node from a checkpoint does exactly this; live reconciliation never
+    /// needs it. Panics on an out-of-range origin or a zero stamp.
+    pub fn seed_entry(&mut self, origin: NodeId, entry: Entry) {
+        assert!(origin.index() < self.store.n(), "origin outside the store");
+        assert!(entry.stamp >= 1, "stamp 0 is the digest code for absent");
+        if self.store.merge(origin, entry) {
+            if let Some(tree) = &mut self.tree {
+                tree.refresh(origin, &self.store);
+            }
+        }
     }
 
     /// The node's current estimate of the network-wide signal mean: the
@@ -181,18 +321,61 @@ impl AeNode {
             stamp: now_us.max(1),
             value: self.config.signal.value(self.me, now_us),
         };
-        self.store.merge(self.me, entry);
+        if self.store.merge(self.me, entry) {
+            if let Some(tree) = &mut self.tree {
+                tree.refresh(self.me, &self.store);
+            }
+        }
     }
 
-    fn digest_bits(&self, digest: &Digest) -> u32 {
-        // Tag byte + one (origin, stamp) pair per known origin; absent
-        // origins compress to nothing on a real wire.
-        let known = digest.iter().filter(|&&s| s > 0).count() as u32;
-        8 + known * (self.id_bits + STAMP_BITS)
+    /// Modelled wire size of a digest: tag byte + arity + one
+    /// `(origin, stamp)` pair per pair actually carried — the sparse form
+    /// both the model and the real wire use, so the two agree pair for
+    /// pair (the loopback suite pins the byte-level counterpart).
+    fn digest_bits(&self, digest: &SparseDigest) -> u32 {
+        8 + 32 + digest.len() as u32 * (self.id_bits + STAMP_BITS)
     }
 
     fn delta_bits(&self, delta: &[(NodeId, Entry)]) -> u32 {
         8 + delta.len() as u32 * (self.id_bits + STAMP_BITS + self.value_bits)
+    }
+
+    /// Honest modelled bits for any leg of either protocol: every field
+    /// the wire encodes is charged — tags and arities at their wire width,
+    /// origins at the model's `id_bits`, stamps at [`STAMP_BITS`], values
+    /// at `value_bits`, tree-node indices and hashes at their wire widths.
+    fn msg_bits(&self, msg: &AeMsg) -> u32 {
+        match msg {
+            AeMsg::SynReq { digest, .. } => self.digest_bits(digest),
+            AeMsg::SynAck { delta, digest, .. } => {
+                self.delta_bits(delta) + self.digest_bits(digest)
+            }
+            AeMsg::Delta { delta } => self.delta_bits(delta),
+            AeMsg::MerkleSyn { .. } => 8 + 32 + 64,
+            AeMsg::MerkleProbe { probes, .. } => 8 + 32 + probes.len() as u32 * (32 + 64),
+            AeMsg::RangeSyn { stamps, .. } => 8 + 32 + 32 + stamps.len() as u32 * STAMP_BITS,
+            AeMsg::RangeAck { stamps, delta, .. } => {
+                8 + 32
+                    + 32
+                    + stamps.len() as u32 * STAMP_BITS
+                    + delta.len() as u32 * (self.id_bits + STAMP_BITS + self.value_bits)
+            }
+        }
+    }
+
+    /// The exchange opener this node's digest mode sends on its tick.
+    fn opener(&self) -> AeMsg {
+        let n = self.store.n() as u32;
+        match &self.tree {
+            None => AeMsg::SynReq {
+                n,
+                digest: self.store.sparse_digest(),
+            },
+            Some(tree) => AeMsg::MerkleSyn {
+                n,
+                root: tree.root(),
+            },
+        }
     }
 }
 
@@ -214,20 +397,13 @@ impl Handler for AeNode {
         match timer {
             TIMER_TICK => {
                 self.stats.ticks += 1;
-                // One digest serves every fanout target: the store cannot
+                // One opener serves every fanout target: the store cannot
                 // change between the sends of one tick.
-                let digest = self.store.digest();
-                let bits = self.digest_bits(&digest);
+                let opener = self.opener();
+                let bits = self.msg_bits(&opener);
                 for _ in 0..self.config.fanout {
                     let peer = mailbox.sample_peer();
-                    mailbox.send(
-                        peer,
-                        Phase::AntiEntropy,
-                        bits,
-                        AeMsg::SynReq {
-                            digest: digest.clone(),
-                        },
-                    );
+                    mailbox.send(peer, Phase::AntiEntropy, bits, opener.clone());
                     self.stats.syn_sent += 1;
                 }
                 mailbox.set_timer(self.config.tick_us, TIMER_TICK);
@@ -242,32 +418,21 @@ impl Handler for AeNode {
     }
 
     fn on_message(&mut self, from: NodeId, msg: AeMsg, mailbox: &mut dyn Mailbox<AeMsg>) {
-        match msg {
-            AeMsg::SynReq { digest } => {
-                let delta = self.store.delta_for(&digest);
-                let mine = self.store.digest();
-                let bits = self.delta_bits(&delta) + self.digest_bits(&mine);
-                mailbox.send(
-                    from,
-                    Phase::AntiEntropy,
-                    bits,
-                    AeMsg::SynAck {
-                        delta,
-                        digest: mine,
-                    },
-                );
-            }
-            AeMsg::SynAck { delta, digest } => {
-                self.stats.entries_adopted += self.store.merge_delta(&delta) as u64;
-                let back = self.store.delta_for(&digest);
-                if !back.is_empty() {
-                    let bits = self.delta_bits(&back);
-                    mailbox.send(from, Phase::AntiEntropy, bits, AeMsg::Delta { delta: back });
-                }
-            }
-            AeMsg::Delta { delta } => {
-                self.stats.entries_adopted += self.store.merge_delta(&delta) as u64;
-            }
+        // Validation, merging and reply construction all live in the
+        // reconciliation engine (`crate::merkle::reconcile`); this
+        // callback is the I/O shim: fold the counters, charge honest
+        // modelled bits per reply, ship.
+        let handled = reconcile(
+            &mut self.store,
+            self.tree.as_mut(),
+            self.config.merkle_fallback_slots,
+            &msg,
+        );
+        self.stats.entries_adopted += handled.adopted as u64;
+        self.stats.digest_mismatches += handled.invalid as u64;
+        for reply in handled.replies {
+            let bits = self.msg_bits(&reply);
+            mailbox.send(from, Phase::AntiEntropy, bits, reply);
         }
     }
 }
@@ -488,10 +653,14 @@ mod tests {
     fn message_sizes_scale_with_content() {
         let n = 16;
         let node = AeNode::new(NodeId::new(0), n, 4, 24, AeConfig::default());
-        let empty: Digest = vec![0; n];
-        assert_eq!(node.digest_bits(&empty), 8, "empty digest is just a tag");
-        let full: Digest = vec![1; n];
-        assert_eq!(node.digest_bits(&full), 8 + 16 * (4 + STAMP_BITS));
+        let empty: SparseDigest = Vec::new();
+        assert_eq!(
+            node.digest_bits(&empty),
+            8 + 32,
+            "empty digest is tag + arity"
+        );
+        let full: SparseDigest = (0..n).map(|i| (NodeId::new(i), 1)).collect();
+        assert_eq!(node.digest_bits(&full), 8 + 32 + 16 * (4 + STAMP_BITS));
         let delta = vec![(
             NodeId::new(1),
             Entry {
@@ -500,6 +669,131 @@ mod tests {
             },
         )];
         assert_eq!(node.delta_bits(&delta), 8 + (4 + STAMP_BITS + 24));
+        // The Merkle legs: constant opener, per-pair probes, per-slot
+        // ranges — none of them a function of n.
+        assert_eq!(node.msg_bits(&AeMsg::MerkleSyn { n: 16, root: 0 }), 104);
+        assert_eq!(
+            node.msg_bits(&AeMsg::MerkleProbe {
+                n: 16,
+                probes: vec![(1, 2), (2, 3)],
+            }),
+            8 + 32 + 2 * 96
+        );
+        assert_eq!(
+            node.msg_bits(&AeMsg::RangeSyn {
+                n: 16,
+                start: 0,
+                stamps: vec![1, 0, 2],
+            }),
+            8 + 64 + 3 * STAMP_BITS
+        );
+        assert_eq!(
+            node.msg_bits(&AeMsg::RangeAck {
+                n: 16,
+                start: 0,
+                stamps: vec![1, 0, 2],
+                delta: delta.clone(),
+            }),
+            8 + 64 + 3 * STAMP_BITS + (4 + STAMP_BITS + 24)
+        );
+    }
+
+    #[test]
+    fn merkle_mode_reconciles_and_matches_dense_results() {
+        // The same configuration in both digest modes, with a *static*
+        // signal (the two modes send different message counts, so the
+        // engine's loss/latency draws diverge — only the quiesced fixed
+        // point is mode-independent): both must fully reconcile to
+        // identical stores, boot stamps and all.
+        let build = |mode| {
+            let config = AsyncConfig::new(
+                SimConfig::new(48)
+                    .with_seed(3)
+                    .with_loss_prob(0.02)
+                    .with_value_range(10_000.0),
+            )
+            .with_latency(LatencyModel::Uniform {
+                lo_us: 200,
+                hi_us: 1_200,
+            });
+            ae_driver(
+                config,
+                AeConfig::default()
+                    .with_update_us(0)
+                    .with_digest_mode(mode)
+                    .with_merkle_fallback_slots(8),
+            )
+        };
+        let run = |mode| {
+            let mut d = build(mode);
+            d.run_until(200_000);
+            let stores: Vec<Store> = d.handlers().iter().map(|h| h.store().clone()).collect();
+            let mismatches: u64 = d.handlers().iter().map(|h| h.stats.digest_mismatches).sum();
+            let bits = d.engine().metrics().total_bits();
+            (stores, mismatches, bits)
+        };
+        let (dense_stores, dense_mismatches, dense_bits) = run(DigestMode::Dense);
+        let (merkle_stores, merkle_mismatches, merkle_bits) = run(DigestMode::Merkle);
+        for s in &merkle_stores {
+            assert_eq!(s.known(), 48, "merkle mode fully reconciles");
+        }
+        assert_eq!(
+            dense_stores, merkle_stores,
+            "digest mode changes cost, not outcome"
+        );
+        assert_eq!(dense_mismatches, 0);
+        assert_eq!(merkle_mismatches, 0, "honest traffic is never dropped");
+        assert!(
+            merkle_bits < dense_bits,
+            "hash descent beats flat digests even at n = 48 \
+             (merkle {merkle_bits} vs dense {dense_bits} bits)"
+        );
+    }
+
+    #[test]
+    fn merkle_mode_rejoiners_recover_from_an_empty_store() {
+        // The E17 churn scenario with hash-tree digests: rejoiners restart
+        // with an empty store *and a blank tree* and must still pull the
+        // state back (the factory rebuilds both — the driver's
+        // fresh-incarnation contract).
+        let config = AsyncConfig::new(
+            SimConfig::new(64)
+                .with_seed(11)
+                .with_loss_prob(0.02)
+                .with_value_range(10_000.0),
+        )
+        .with_latency(LatencyModel::Uniform {
+            lo_us: 200,
+            hi_us: 1_200,
+        })
+        .with_churn(ChurnModel::per_round(0.01, 0.15));
+        let ae = AeConfig::default()
+            .with_digest_mode(DigestMode::Merkle)
+            .with_merkle_fallback_slots(8);
+        let mut d = ae_driver(config, ae);
+        d.run_until(270_000);
+        let now = d.now_us();
+        assert!(!d.metrics().rejoin_log.is_empty(), "churn produced rejoins");
+        let reference = crate::recovery::reference_store(&d);
+        let truth = reference.mean_fresh(now, ae.expiry_us).expect("known");
+        let grace = 15 * ae.tick_us;
+        let mut last_rejoin = vec![0u64; 64];
+        for &(t, node) in &d.metrics().rejoin_log {
+            last_rejoin[node.index()] = t;
+        }
+        let mut checked = 0;
+        for v in d.engine().alive_nodes() {
+            if now - last_rejoin[v.index()] < grace {
+                continue;
+            }
+            let est = d.handler(v).estimate(now).expect("settled node informed");
+            assert!(
+                ((est - truth) / truth).abs() < 0.01,
+                "node {v:?}: est {est} vs reference {truth}"
+            );
+            checked += 1;
+        }
+        assert!(checked > 32, "most of the network is settled ({checked})");
     }
 
     #[test]

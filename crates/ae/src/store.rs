@@ -43,6 +43,31 @@ impl Entry {
 /// entries one is missing.
 pub type Digest = Vec<u64>;
 
+/// The sparse form of a [`Digest`]: one `(origin, stamp)` pair per origin
+/// the replica actually holds, ascending by origin, stamps ≥ 1. This is
+/// what the *messages* carry (and what the wire encodes) — absent origins
+/// cost nothing, so a rejoiner's digest is a handful of bytes instead of
+/// `n` stamps. The dense form stays the in-store working representation.
+pub type SparseDigest = Vec<(NodeId, u64)>;
+
+/// Whether `pairs` is a well-formed sparse digest for an `n`-origin store:
+/// origins strictly ascending (sorted, duplicate-free) and in range,
+/// stamps ≥ 1 (`0` is the code for absent — an honest sender omits the
+/// pair instead). The protocol validates every digest that arrives off a
+/// socket with this before trusting it — a short digest would otherwise
+/// make the responder ship its whole store, a long or out-of-range one
+/// would index out of bounds.
+pub fn sparse_digest_well_formed(n: usize, pairs: &[(NodeId, u64)]) -> bool {
+    let mut previous: Option<usize> = None;
+    for &(origin, stamp) in pairs {
+        if origin.index() >= n || stamp == 0 || previous.is_some_and(|p| p >= origin.index()) {
+            return false;
+        }
+        previous = Some(origin.index());
+    }
+    true
+}
+
 /// Per-origin stamped values with max-timestamp merge. See the module docs.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Store {
@@ -116,6 +141,81 @@ impl Store {
         self.slots
             .iter()
             .map(|s| s.as_ref().map_or(0, |e| e.stamp))
+            .collect()
+    }
+
+    /// This replica's version summary in sparse form: `(origin, stamp)`
+    /// for every held entry, ascending by origin. Always well-formed per
+    /// [`sparse_digest_well_formed`].
+    pub fn sparse_digest(&self) -> SparseDigest {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|e| (NodeId::new(i), e.stamp)))
+            .collect()
+    }
+
+    /// The entries this replica holds that are strictly newer than the
+    /// sparse digest `their` claims. `their` **must** be well-formed
+    /// (ascending, in-range — see [`sparse_digest_well_formed`]; the
+    /// protocol validates before calling): the merge walk relies on the
+    /// order. Ascending origin order, like [`Store::delta_for`].
+    pub fn delta_for_sparse(&self, their: &[(NodeId, u64)]) -> Vec<(NodeId, Entry)> {
+        debug_assert!(sparse_digest_well_formed(self.n(), their));
+        let mut j = 0usize;
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                let entry = slot.as_ref()?;
+                while j < their.len() && their[j].0.index() < i {
+                    j += 1;
+                }
+                let theirs = match their.get(j) {
+                    Some(&(origin, stamp)) if origin.index() == i => stamp,
+                    _ => 0,
+                };
+                (entry.stamp > theirs).then_some((NodeId::new(i), *entry))
+            })
+            .collect()
+    }
+
+    /// The dense digest of the slot range `[start, start + len)` — the
+    /// leaf-range fallback of the Merkle descent, where dense wins: within
+    /// one small range every slot is named by position, no origin ids.
+    /// The range must lie inside the store.
+    pub fn range_digest(&self, start: usize, len: usize) -> Digest {
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= self.n()),
+            "range [{start}, {start}+{len}) outside the {}-origin store",
+            self.n()
+        );
+        self.slots[start..start + len]
+            .iter()
+            .map(|s| s.as_ref().map_or(0, |e| e.stamp))
+            .collect()
+    }
+
+    /// The entries in `[start, start + their.len())` strictly newer than
+    /// the range digest `their` claims. Origins in the result are
+    /// absolute, so the ordinary delta merge applies unchanged. The range
+    /// must lie inside the store (the protocol validates before calling).
+    pub fn delta_for_range(&self, start: usize, their: &[u64]) -> Vec<(NodeId, Entry)> {
+        assert!(
+            start
+                .checked_add(their.len())
+                .is_some_and(|end| end <= self.n()),
+            "range [{start}, {start}+{}) outside the {}-origin store",
+            their.len(),
+            self.n()
+        );
+        self.slots[start..start + their.len()]
+            .iter()
+            .enumerate()
+            .filter_map(|(k, slot)| {
+                let entry = slot.as_ref()?;
+                (entry.stamp > their[k]).then_some((NodeId::new(start + k), *entry))
+            })
             .collect()
     }
 
@@ -223,6 +323,70 @@ mod tests {
             j
         };
         assert_eq!(again, joined);
+    }
+
+    #[test]
+    fn sparse_and_dense_digests_agree() {
+        let mut s = Store::new(5);
+        s.merge(NodeId::new(1), e(4, 1.0));
+        s.merge(NodeId::new(3), e(9, 2.0));
+        assert_eq!(s.digest(), vec![0, 4, 0, 9, 0]);
+        assert_eq!(
+            s.sparse_digest(),
+            vec![(NodeId::new(1), 4), (NodeId::new(3), 9)]
+        );
+        assert!(sparse_digest_well_formed(5, &s.sparse_digest()));
+        // The sparse delta equals the dense delta against the same peer.
+        let mut peer = Store::new(5);
+        peer.merge(NodeId::new(1), e(7, 3.0));
+        peer.merge(NodeId::new(4), e(2, 4.0));
+        assert_eq!(
+            peer.delta_for_sparse(&s.sparse_digest()),
+            peer.delta_for(&s.digest())
+        );
+        assert_eq!(
+            s.delta_for_sparse(&peer.sparse_digest()),
+            s.delta_for(&peer.digest())
+        );
+        // Empty sparse digest = "send me everything you have".
+        assert_eq!(s.delta_for_sparse(&[]), s.delta_for(&vec![0; 5]));
+    }
+
+    #[test]
+    fn sparse_digest_well_formedness_catches_hostile_shapes() {
+        let ok = vec![(NodeId::new(0), 1), (NodeId::new(3), 9)];
+        assert!(sparse_digest_well_formed(4, &ok));
+        assert!(sparse_digest_well_formed(4, &[]));
+        // Out of range.
+        assert!(!sparse_digest_well_formed(3, &ok));
+        // Duplicate origin.
+        assert!(!sparse_digest_well_formed(
+            4,
+            &[(NodeId::new(2), 1), (NodeId::new(2), 2)]
+        ));
+        // Unsorted.
+        assert!(!sparse_digest_well_formed(
+            4,
+            &[(NodeId::new(3), 1), (NodeId::new(1), 2)]
+        ));
+        // Stamp 0 is the code for absent — honest senders omit the pair.
+        assert!(!sparse_digest_well_formed(4, &[(NodeId::new(1), 0)]));
+    }
+
+    #[test]
+    fn range_digest_and_delta_cover_exactly_the_range() {
+        let mut s = Store::new(6);
+        s.merge(NodeId::new(1), e(5, 1.0));
+        s.merge(NodeId::new(2), e(3, 2.0));
+        s.merge(NodeId::new(4), e(8, 3.0));
+        assert_eq!(s.range_digest(1, 3), vec![5, 3, 0]);
+        assert_eq!(s.range_digest(0, 0), Vec::<u64>::new());
+        // Peer's stamps for the range: newer at 1, older at 2, absent at 3.
+        let delta = s.delta_for_range(1, &[9, 1, 4]);
+        assert_eq!(delta, vec![(NodeId::new(2), e(3, 2.0))]);
+        // Entries outside the range never leak in.
+        assert!(s.delta_for_range(0, &[0]).is_empty());
+        assert_eq!(s.delta_for_range(4, &[0, 0]).len(), 1);
     }
 
     #[test]

@@ -2,14 +2,28 @@
 //! unchanged on the real-socket host (`gossip-node`).
 //!
 //! The layout mirrors the modelled sizing of [`AeMsg`]: a one-byte tag,
-//! then the digest
-//! and/or delta. A digest travels as a dense `Vec<u64>` of per-origin
-//! stamps (`0` = absent), a delta as `(origin, stamp, value)` triples —
-//! exactly the fields `digest_bits`/`delta_bits` charge for, so the
-//! simulator's byte accounting and the real wire agree up to header
-//! overhead.
+//! then exactly the fields `AeNode`'s bit accounting charges for. A flat
+//! digest travels **sparse** — the store arity, then one
+//! `(origin, stamp)` pair per known origin — matching the model's
+//! `8 + 32 + known·(id_bits + STAMP_BITS)` (the dense `Vec<u64>` form an
+//! earlier revision shipped charged sparse but encoded all n stamps, so
+//! the model and the wire disagreed for every sparse store: early ticks,
+//! rejoiners). Deltas are `(origin, stamp, value)` triples; the Merkle
+//! legs carry root hashes, `(tree index, hash)` probe pairs and per-slot
+//! range stamps. [`payload_bytes`] is the exact byte-length twin of the
+//! encoder, pinned equal to `to_wire_bytes().len()` by the property
+//! suite, so tests and experiments can reason about datagram budgets
+//! without encoding.
+//!
+//! The decoder is total (property-pinned): truncated, oversized,
+//! bit-flipped and hostile-length input returns [`WireError`], never a
+//! panic. Decoding is only the first gate — a structurally valid message
+//! can still carry a hostile digest (wrong arity, unsorted pairs,
+//! out-of-range origins), which [`AeNode`] validates and counts before
+//! trusting (see `AeNodeStats::digest_mismatches`).
 //!
 //! [`AeNode`]: crate::protocol::AeNode
+//! [`STAMP_BITS`]: crate::store::STAMP_BITS
 
 use crate::protocol::AeMsg;
 use crate::store::Entry;
@@ -32,21 +46,55 @@ impl WireMsg for Entry {
 const TAG_SYN_REQ: u8 = 0;
 const TAG_SYN_ACK: u8 = 1;
 const TAG_DELTA: u8 = 2;
+const TAG_MERKLE_SYN: u8 = 3;
+const TAG_MERKLE_PROBE: u8 = 4;
+const TAG_RANGE_SYN: u8 = 5;
+const TAG_RANGE_ACK: u8 = 6;
 
 impl WireMsg for AeMsg {
     fn encode(&self, w: &mut WireWriter) {
         match self {
-            AeMsg::SynReq { digest } => {
+            AeMsg::SynReq { n, digest } => {
                 w.put_u8(TAG_SYN_REQ);
+                w.put_u32(*n);
                 digest.encode(w);
             }
-            AeMsg::SynAck { delta, digest } => {
+            AeMsg::SynAck { n, delta, digest } => {
                 w.put_u8(TAG_SYN_ACK);
+                w.put_u32(*n);
                 delta.encode(w);
                 digest.encode(w);
             }
             AeMsg::Delta { delta } => {
                 w.put_u8(TAG_DELTA);
+                delta.encode(w);
+            }
+            AeMsg::MerkleSyn { n, root } => {
+                w.put_u8(TAG_MERKLE_SYN);
+                w.put_u32(*n);
+                w.put_u64(*root);
+            }
+            AeMsg::MerkleProbe { n, probes } => {
+                w.put_u8(TAG_MERKLE_PROBE);
+                w.put_u32(*n);
+                probes.encode(w);
+            }
+            AeMsg::RangeSyn { n, start, stamps } => {
+                w.put_u8(TAG_RANGE_SYN);
+                w.put_u32(*n);
+                w.put_u32(*start);
+                stamps.encode(w);
+            }
+            AeMsg::RangeAck {
+                n,
+                start,
+                stamps,
+                delta,
+            } => {
+                w.put_u8(TAG_RANGE_ACK);
+                w.put_u32(*n);
+                w.put_u32(*start);
+                stamps.encode(w);
                 delta.encode(w);
             }
         }
@@ -55,16 +103,60 @@ impl WireMsg for AeMsg {
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         match r.take_u8()? {
             TAG_SYN_REQ => Ok(AeMsg::SynReq {
-                digest: Vec::decode(r)?,
+                n: r.take_u32()?,
+                digest: Vec::<(NodeId, u64)>::decode(r)?,
             }),
             TAG_SYN_ACK => Ok(AeMsg::SynAck {
+                n: r.take_u32()?,
                 delta: Vec::<(NodeId, Entry)>::decode(r)?,
-                digest: Vec::decode(r)?,
+                digest: Vec::<(NodeId, u64)>::decode(r)?,
             }),
             TAG_DELTA => Ok(AeMsg::Delta {
                 delta: Vec::<(NodeId, Entry)>::decode(r)?,
             }),
+            TAG_MERKLE_SYN => Ok(AeMsg::MerkleSyn {
+                n: r.take_u32()?,
+                root: r.take_u64()?,
+            }),
+            TAG_MERKLE_PROBE => Ok(AeMsg::MerkleProbe {
+                n: r.take_u32()?,
+                probes: Vec::<(u32, u64)>::decode(r)?,
+            }),
+            TAG_RANGE_SYN => Ok(AeMsg::RangeSyn {
+                n: r.take_u32()?,
+                start: r.take_u32()?,
+                stamps: Vec::<u64>::decode(r)?,
+            }),
+            TAG_RANGE_ACK => Ok(AeMsg::RangeAck {
+                n: r.take_u32()?,
+                start: r.take_u32()?,
+                stamps: Vec::<u64>::decode(r)?,
+                delta: Vec::<(NodeId, Entry)>::decode(r)?,
+            }),
             tag => Err(WireError::BadTag { tag }),
+        }
+    }
+}
+
+/// Exact encoded payload size of `msg`, computed from its counts without
+/// encoding: `payload_bytes(m) == m.to_wire_bytes().len()` for every
+/// message (property-pinned). The arithmetic twin the datagram-budget
+/// assertions and E20's in-vitro byte measurements use.
+pub fn payload_bytes(msg: &AeMsg) -> usize {
+    const VEC_LEN: usize = 4; // Vec<T> length prefix
+    const PAIR: usize = 4 + 8; // (NodeId, u64) — digest pairs and probes
+    const DELTA_ENTRY: usize = 4 + 8 + 8; // (NodeId, Entry{stamp, value})
+    match msg {
+        AeMsg::SynReq { digest, .. } => 1 + 4 + VEC_LEN + digest.len() * PAIR,
+        AeMsg::SynAck { delta, digest, .. } => {
+            1 + 4 + VEC_LEN + delta.len() * DELTA_ENTRY + VEC_LEN + digest.len() * PAIR
+        }
+        AeMsg::Delta { delta } => 1 + VEC_LEN + delta.len() * DELTA_ENTRY,
+        AeMsg::MerkleSyn { .. } => 1 + 4 + 8,
+        AeMsg::MerkleProbe { probes, .. } => 1 + 4 + VEC_LEN + probes.len() * PAIR,
+        AeMsg::RangeSyn { stamps, .. } => 1 + 4 + 4 + VEC_LEN + stamps.len() * 8,
+        AeMsg::RangeAck { stamps, delta, .. } => {
+            1 + 4 + 4 + VEC_LEN + stamps.len() * 8 + VEC_LEN + delta.len() * DELTA_ENTRY
         }
     }
 }
@@ -75,6 +167,7 @@ mod tests {
 
     fn round_trip(msg: &AeMsg) -> AeMsg {
         let bytes = msg.to_wire_bytes();
+        assert_eq!(bytes.len(), payload_bytes(msg), "size twin agrees");
         let mut r = WireReader::new(&bytes);
         let decoded = AeMsg::decode(&mut r).expect("decodes");
         assert_eq!(r.remaining(), 0, "decode consumes everything");
@@ -86,25 +179,49 @@ mod tests {
     }
 
     #[test]
-    fn all_three_legs_round_trip() {
-        let digest = vec![0u64, 5, 0, 12];
+    fn every_leg_round_trips() {
+        let digest = vec![(NodeId::new(1), 5u64), (NodeId::new(3), 12)];
         let delta = vec![
             (NodeId::new(1), entry(5, 1.25)),
             (NodeId::new(3), entry(12, -7.5)),
         ];
         for msg in [
             AeMsg::SynReq {
+                n: 4,
                 digest: digest.clone(),
             },
             AeMsg::SynAck {
+                n: 4,
                 delta: delta.clone(),
                 digest: digest.clone(),
             },
             AeMsg::Delta {
                 delta: delta.clone(),
             },
-            AeMsg::SynReq { digest: Vec::new() },
+            AeMsg::SynReq {
+                n: 4,
+                digest: Vec::new(),
+            },
             AeMsg::Delta { delta: Vec::new() },
+            AeMsg::MerkleSyn {
+                n: 1 << 20,
+                root: u64::MAX,
+            },
+            AeMsg::MerkleProbe {
+                n: 64,
+                probes: vec![(1, 0xDEAD), (2, 0xBEEF)],
+            },
+            AeMsg::RangeSyn {
+                n: 64,
+                start: 32,
+                stamps: vec![0, 7, 0, 9],
+            },
+            AeMsg::RangeAck {
+                n: 64,
+                start: 32,
+                stamps: vec![1, 0, 3, 0],
+                delta,
+            },
         ] {
             assert_eq!(round_trip(&msg), msg);
         }
@@ -112,7 +229,7 @@ mod tests {
 
     #[test]
     fn unknown_tags_are_rejected() {
-        let mut bytes = AeMsg::SynReq { digest: vec![1] }.to_wire_bytes();
+        let mut bytes = AeMsg::MerkleSyn { n: 4, root: 9 }.to_wire_bytes();
         bytes[0] = 9;
         assert_eq!(
             AeMsg::decode(&mut WireReader::new(&bytes)),
@@ -122,13 +239,45 @@ mod tests {
 
     #[test]
     fn truncation_never_panics() {
-        let msg = AeMsg::SynAck {
-            delta: vec![(NodeId::new(2), entry(9, 3.0))],
-            digest: vec![0, 9],
-        };
-        let bytes = msg.to_wire_bytes();
-        for cut in 0..bytes.len() {
-            assert!(AeMsg::decode(&mut WireReader::new(&bytes[..cut])).is_err());
+        for msg in [
+            AeMsg::SynAck {
+                n: 3,
+                delta: vec![(NodeId::new(2), entry(9, 3.0))],
+                digest: vec![(NodeId::new(1), 9)],
+            },
+            AeMsg::RangeAck {
+                n: 8,
+                start: 4,
+                stamps: vec![1, 2],
+                delta: vec![(NodeId::new(5), entry(2, 0.5))],
+            },
+            AeMsg::MerkleProbe {
+                n: 8,
+                probes: vec![(0, 1)],
+            },
+        ] {
+            let bytes = msg.to_wire_bytes();
+            for cut in 0..bytes.len() {
+                assert!(AeMsg::decode(&mut WireReader::new(&bytes[..cut])).is_err());
+            }
         }
+    }
+
+    #[test]
+    fn digests_cost_bytes_only_for_known_origins() {
+        // The satellite bugfix in one assertion: the wire size of a digest
+        // is a function of what the replica *knows*, not of n — a
+        // rejoiner's opener is 9 bytes whether the network has ten nodes
+        // or a million.
+        let rejoiner = AeMsg::SynReq {
+            n: 1_000_000,
+            digest: Vec::new(),
+        };
+        assert_eq!(payload_bytes(&rejoiner), 9);
+        let one_known = AeMsg::SynReq {
+            n: 1_000_000,
+            digest: vec![(NodeId::new(123_456), 7)],
+        };
+        assert_eq!(payload_bytes(&one_known), 9 + 12);
     }
 }

@@ -1,0 +1,167 @@
+//! Property suite for the Merkle descent: reconciling two arbitrary
+//! replicas through the hash-tree protocol — under **arbitrary delivery
+//! orders**, like the existing Store CRDT suite — must land both on
+//! exactly the store that the classic dense digest/delta exchange (and
+//! the order-free union) produces. The digest mode may change the cost of
+//! reconciliation, never its result.
+
+use gossip_ae::merkle::{reconcile, DigestTree};
+use gossip_ae::protocol::AeMsg;
+use gossip_ae::store::{Entry, Store};
+use gossip_net::NodeId;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Store arity: big enough for a four-level tree at span 4, small enough
+/// to collide origins densely.
+const N: usize = 96;
+
+/// Decode a flat `u64` into an honest `(origin, entry)`: an origin stamps
+/// only its own key, and a given `(origin, stamp)` names exactly one
+/// value (the invariant every digest exchange relies on).
+fn decode_honest(raw: u64) -> (NodeId, Entry) {
+    let origin = NodeId::new((raw % N as u64) as usize);
+    let stamp = 1 + (raw >> 5) % 6;
+    let value = (origin.index() as f64) * 100.0 + stamp as f64;
+    (origin, Entry { stamp, value })
+}
+
+fn replica(raws: &[u64], span: usize) -> (Store, DigestTree) {
+    let mut store = Store::new(N);
+    for &raw in raws {
+        let (origin, entry) = decode_honest(raw);
+        store.merge(origin, entry);
+    }
+    let tree = DigestTree::new(&store, span);
+    (store, tree)
+}
+
+/// The dense reference: one full three-leg digest/delta exchange.
+fn dense_exchange(mut a: Store, mut b: Store) -> (Store, Store) {
+    let to_b = a.delta_for(&b.digest());
+    b.merge_delta(&to_b);
+    let to_a = b.delta_for(&a.digest());
+    a.merge_delta(&to_a);
+    // b answered a's digest *before* a's repair landed, so close the loop
+    // once more — the tick-driven protocol's next exchange.
+    let to_b = a.delta_for(&b.digest());
+    b.merge_delta(&to_b);
+    (a, b)
+}
+
+/// Pump Merkle reconciliation between two replicas with messages
+/// delivered in an arbitrary (seeded) order, re-opening each "tick" until
+/// quiescent. Returns the number of opener rounds it took.
+fn merkle_pump(
+    a: &mut (Store, DigestTree),
+    b: &mut (Store, DigestTree),
+    span: usize,
+    order_seed: u64,
+) -> usize {
+    let mut rng = SmallRng::seed_from_u64(order_seed);
+    for round in 1..=32 {
+        // Both sides open, like two ticking nodes.
+        let mut queue: Vec<(bool, AeMsg)> = vec![
+            (
+                false,
+                AeMsg::MerkleSyn {
+                    n: N as u32,
+                    root: a.1.root(),
+                },
+            ),
+            (
+                true,
+                AeMsg::MerkleSyn {
+                    n: N as u32,
+                    root: b.1.root(),
+                },
+            ),
+        ];
+        let mut progressed = false;
+        while !queue.is_empty() {
+            // Arbitrary delivery order: pop a random in-flight message.
+            let pick = rng.gen_range(0..queue.len());
+            let (to_a, msg) = queue.swap_remove(pick);
+            let target = if to_a { &mut *a } else { &mut *b };
+            let handled = reconcile(&mut target.0, Some(&mut target.1), span, &msg);
+            assert_eq!(handled.invalid, 0, "honest traffic is never dropped");
+            progressed |= handled.adopted > 0 || !handled.replies.is_empty();
+            queue.extend(handled.replies.into_iter().map(|m| (!to_a, m)));
+        }
+        if a.0 == b.0 && a.1.root() == b.1.root() {
+            return round;
+        }
+        assert!(
+            progressed,
+            "stores differ but the exchange went quiet — descent is stuck"
+        );
+    }
+    panic!("merkle reconciliation did not converge within 32 opener rounds");
+}
+
+proptest! {
+    #[test]
+    fn merkle_descent_converges_to_the_dense_fixed_point(
+        raws_a in proptest::collection::vec(0u64..=u64::MAX, 0..60),
+        raws_b in proptest::collection::vec(0u64..=u64::MAX, 0..60),
+        span in 1usize..=16,
+        order_seed in 0u64..=u64::MAX,
+    ) {
+        let mut a = replica(&raws_a, span);
+        let mut b = replica(&raws_b, span);
+
+        // The dense reference result and the order-free union.
+        let (dense_a, dense_b) = dense_exchange(a.0.clone(), b.0.clone());
+        prop_assert_eq!(&dense_a, &dense_b);
+        let union = {
+            let mut u = a.0.clone();
+            u.merge_from(&b.0);
+            u
+        };
+        prop_assert_eq!(&dense_a, &union);
+
+        merkle_pump(&mut a, &mut b, span, order_seed);
+        prop_assert_eq!(&a.0, &b.0, "merkle replicas agree");
+        prop_assert_eq!(&a.0, &union, "…on exactly the dense/union result");
+
+        // Trees were maintained incrementally through every adoption:
+        // they must equal a from-scratch rebuild.
+        prop_assert_eq!(&a.1, &DigestTree::new(&a.0, span));
+        prop_assert_eq!(&b.1, &DigestTree::new(&b.0, span));
+
+        // And the converged pair is quiescent: the next opener from
+        // either side draws no reply.
+        let (root_a, root_b) = (a.1.root(), b.1.root());
+        for (store, tree, peer_root) in [
+            (&mut a.0, &mut a.1, root_b),
+            (&mut b.0, &mut b.1, root_a),
+        ] {
+            let handled = reconcile(
+                store,
+                Some(tree),
+                span,
+                &AeMsg::MerkleSyn { n: N as u32, root: peer_root },
+            );
+            prop_assert!(handled.replies.is_empty());
+            prop_assert_eq!(handled.adopted, 0);
+        }
+    }
+
+    #[test]
+    fn identical_replicas_reconcile_in_one_constant_size_leg(
+        raws in proptest::collection::vec(0u64..=u64::MAX, 0..60),
+        span in 1usize..=16,
+    ) {
+        let mut a = replica(&raws, span);
+        let b = replica(&raws, span);
+        let handled = reconcile(
+            &mut a.0,
+            Some(&mut a.1),
+            span,
+            &AeMsg::MerkleSyn { n: N as u32, root: b.1.root() },
+        );
+        prop_assert!(handled.replies.is_empty(), "steady state is silence");
+        prop_assert_eq!(handled.adopted, 0);
+    }
+}

@@ -1,9 +1,12 @@
 //! Property suite for the anti-entropy wire encoding: every generated
-//! `AeMsg` round-trips bit-exactly, and mangled frames never panic the
-//! decoder — the node host must survive arbitrary datagrams.
+//! `AeMsg` — classic legs and Merkle descent legs alike — round-trips
+//! bit-exactly, the arithmetic size twin (`payload_bytes`) matches the
+//! encoder byte for byte, and mangled frames never panic the decoder —
+//! the node host must survive arbitrary datagrams.
 
 use gossip_ae::protocol::AeMsg;
 use gossip_ae::store::Entry;
+use gossip_ae::wire::payload_bytes;
 use gossip_net::{decode_frame, encode_frame, NodeId, WireMsg, WireReader};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -21,28 +24,61 @@ fn pair(z: u64) -> (NodeId, Entry) {
     )
 }
 
-fn messages(raws: &[u64], digest: &[u64]) -> Vec<AeMsg> {
+/// Decode a packed `u64` into one sparse-digest pair. No honesty
+/// constraints (sortedness, range) — the codec must carry hostile shapes
+/// verbatim; it is the protocol layer that rejects them.
+fn digest_pair(z: u64) -> (NodeId, u64) {
+    (NodeId((z % 131) as u32), z >> 7)
+}
+
+/// One message of every variant, built from the generated raw material.
+fn messages(raws: &[u64], digest_raws: &[u64]) -> Vec<AeMsg> {
     let delta: Vec<(NodeId, Entry)> = raws.iter().copied().map(pair).collect();
+    let digest: Vec<(NodeId, u64)> = digest_raws.iter().copied().map(digest_pair).collect();
+    let probes: Vec<(u32, u64)> = digest_raws.iter().map(|&z| ((z % 511) as u32, z)).collect();
+    let stamps: Vec<u64> = digest_raws.iter().map(|&z| z % 9).collect();
+    let n = 1 + (raws.first().copied().unwrap_or(7) % (1 << 20)) as u32;
     vec![
         AeMsg::SynReq {
-            digest: digest.to_vec(),
+            n,
+            digest: digest.clone(),
         },
         AeMsg::SynAck {
+            n,
             delta: delta.clone(),
-            digest: digest.to_vec(),
+            digest,
         },
-        AeMsg::Delta { delta },
+        AeMsg::Delta {
+            delta: delta.clone(),
+        },
+        AeMsg::MerkleSyn {
+            n,
+            root: raws.iter().fold(0x5EED, |h, &z| h ^ z),
+        },
+        AeMsg::MerkleProbe { n, probes },
+        AeMsg::RangeSyn {
+            n,
+            start: n / 2,
+            stamps: stamps.clone(),
+        },
+        AeMsg::RangeAck {
+            n,
+            start: n / 2,
+            stamps,
+            delta,
+        },
     ]
 }
 
 proptest! {
     #[test]
-    fn every_leg_round_trips(
+    fn every_leg_round_trips_and_sizes_agree(
         raws in proptest::collection::vec(0u64..=u64::MAX, 0..48),
-        digest in proptest::collection::vec(0u64..=u64::MAX, 0..64),
+        digest_raws in proptest::collection::vec(0u64..=u64::MAX, 0..64),
     ) {
-        for msg in messages(&raws, &digest) {
+        for msg in messages(&raws, &digest_raws) {
             let bytes = msg.to_wire_bytes();
+            prop_assert_eq!(bytes.len(), payload_bytes(&msg), "size twin diverged");
             let mut r = WireReader::new(&bytes);
             prop_assert_eq!(AeMsg::decode(&mut r).unwrap(), msg);
             prop_assert_eq!(r.remaining(), 0);

@@ -8,6 +8,7 @@ pub mod ablation_sampling;
 pub mod anti_entropy;
 pub mod chord;
 pub mod churn_resilience;
+pub mod digest_scaling;
 pub mod drr_phase;
 pub mod engine_scaling;
 pub mod gossip_ave_exp;
@@ -159,6 +160,12 @@ pub const EXPERIMENTS: &[ExperimentEntry] = &[
         "E19: real UDP loopback cluster vs the simulator's prediction — convergence time and \
          bytes on the wire (gossip-node)",
         loopback_cluster::run,
+    ),
+    (
+        "digest_scaling",
+        "E20: dense vs Merkle anti-entropy digests — per-exchange bytes vs n (up to 10^5) and \
+         steady-state traffic + rejoin recovery under churn (gossip-ae)",
+        digest_scaling::run,
     ),
 ];
 

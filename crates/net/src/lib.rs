@@ -63,6 +63,6 @@ pub use phase::Phase;
 pub use stream::node_rng;
 pub use transport::{NodeIdIter, Transport};
 pub use wire::{
-    decode_frame, encode_frame, WireError, WireMsg, WireReader, WireWriter, FRAME_HEADER_BYTES,
-    MAX_PAYLOAD_BYTES, WIRE_MAGIC, WIRE_VERSION,
+    decode_frame, encode_frame, frame_with_payload, WireError, WireMsg, WireReader, WireWriter,
+    FRAME_HEADER_BYTES, MAX_PAYLOAD_BYTES, WIRE_MAGIC, WIRE_VERSION,
 };

@@ -423,13 +423,28 @@ pub fn encode_frame<M: WireMsg>(from: NodeId, msg: &M) -> Vec<u8> {
         payload.len(),
         MAX_PAYLOAD_BYTES
     );
+    frame_with_payload(from, &payload)
+}
+
+/// Wrap an already-encoded payload in a frame header. The seam that lets
+/// a sender encode once, *check the size itself*, and decide what to do
+/// with an oversize payload (the socket host counts and drops it —
+/// `NodeStats::send_oversize` — instead of panicking mid-protocol or
+/// handing the kernel a datagram it will reject with a confusing OS
+/// error). Callers must have checked `payload.len()` against
+/// [`MAX_PAYLOAD_BYTES`]; this function `debug_assert!`s it.
+pub fn frame_with_payload(from: NodeId, payload: &[u8]) -> Vec<u8> {
+    debug_assert!(
+        payload.len() <= MAX_PAYLOAD_BYTES,
+        "caller must reject oversize payloads before framing"
+    );
     let mut w = WireWriter::new();
     w.put_u16(WIRE_MAGIC);
     w.put_u8(WIRE_VERSION);
     w.put_u8(0); // flags, reserved
     w.put_u32(from.0);
     w.put_u32(payload.len() as u32);
-    w.put_bytes(&payload);
+    w.put_bytes(payload);
     w.into_bytes()
 }
 

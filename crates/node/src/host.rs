@@ -22,8 +22,8 @@
 //! secretly relied on determinism do not.
 
 use gossip_net::{
-    decode_frame, encode_frame, node_rng, Handler, Mailbox, Metrics, NodeId, Phase, TimerId,
-    WireMsg,
+    decode_frame, frame_with_payload, node_rng, Handler, Mailbox, Metrics, NodeId, Phase, TimerId,
+    WireMsg, MAX_PAYLOAD_BYTES,
 };
 use rand::rngs::SmallRng;
 use std::cmp::Reverse;
@@ -62,6 +62,14 @@ pub struct NodeStats {
     pub bytes_sent: u64,
     /// Sends that failed locally (kernel error or an out-of-range peer).
     pub send_errors: u64,
+    /// Sends whose encoded payload exceeded one datagram
+    /// ([`MAX_PAYLOAD_BYTES`]): detected
+    /// *before* `send_to`, counted, and dropped — the kernel would reject
+    /// the datagram with a raw OS error that is easy to mistake for loss.
+    /// A non-zero count means the protocol's messages outgrew the
+    /// transport (e.g. a dense anti-entropy digest at n ≳ 5,500); the fix
+    /// is a protocol that fragments, such as Merkle-mode `gossip-ae`.
+    pub send_oversize: u64,
     /// Datagrams received.
     pub datagrams_received: u64,
     /// Bytes received.
@@ -91,6 +99,7 @@ impl NodeStats {
         self.datagrams_sent += other.datagrams_sent;
         self.bytes_sent += other.bytes_sent;
         self.send_errors += other.send_errors;
+        self.send_oversize += other.send_oversize;
         self.datagrams_received += other.datagrams_received;
         self.bytes_received += other.bytes_received;
         self.recv_errors += other.recv_errors;
@@ -496,16 +505,26 @@ impl<M: WireMsg> Mailbox<M> for SocketMailbox<'_, M> {
 
     fn send(&mut self, to: NodeId, phase: Phase, bits: u32, msg: M) {
         let ok = if let Some(&addr) = self.peers.get(to.index()) {
-            let frame = encode_frame(self.me, &msg);
-            match self.socket.send_to(&frame, addr) {
-                Ok(_) => {
-                    self.stats.datagrams_sent += 1;
-                    self.stats.bytes_sent += frame.len() as u64;
-                    true
-                }
-                Err(_) => {
-                    self.stats.send_errors += 1;
-                    false
+            let payload = msg.to_wire_bytes();
+            if payload.len() > MAX_PAYLOAD_BYTES {
+                // Caught before the kernel sees it: an oversize datagram
+                // would fail with a raw OS error indistinguishable from
+                // loss at a glance. Counted separately from send_errors so
+                // "your message outgrew the transport" has its own signal.
+                self.stats.send_oversize += 1;
+                false
+            } else {
+                let frame = frame_with_payload(self.me, &payload);
+                match self.socket.send_to(&frame, addr) {
+                    Ok(_) => {
+                        self.stats.datagrams_sent += 1;
+                        self.stats.bytes_sent += frame.len() as u64;
+                        true
+                    }
+                    Err(_) => {
+                        self.stats.send_errors += 1;
+                        false
+                    }
                 }
             }
         } else {

@@ -270,3 +270,55 @@ fn timer_jitter_still_fires_and_spreads_arming() {
         assert!(h.stats().timer_fires >= 10, "jittered ticks keep firing");
     }
 }
+
+/// A handler whose first send is deliberately larger than one datagram
+/// (a `Vec<u64>` beyond `MAX_PAYLOAD_BYTES`), followed by a normal-sized
+/// send — the oversize-send path in isolation.
+#[derive(Debug, Clone, Default)]
+struct Oversender {
+    replies_seen: u32,
+}
+
+impl Handler for Oversender {
+    type Msg = Vec<u64>;
+
+    fn on_start(&mut self, mailbox: &mut dyn Mailbox<Vec<u64>>) {
+        if mailbox.me().index() == 0 {
+            // 4 + 9_000 × 8 bytes of payload: beyond the 65,000-byte frame
+            // ceiling. Detected before the kernel; counted, not sent, and
+            // emphatically not a panic (encode_frame would have asserted).
+            mailbox.send(NodeId::new(1), Phase::Other, 32, vec![7u64; 9_000]);
+            // A sane message right after: the socket must still work.
+            mailbox.send(NodeId::new(1), Phase::Other, 32, vec![42u64]);
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: Vec<u64>, _mailbox: &mut dyn Mailbox<Vec<u64>>) {
+        assert_eq!(msg, vec![42u64], "the oversize datagram never arrives");
+        self.replies_seen += 1;
+    }
+
+    fn on_timer(&mut self, _timer: TimerId, _mailbox: &mut dyn Mailbox<Vec<u64>>) {}
+}
+
+#[test]
+fn oversize_sends_are_counted_and_dropped_before_the_kernel() {
+    if !sockets_available() {
+        return;
+    }
+    let mut cluster =
+        LoopbackCluster::bind(2, 0xB16, |_| Oversender::default()).expect("bind 2 sockets");
+    let got_it = cluster.run_until(GENEROUS, |hosts| hosts[1].handler().replies_seen >= 1);
+    assert!(got_it.is_some(), "the normal-sized follow-up send arrives");
+    let sender = cluster.host(NodeId::new(0)).stats();
+    assert_eq!(sender.send_oversize, 1, "the oversize send was counted");
+    assert_eq!(sender.datagrams_sent, 1, "only the sane datagram left");
+    assert_eq!(
+        sender.send_errors, 0,
+        "oversize is its own signal, not a kernel error"
+    );
+    // The modelled ledger saw both attempts; the oversize one as undelivered.
+    let metrics = cluster.host(NodeId::new(0)).metrics();
+    assert_eq!(metrics.total_messages(), 2);
+    assert_eq!(metrics.total_dropped(), 1);
+}

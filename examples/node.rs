@@ -129,12 +129,14 @@ where
     host.run_for(Duration::from_millis(args.run_ms));
     let stats = host.stats();
     println!(
-        "node {me} done: {} msgs in / {} out ({} wire bytes out), {} timer fires, {} decode errors",
+        "node {me} done: {} msgs in / {} out ({} wire bytes out), {} timer fires, \
+         {} decode errors, {} oversize sends",
         stats.messages_dispatched,
         stats.datagrams_sent,
         stats.bytes_sent,
         stats.timer_fires,
-        stats.decode_errors
+        stats.decode_errors,
+        stats.send_oversize
     );
     println!("  {}", report(&host));
 }
@@ -160,8 +162,13 @@ fn run_cluster<H: Handler>(
     }
     let totals = cluster.total_stats();
     println!(
-        "wire totals: {} datagrams / {} bytes sent, {} dispatched, {} decode errors",
-        totals.datagrams_sent, totals.bytes_sent, totals.messages_dispatched, totals.decode_errors
+        "wire totals: {} datagrams / {} bytes sent, {} dispatched, {} decode errors, \
+         {} oversize sends",
+        totals.datagrams_sent,
+        totals.bytes_sent,
+        totals.messages_dispatched,
+        totals.decode_errors,
+        totals.send_oversize
     );
     for (node, _) in cluster.iter_handlers().take(4) {
         println!("  node {node}: {}", report(cluster.host(node)));
