@@ -435,6 +435,75 @@ impl Handler for AeNode {
             mailbox.send(from, Phase::AntiEntropy, bits, reply);
         }
     }
+
+    fn fill_registry(&self, registry: &mut gossip_obs::Registry) {
+        registry.add_counter(
+            "ae_ticks_total",
+            "Anti-entropy ticks fired",
+            &[],
+            self.stats.ticks,
+        );
+        registry.add_counter(
+            "ae_syn_sent_total",
+            "Anti-entropy exchanges initiated",
+            &[],
+            self.stats.syn_sent,
+        );
+        registry.add_counter(
+            "ae_entries_adopted_total",
+            "Entries adopted from peers' deltas",
+            &[],
+            self.stats.entries_adopted,
+        );
+        registry.add_counter(
+            "ae_self_updates_total",
+            "Local signal re-stamps",
+            &[],
+            self.stats.self_updates,
+        );
+        registry.add_counter(
+            "ae_digest_mismatches_total",
+            "Malformed reconciliation input dropped",
+            &[],
+            self.stats.digest_mismatches,
+        );
+        registry.add_gauge(
+            "ae_store_known",
+            "Origins with a known entry, summed over local handlers",
+            &[],
+            self.store.known() as f64,
+        );
+    }
+
+    fn status_lines(&self, now_us: u64) -> Vec<(String, String)> {
+        let mut lines = vec![
+            (
+                "ae.store".to_string(),
+                format!("{}/{} origins known", self.store.known(), self.store.n()),
+            ),
+            (
+                "ae.estimate".to_string(),
+                match self.estimate(now_us) {
+                    Some(e) => format!("{e:.3}"),
+                    None => "-".to_string(),
+                },
+            ),
+            (
+                "ae.ticks".to_string(),
+                format!(
+                    "{} ({} exchanges, {} adoptions)",
+                    self.stats.ticks, self.stats.syn_sent, self.stats.entries_adopted
+                ),
+            ),
+        ];
+        if self.stats.digest_mismatches > 0 {
+            lines.push((
+                "ae.digest_mismatches".to_string(),
+                self.stats.digest_mismatches.to_string(),
+            ));
+        }
+        lines
+    }
 }
 
 /// Host the anti-entropy layer on an [`AsyncEngine`]: one [`AeNode`] per

@@ -98,6 +98,25 @@ impl Handler for MaxGossipHandler {
         }
         mailbox.set_timer(self.config.push_interval_us, TIMER_PUSH);
     }
+
+    fn fill_registry(&self, registry: &mut gossip_obs::Registry) {
+        // `set_gauge` overwrites, so across many local handlers the page
+        // shows the *last* node's view — for a converged run they all
+        // agree, which is exactly what the gauge is for.
+        registry.set_gauge(
+            "max_gossip_current",
+            "This host's current estimate of the global maximum",
+            &[],
+            self.current,
+        );
+    }
+
+    fn status_lines(&self, _now_us: u64) -> Vec<(String, String)> {
+        vec![
+            ("max.current".to_string(), format!("{}", self.current)),
+            ("max.own".to_string(), format!("{}", self.own)),
+        ]
+    }
 }
 
 #[cfg(test)]

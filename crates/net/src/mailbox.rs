@@ -139,6 +139,28 @@ pub trait Handler {
 
     /// A timer armed by this incarnation of the node fired.
     fn on_timer(&mut self, timer: TimerId, mailbox: &mut dyn Mailbox<Self::Msg>);
+
+    /// Route this handler's protocol-level counters and gauges into an
+    /// observability registry (see `gossip-obs`). Called at scrape time by
+    /// hosts that serve `/metrics`; **must be a pure read** of handler
+    /// state (the passivity contract — no RNG, no sends, no timers).
+    ///
+    /// Use `add_*` registry calls so several nodes running the same
+    /// handler aggregate naturally into one page. The default exports
+    /// nothing — existing handlers keep compiling and simply stay opaque.
+    fn fill_registry(&self, registry: &mut gossip_obs::Registry) {
+        let _ = registry;
+    }
+
+    /// Human-readable `(key, value)` lines for a host's `/status` page.
+    /// `now_us` is the host's current clock, so freshness-windowed values
+    /// (e.g. a convergence estimate) can be computed without the handler
+    /// holding a clock of its own. Same purity rules as
+    /// [`Handler::fill_registry`]; the default reports nothing.
+    fn status_lines(&self, now_us: u64) -> Vec<(String, String)> {
+        let _ = now_us;
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

@@ -169,6 +169,46 @@ impl Metrics {
     pub fn reset(&mut self) {
         *self = Metrics::new();
     }
+
+    /// Route these counters into an observability registry as the
+    /// `gossip_*` families (per-phase label, non-empty phases only).
+    /// Purely a read — calling it never perturbs the metrics themselves.
+    pub fn fill_registry(&self, registry: &mut gossip_obs::Registry) {
+        for row in self.breakdown() {
+            let phase = row.phase.as_str();
+            let labels = [("phase", phase)];
+            registry.add_counter(
+                "gossip_messages_total",
+                "Messages sent per phase, lost ones included",
+                &labels,
+                row.messages,
+            );
+            registry.add_counter(
+                "gossip_dropped_total",
+                "Messages dropped per phase (loss, churn, bandwidth, deadline)",
+                &labels,
+                row.dropped,
+            );
+            registry.add_counter(
+                "gossip_bits_total",
+                "Modelled wire bits sent per phase",
+                &labels,
+                row.bits,
+            );
+        }
+        registry.add_counter(
+            "gossip_rounds_total",
+            "Completed synchronous rounds",
+            &[],
+            self.rounds,
+        );
+        registry.set_gauge(
+            "gossip_max_message_bits",
+            "Widest message observed (bits)",
+            &[],
+            f64::from(self.max_message_bits),
+        );
+    }
 }
 
 #[cfg(test)]

@@ -10,7 +10,8 @@
 //! and come back through it, socket buffers and all.
 
 use crate::host::{NodeHost, NodeStats};
-use gossip_net::{Handler, NodeId, WireMsg};
+use gossip_net::{Handler, Metrics, NodeId, WireMsg};
+use gossip_obs::{HttpServer, Registry, Request, Response};
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::time::{Duration, Instant};
@@ -23,6 +24,9 @@ const IDLE_BACKOFF: Duration = Duration::from_micros(200);
 /// module docs.
 pub struct LoopbackCluster<H: Handler> {
     hosts: Vec<NodeHost<H>>,
+    /// A cluster-wide `/metrics` + `/status` endpoint (`None` until
+    /// [`serve_status`](LoopbackCluster::serve_status)).
+    status: Option<HttpServer>,
 }
 
 impl<H: Handler> LoopbackCluster<H>
@@ -52,7 +56,122 @@ where
                     .map(|host| host.with_epoch(epoch))
             })
             .collect::<io::Result<_>>()?;
-        Ok(LoopbackCluster { hosts })
+        Ok(LoopbackCluster {
+            hosts,
+            status: None,
+        })
+    }
+
+    /// Serve one cluster-wide `/metrics` + `/status` endpoint at `addr`
+    /// (port 0 for ephemeral); returns the bound address. Counters are the
+    /// field-wise sum over every member — stats and metrics structs are
+    /// merged *first* and routed through one registry, so max-style gauges
+    /// stay maxima instead of summing. Pumped by
+    /// [`poll`](LoopbackCluster::poll) like the member sockets.
+    pub fn serve_status(&mut self, addr: impl std::net::ToSocketAddrs) -> io::Result<SocketAddr> {
+        let server = HttpServer::bind(addr)?;
+        let bound = server.local_addr()?;
+        self.status = Some(server);
+        Ok(bound)
+    }
+
+    /// The cluster status endpoint's bound address, if serving.
+    pub fn status_addr(&self) -> Option<SocketAddr> {
+        self.status.as_ref().and_then(|s| s.local_addr().ok())
+    }
+
+    /// Answer pending status-endpoint requests without pumping the member
+    /// sockets (scrape-while-frozen, exactly like `NodeHost::pump_status`).
+    pub fn pump_status(&mut self) -> usize {
+        let Some(mut server) = self.status.take() else {
+            return 0;
+        };
+        let served = server.poll(|req| self.respond(req));
+        self.status = Some(server);
+        served
+    }
+
+    /// Route the whole cluster into one registry: merged wire stats,
+    /// merged modelled metrics, merged timer-lag histograms, cluster
+    /// gauges, every handler's exports.
+    pub fn fill_registry(&self, registry: &mut Registry) {
+        // Merge the underlying structs first, then fill once: `Registry`
+        // addition is right for counters but would also sum max-style
+        // gauges (e.g. `gossip_max_message_bits`), which `Metrics::merge`
+        // maximises correctly.
+        self.total_stats().fill_registry(registry);
+        let mut metrics = Metrics::new();
+        let mut lag = gossip_obs::Histogram::new();
+        for host in &self.hosts {
+            metrics.merge(host.metrics());
+            lag.merge(host.timer_lag());
+        }
+        metrics.fill_registry(registry);
+        registry.merge_histogram(
+            "node_timer_lag_us",
+            "How late timer callbacks fired relative to their due instant",
+            &[],
+            &lag,
+        );
+        registry.set_gauge(
+            "node_peers",
+            "Network size (cluster membership)",
+            &[],
+            self.hosts.len() as f64,
+        );
+        if let Some(host) = self.hosts.first() {
+            registry.set_gauge(
+                "node_uptime_us",
+                "Microseconds since the cluster's shared epoch",
+                &[],
+                host.now_us() as f64,
+            );
+        }
+        for host in &self.hosts {
+            host.handler().fill_registry(registry);
+        }
+    }
+
+    fn respond(&self, req: &Request) -> Response {
+        let path = req.path.split('?').next().unwrap_or("");
+        match path {
+            "/metrics" => {
+                let mut registry = Registry::new();
+                self.fill_registry(&mut registry);
+                Response::metrics(registry.render())
+            }
+            "/status" => Response::ok("text/plain", self.status_page()),
+            _ => Response::not_found(),
+        }
+    }
+
+    /// The cluster `/status` page: membership, totals, and each member's
+    /// handler lines.
+    fn status_page(&self) -> String {
+        use std::fmt::Write;
+        let mut page = String::new();
+        let _ = writeln!(page, "loopback cluster of {}", self.hosts.len());
+        if let Some(host) = self.hosts.first() {
+            let _ = writeln!(page, "uptime_us: {}", host.now_us());
+        }
+        let total = self.total_stats();
+        let _ = writeln!(
+            page,
+            "sent: {} datagrams / {} bytes ({} errors, {} oversize)",
+            total.datagrams_sent, total.bytes_sent, total.send_errors, total.send_oversize
+        );
+        let _ = writeln!(
+            page,
+            "received: {} datagrams / {} bytes ({} decode errors)",
+            total.datagrams_received, total.bytes_received, total.decode_errors
+        );
+        for host in &self.hosts {
+            let now = host.now_us();
+            for (key, value) in host.handler().status_lines(now) {
+                let _ = writeln!(page, "node {}  {key}: {value}", host.me().index());
+            }
+        }
+        page
     }
 
     /// Number of nodes.
@@ -92,7 +211,9 @@ where
     /// One pump pass: poll every host once, in node-id order. Returns the
     /// number of callbacks dispatched across the cluster; `0` = idle.
     pub fn poll(&mut self) -> usize {
-        self.hosts.iter_mut().map(NodeHost::poll).sum()
+        let dispatched = self.hosts.iter_mut().map(NodeHost::poll).sum();
+        self.pump_status();
+        dispatched
     }
 
     /// Pump a single member, leaving the rest idle — their sockets still

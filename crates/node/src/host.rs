@@ -25,6 +25,9 @@ use gossip_net::{
     decode_frame, frame_with_payload, node_rng, Handler, Mailbox, Metrics, NodeId, Phase, TimerId,
     WireMsg, MAX_PAYLOAD_BYTES,
 };
+use gossip_obs::{
+    Histogram, HttpServer, Registry, Request, Response, TraceKind, TraceReason, TraceRing, NO_PEER,
+};
 use rand::rngs::SmallRng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -90,6 +93,96 @@ pub struct NodeStats {
 }
 
 impl NodeStats {
+    /// Route every counter into an observability registry as the `node_*`
+    /// families. Purely a read; `add_*` semantics, so a cluster can fold
+    /// many hosts onto one page.
+    pub fn fill_registry(&self, registry: &mut Registry) {
+        registry.add_counter(
+            "node_handler_starts_total",
+            "on_start invocations",
+            &[],
+            self.handler_starts,
+        );
+        registry.add_counter(
+            "node_timer_fires_total",
+            "Timer callbacks dispatched",
+            &[],
+            self.timer_fires,
+        );
+        registry.add_counter(
+            "node_cancelled_timer_skips_total",
+            "Timers suppressed by cancel_timer",
+            &[],
+            self.cancelled_timer_skips,
+        );
+        registry.add_counter(
+            "node_messages_dispatched_total",
+            "Messages dispatched into on_message",
+            &[],
+            self.messages_dispatched,
+        );
+        registry.add_counter(
+            "node_datagrams_sent_total",
+            "Datagrams handed to the kernel",
+            &[],
+            self.datagrams_sent,
+        );
+        registry.add_counter(
+            "node_bytes_sent_total",
+            "Bytes handed to the kernel (frame headers included)",
+            &[],
+            self.bytes_sent,
+        );
+        registry.add_counter(
+            "node_send_errors_total",
+            "Sends that failed locally (kernel error or out-of-range peer)",
+            &[],
+            self.send_errors,
+        );
+        registry.add_counter(
+            "node_send_oversize_total",
+            "Sends dropped for exceeding one datagram",
+            &[],
+            self.send_oversize,
+        );
+        registry.add_counter(
+            "node_datagrams_received_total",
+            "Datagrams received",
+            &[],
+            self.datagrams_received,
+        );
+        registry.add_counter(
+            "node_bytes_received_total",
+            "Bytes received",
+            &[],
+            self.bytes_received,
+        );
+        registry.add_counter(
+            "node_recv_errors_total",
+            "Socket-level receive failures",
+            &[],
+            self.recv_errors,
+        );
+        registry.add_counter(
+            "node_decode_errors_total",
+            "Datagrams rejected by the frame decoder",
+            &[],
+            self.decode_errors,
+        );
+        registry.add_counter(
+            "node_unknown_sender_drops_total",
+            "Frames whose sender id is outside the address book",
+            &[],
+            self.unknown_sender_drops,
+        );
+        registry.add_counter(
+            "node_addr_mismatches_total",
+            "Frames whose source address differs from the address book",
+            &[],
+            self.addr_mismatches,
+        );
+    }
+
     /// Field-wise sum (cluster-level totals).
     pub fn merge(&mut self, other: &NodeStats) {
         self.handler_starts += other.handler_starts;
@@ -150,6 +243,13 @@ pub struct NodeHost<H: Handler> {
     read_timeout: Option<Duration>,
     metrics: Metrics,
     stats: NodeStats,
+    /// How late timers fire relative to their due instant (real-clock µs).
+    timer_lag: Histogram,
+    /// Protocol event log (`None` until [`NodeHost::with_trace`]).
+    trace: Option<TraceRing>,
+    /// The `/metrics` + `/status` endpoint (`None` until
+    /// [`NodeHost::serve_status`]).
+    status: Option<HttpServer>,
     recv_buf: Vec<u8>,
 }
 
@@ -203,6 +303,9 @@ where
             read_timeout: None,
             metrics: Metrics::new(),
             stats: NodeStats::default(),
+            timer_lag: Histogram::new(),
+            trace: None,
+            status: None,
             recv_buf: vec![0; RECV_BUF_BYTES],
         })
     }
@@ -276,6 +379,176 @@ impl<H: Handler> NodeHost<H> {
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
     }
+
+    /// Keep the last `capacity` protocol events (sends, receives, timer
+    /// fires, drops with reasons) in a bounded ring, inspectable via
+    /// [`trace`](NodeHost::trace) and the `/trace` endpoint. Purely
+    /// passive: recording never touches the RNG, the timers or the socket.
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace = Some(TraceRing::new(capacity));
+        self
+    }
+
+    /// The protocol event log (`None` unless
+    /// [`with_trace`](NodeHost::with_trace) enabled it).
+    pub fn trace(&self) -> Option<&TraceRing> {
+        self.trace.as_ref()
+    }
+
+    /// How late timer callbacks ran relative to their due instant
+    /// (real-clock µs): the host's scheduling-quality signal.
+    pub fn timer_lag(&self) -> &Histogram {
+        &self.timer_lag
+    }
+
+    /// Serve `/metrics` (Prometheus text exposition), `/status` (human-
+    /// readable node summary) and `/trace` (the event ring, if enabled) on
+    /// a TCP listener at `addr` (port 0 for ephemeral). Returns the bound
+    /// address. The server is non-blocking and is pumped from the host's
+    /// own event loops ([`poll`](NodeHost::poll),
+    /// [`run_until_deadline`](NodeHost::run_until_deadline)) — no thread,
+    /// no executor. Scrapes observe the host between callbacks, never
+    /// during one.
+    pub fn serve_status(&mut self, addr: impl ToSocketAddrs) -> io::Result<SocketAddr> {
+        let server = HttpServer::bind(addr)?;
+        let bound = server.local_addr()?;
+        self.status = Some(server);
+        Ok(bound)
+    }
+
+    /// The status endpoint's bound address, if serving.
+    pub fn status_addr(&self) -> Option<SocketAddr> {
+        self.status.as_ref().and_then(|s| s.local_addr().ok())
+    }
+
+    /// Answer any pending status-endpoint requests. Called by the event
+    /// loops; callable directly when the host is otherwise paused (a test
+    /// scraping `/metrics` mid-run against frozen stats does exactly
+    /// this). Returns the number of requests served.
+    pub fn pump_status(&mut self) -> usize {
+        let Some(mut server) = self.status.take() else {
+            return 0;
+        };
+        let served = server.poll(|req| self.respond(req));
+        self.status = Some(server);
+        served
+    }
+
+    /// Route everything this host knows into one registry: wire counters,
+    /// modelled protocol metrics, the timer-lag histogram, the trace
+    /// ring's totals, host gauges and whatever the handler exports.
+    pub fn fill_registry(&self, registry: &mut Registry) {
+        self.stats.fill_registry(registry);
+        self.metrics.fill_registry(registry);
+        registry.merge_histogram(
+            "node_timer_lag_us",
+            "How late timer callbacks fired relative to their due instant",
+            &[],
+            &self.timer_lag,
+        );
+        registry.set_gauge(
+            "node_id",
+            "This host's node id",
+            &[],
+            self.me.index() as f64,
+        );
+        registry.set_gauge(
+            "node_peers",
+            "Network size (address-book length)",
+            &[],
+            self.peers.len() as f64,
+        );
+        registry.set_gauge(
+            "node_uptime_us",
+            "Microseconds since the host's epoch",
+            &[],
+            self.now_us() as f64,
+        );
+        if let Some(ring) = &self.trace {
+            registry.add_counter(
+                "trace_events_total",
+                "Protocol events recorded in the trace ring",
+                &[],
+                ring.total(),
+            );
+        }
+        self.handler.fill_registry(registry);
+    }
+
+    /// The `/status` page: identity, uptime, the address book, wire
+    /// counters and the handler's own lines.
+    fn status_page(&self) -> String {
+        use std::fmt::Write;
+        let now = self.now_us();
+        let mut page = String::new();
+        let _ = writeln!(page, "node {} of {}", self.me.index(), self.peers.len());
+        let _ = writeln!(page, "uptime_us: {now}");
+        if let Ok(addr) = self.local_addr() {
+            let _ = writeln!(page, "udp_addr: {addr}");
+        }
+        let _ = writeln!(
+            page,
+            "sent: {} datagrams / {} bytes ({} errors, {} oversize)",
+            self.stats.datagrams_sent,
+            self.stats.bytes_sent,
+            self.stats.send_errors,
+            self.stats.send_oversize
+        );
+        let _ = writeln!(
+            page,
+            "received: {} datagrams / {} bytes ({} recv errors, {} decode errors, \
+             {} unknown senders, {} addr mismatches)",
+            self.stats.datagrams_received,
+            self.stats.bytes_received,
+            self.stats.recv_errors,
+            self.stats.decode_errors,
+            self.stats.unknown_sender_drops,
+            self.stats.addr_mismatches
+        );
+        let _ = writeln!(
+            page,
+            "timers: {} fired, {} cancelled, lag p99 {} us",
+            self.stats.timer_fires,
+            self.stats.cancelled_timer_skips,
+            self.timer_lag.quantile(0.99)
+        );
+        for (key, value) in self.handler.status_lines(now) {
+            let _ = writeln!(page, "{key}: {value}");
+        }
+        let _ = writeln!(page, "peers:");
+        for (i, addr) in self.peers.iter().enumerate() {
+            let marker = if i == self.me.index() { " (me)" } else { "" };
+            let _ = writeln!(page, "  {i:>6}  {addr}{marker}");
+        }
+        page
+    }
+
+    fn respond(&self, req: &Request) -> Response {
+        // Query strings are tolerated (Prometheus appends none, humans
+        // might): route on the path alone.
+        let path = req.path.split('?').next().unwrap_or("");
+        match path {
+            "/metrics" => {
+                let mut registry = Registry::new();
+                self.fill_registry(&mut registry);
+                Response::metrics(registry.render())
+            }
+            "/status" => Response::ok("text/plain", self.status_page()),
+            "/trace" => match &self.trace {
+                Some(ring) => Response::ok("text/plain", ring.render()),
+                None => Response::not_found(),
+            },
+            _ => Response::not_found(),
+        }
+    }
+
+    /// Record one trace event (no-op without a ring; never touches
+    /// protocol state).
+    fn trace_event(&mut self, at_us: u64, peer: u64, kind: TraceKind, reason: TraceReason) {
+        if let Some(ring) = &mut self.trace {
+            ring.record(at_us, self.me.index() as u64, peer, kind, reason);
+        }
+    }
 }
 
 impl<H: Handler> NodeHost<H>
@@ -298,6 +571,7 @@ where
             }
             dispatched += self.fire_due_timers();
         }
+        self.pump_status();
         dispatched
     }
 
@@ -309,6 +583,7 @@ where
         self.set_nonblocking(false);
         loop {
             self.fire_due_timers();
+            self.pump_status();
             let now = Instant::now();
             if now >= deadline {
                 return;
@@ -371,12 +646,15 @@ where
                 .is_some_and(|&watermark| seq < watermark)
             {
                 self.stats.cancelled_timer_skips += 1;
+                self.trace_event(now, NO_PEER, TraceKind::Drop, TraceReason::CancelledTimer);
                 continue;
             }
             self.stats.timer_fires += 1;
+            self.timer_lag.record(now.saturating_sub(at));
             fired += 1;
             // The callback's clock never runs behind the timer's instant.
             let cb_now = now.max(at);
+            self.trace_event(cb_now, NO_PEER, TraceKind::TimerFire, TraceReason::None);
             self.with_mailbox(cb_now, |handler, mailbox| {
                 handler.on_timer(TimerId(label), mailbox)
             });
@@ -395,6 +673,8 @@ where
             // on them, since an erroring socket returns without sleeping.
             Err(_) => {
                 self.stats.recv_errors += 1;
+                let now = self.now_us();
+                self.trace_event(now, NO_PEER, TraceKind::Drop, TraceReason::RecvError);
                 return Recv::Error;
             }
         };
@@ -404,21 +684,33 @@ where
             Ok(decoded) => decoded,
             Err(_) => {
                 self.stats.decode_errors += 1;
+                let now = self.now_us();
+                self.trace_event(now, NO_PEER, TraceKind::Drop, TraceReason::DecodeError);
                 return Recv::Rejected;
             }
         };
         if from.index() >= self.peers.len() {
             self.stats.unknown_sender_drops += 1;
+            let now = self.now_us();
+            self.trace_event(
+                now,
+                from.index() as u64,
+                TraceKind::Drop,
+                TraceReason::UnknownSender,
+            );
             return Recv::Rejected;
         }
+        let mut recv_reason = TraceReason::None;
         if self.peers[from.index()] != src {
             // Deliverable but odd: a NAT rewrite, or something spoofing a
             // member id. Counted; the payload still carries the header id,
             // which is what the protocols key on.
             self.stats.addr_mismatches += 1;
+            recv_reason = TraceReason::AddrMismatch;
         }
         self.stats.messages_dispatched += 1;
         let now = self.now_us();
+        self.trace_event(now, from.index() as u64, TraceKind::Recv, recv_reason);
         self.with_mailbox(now, |handler, mailbox| {
             handler.on_message(from, msg, mailbox)
         });
@@ -441,6 +733,7 @@ where
             timer_jitter_us,
             metrics,
             stats,
+            trace,
             ..
         } = self;
         let mut mailbox = SocketMailbox {
@@ -455,6 +748,7 @@ where
             jitter_us: *timer_jitter_us,
             metrics,
             stats,
+            trace,
             _msg: std::marker::PhantomData,
         };
         f(handler, &mut mailbox);
@@ -487,7 +781,18 @@ struct SocketMailbox<'a, M> {
     jitter_us: u64,
     metrics: &'a mut Metrics,
     stats: &'a mut NodeStats,
+    trace: &'a mut Option<TraceRing>,
     _msg: std::marker::PhantomData<fn(M)>,
+}
+
+impl<M> SocketMailbox<'_, M> {
+    /// Record one trace event against this node at the callback's clock.
+    #[inline]
+    fn trace_event(&mut self, peer: u64, kind: TraceKind, reason: TraceReason) {
+        if let Some(ring) = self.trace.as_mut() {
+            ring.record(self.now_us, self.me.index() as u64, peer, kind, reason);
+        }
+    }
 }
 
 impl<M: WireMsg> Mailbox<M> for SocketMailbox<'_, M> {
@@ -504,6 +809,7 @@ impl<M: WireMsg> Mailbox<M> for SocketMailbox<'_, M> {
     }
 
     fn send(&mut self, to: NodeId, phase: Phase, bits: u32, msg: M) {
+        let peer = to.index() as u64;
         let ok = if let Some(&addr) = self.peers.get(to.index()) {
             let payload = msg.to_wire_bytes();
             if payload.len() > MAX_PAYLOAD_BYTES {
@@ -512,6 +818,7 @@ impl<M: WireMsg> Mailbox<M> for SocketMailbox<'_, M> {
                 // loss at a glance. Counted separately from send_errors so
                 // "your message outgrew the transport" has its own signal.
                 self.stats.send_oversize += 1;
+                self.trace_event(peer, TraceKind::Drop, TraceReason::Oversize);
                 false
             } else {
                 let frame = frame_with_payload(self.me, &payload);
@@ -519,16 +826,19 @@ impl<M: WireMsg> Mailbox<M> for SocketMailbox<'_, M> {
                     Ok(_) => {
                         self.stats.datagrams_sent += 1;
                         self.stats.bytes_sent += frame.len() as u64;
+                        self.trace_event(peer, TraceKind::Send, TraceReason::None);
                         true
                     }
                     Err(_) => {
                         self.stats.send_errors += 1;
+                        self.trace_event(peer, TraceKind::Drop, TraceReason::SendError);
                         false
                     }
                 }
             }
         } else {
             self.stats.send_errors += 1;
+            self.trace_event(peer, TraceKind::Drop, TraceReason::SendError);
             false
         };
         // The modelled accounting the Mailbox contract requires:

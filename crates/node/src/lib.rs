@@ -22,6 +22,12 @@
 //!   from one thread: the integration harness that lets a test assert
 //!   "this protocol converges over real sockets" in milliseconds.
 //!
+//! Both expose a live observability endpoint (`serve_status`): `/metrics`
+//! in Prometheus text exposition, `/status` as a human-readable summary,
+//! and — on hosts with a trace ring (`with_trace`) — `/trace`. The HTTP
+//! server is `gossip_obs`'s non-blocking listener, pumped from the host's
+//! own event loop; see DESIGN.md §6a.
+//!
 //! What carries over from the simulators and what does not is written up
 //! in `DESIGN.md` §6. The short version: the protocol semantics carry
 //! (idempotent merges, stateless exchanges, re-arming timers — everything

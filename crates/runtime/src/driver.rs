@@ -38,6 +38,7 @@
 use crate::engine::AsyncEngine;
 use crate::event::Event;
 use gossip_net::{Handler, Mailbox, NodeId, Phase, TimerId, Transport};
+use gossip_obs::{TraceKind, TraceReason, TraceRing, NO_PEER};
 use rand::rngs::SmallRng;
 use std::collections::HashMap;
 
@@ -90,6 +91,53 @@ impl DriverMetrics {
     /// per-node dispatch hashes through this, in node-id order.
     pub(crate) fn fold_word(&mut self, w: u64) {
         self.order_hash = (self.order_hash ^ w).wrapping_mul(FNV_PRIME);
+    }
+
+    /// Route these counters into an observability registry as the
+    /// `driver_*` families. Purely a read.
+    pub fn fill_registry(&self, registry: &mut gossip_obs::Registry) {
+        registry.add_counter(
+            "driver_handler_starts_total",
+            "on_start invocations (boots + rejoin restarts)",
+            &[],
+            self.handler_starts,
+        );
+        registry.add_counter(
+            "driver_messages_dispatched_total",
+            "Messages dispatched into on_message",
+            &[],
+            self.messages_dispatched,
+        );
+        registry.add_counter(
+            "driver_timer_fires_total",
+            "Timer events dispatched into on_timer",
+            &[],
+            self.timer_fires,
+        );
+        registry.add_counter(
+            "driver_stale_timer_skips_total",
+            "Timers dropped for a superseded incarnation or dead node",
+            &[],
+            self.stale_timer_skips,
+        );
+        registry.add_counter(
+            "driver_cancelled_timer_skips_total",
+            "Timers suppressed by cancel_timer before firing",
+            &[],
+            self.cancelled_timer_skips,
+        );
+        registry.add_counter(
+            "driver_dead_receiver_drops_total",
+            "Deliveries dropped because the receiver crashed later",
+            &[],
+            self.dead_receiver_drops,
+        );
+        registry.add_counter(
+            "driver_rejoins_total",
+            "Rejoin restarts applied",
+            &[],
+            self.rejoin_log.len() as u64,
+        );
     }
 }
 
@@ -266,9 +314,34 @@ impl<H: Handler> EventDriver<H> {
         &self.handlers
     }
 
+    /// Attach a trace ring to the hosted engine (most recent `capacity`
+    /// events). Passive — the determinism suite pins that enabling it
+    /// leaves `order_hash` untouched. Must precede the first run.
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        assert!(!self.started, "the trace ring is fixed once the run starts");
+        self.engine = self.engine.with_trace(capacity);
+        self
+    }
+
+    /// The trace ring, when one was attached.
+    pub fn trace(&self) -> Option<&TraceRing> {
+        self.engine.trace()
+    }
+
     /// Driver-level counters and the dispatch-order fingerprint.
     pub fn metrics(&self) -> &DriverMetrics {
         &self.metrics
+    }
+
+    /// Route the full backend state — engine metrics, driver counters and
+    /// every handler's protocol counters — into an observability registry.
+    /// Purely a read.
+    pub fn fill_registry(&self, registry: &mut gossip_obs::Registry) {
+        self.engine.fill_registry(registry);
+        self.metrics.fill_registry(registry);
+        for handler in &self.handlers {
+            handler.fill_registry(registry);
+        }
     }
 
     /// Tear down the driver, returning the engine (for metric inspection).
@@ -350,6 +423,20 @@ impl<H: Handler> EventDriver<H> {
         }
     }
 
+    /// Record into the engine's trace ring, if one is attached (passive).
+    fn trace_event(
+        &mut self,
+        at_us: u64,
+        node: u64,
+        peer: u64,
+        kind: TraceKind,
+        reason: TraceReason,
+    ) {
+        if let Some(ring) = self.engine.trace_mut() {
+            ring.record(at_us, node, peer, kind, reason);
+        }
+    }
+
     fn dispatch(&mut self, at_us: u64, seq: u64, event: Event) {
         match event {
             Event::Deliver {
@@ -368,8 +455,22 @@ impl<H: Handler> EventDriver<H> {
                     // The delivery verdict predates a crash drawn in a later
                     // window (only possible when latency spans windows).
                     self.metrics.dead_receiver_drops += 1;
+                    self.trace_event(
+                        at_us,
+                        to.index() as u64,
+                        from.index() as u64,
+                        TraceKind::Drop,
+                        TraceReason::DeadEndpoint,
+                    );
                     return;
                 }
+                self.trace_event(
+                    at_us,
+                    to.index() as u64,
+                    from.index() as u64,
+                    TraceKind::Recv,
+                    TraceReason::None,
+                );
                 let Some(msg) = payload else {
                     // A raw Transport::send (no payload) slipped through —
                     // nothing to hand the handler.
@@ -395,12 +496,26 @@ impl<H: Handler> EventDriver<H> {
             }
             Event::Crash { node } => {
                 self.metrics.fold([at_us, seq, 2, node.index() as u64]);
+                self.trace_event(
+                    at_us,
+                    node.index() as u64,
+                    NO_PEER,
+                    TraceKind::Crash,
+                    TraceReason::None,
+                );
                 self.engine.apply_crash(node);
             }
             Event::Timer { node, timer, epoch } => {
                 let i = node.index();
                 if !Transport::is_alive(&self.engine, node) || self.epochs[i] != epoch {
                     self.metrics.stale_timer_skips += 1;
+                    self.trace_event(
+                        at_us,
+                        node.index() as u64,
+                        NO_PEER,
+                        TraceKind::Drop,
+                        TraceReason::Stale,
+                    );
                     return;
                 }
                 if self
@@ -413,9 +528,23 @@ impl<H: Handler> EventDriver<H> {
                     // timer is a non-event; jitter-free runs keep their
                     // golden fingerprints).
                     self.metrics.cancelled_timer_skips += 1;
+                    self.trace_event(
+                        at_us,
+                        node.index() as u64,
+                        NO_PEER,
+                        TraceKind::Drop,
+                        TraceReason::CancelledTimer,
+                    );
                     return;
                 }
                 self.metrics.timer_fires += 1;
+                self.trace_event(
+                    at_us,
+                    node.index() as u64,
+                    NO_PEER,
+                    TraceKind::TimerFire,
+                    TraceReason::None,
+                );
                 self.metrics.fold([
                     at_us,
                     seq,

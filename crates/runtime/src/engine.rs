@@ -29,6 +29,7 @@ use crate::event::{Event, EventQueue};
 use crate::latency::LatencyModel;
 use crate::metrics::AsyncMetrics;
 use gossip_net::{Metrics, NodeId, Phase, SimConfig, Transport};
+use gossip_obs::{TraceKind, TraceReason, TraceRing, NO_PEER};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -163,6 +164,10 @@ pub struct AsyncEngine {
     bits_this_round: Vec<u64>,
     metrics: Metrics,
     async_metrics: AsyncMetrics,
+    /// Optional protocol-event trace. Passive: recording touches no RNG
+    /// and no queue, so enabling it never perturbs a run (the determinism
+    /// suite pins `order_hash` with it on vs off).
+    trace: Option<TraceRing>,
 }
 
 impl AsyncEngine {
@@ -187,7 +192,76 @@ impl AsyncEngine {
             bits_this_round: vec![0; n],
             metrics: Metrics::new(),
             async_metrics: AsyncMetrics::default(),
+            trace: None,
             config,
+        }
+    }
+
+    /// Attach a protocol-event trace ring keeping the most recent
+    /// `capacity` events. Passive — see [`AsyncEngine::trace`].
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace = Some(TraceRing::new(capacity));
+        self
+    }
+
+    /// The trace ring, when one was attached via
+    /// [`AsyncEngine::with_trace`].
+    pub fn trace(&self) -> Option<&TraceRing> {
+        self.trace.as_ref()
+    }
+
+    /// Mutable access for hosts that record their own events (the drivers)
+    /// and for barrier merges.
+    pub(crate) fn trace_mut(&mut self) -> Option<&mut TraceRing> {
+        self.trace.as_mut()
+    }
+
+    /// Record one event into the trace ring, if one is attached. A plain
+    /// store — never draws RNG or schedules anything.
+    fn trace_event(
+        &mut self,
+        at_us: u64,
+        node: u64,
+        peer: u64,
+        kind: TraceKind,
+        reason: TraceReason,
+    ) {
+        if let Some(ring) = &mut self.trace {
+            ring.record(at_us, node, peer, kind, reason);
+        }
+    }
+
+    /// Route engine state into an observability registry: the protocol
+    /// metrics (`gossip_*`), the engine metrics (`engine_*`), liveness
+    /// and trace-volume gauges. Purely a read.
+    pub fn fill_registry(&self, registry: &mut gossip_obs::Registry) {
+        self.metrics.fill_registry(registry);
+        self.async_metrics.fill_registry(registry);
+        registry.set_gauge(
+            "engine_nodes",
+            "Nodes in the simulated network (crashed included)",
+            &[],
+            self.config.sim.n as f64,
+        );
+        registry.set_gauge(
+            "engine_alive_nodes",
+            "Currently alive nodes",
+            &[],
+            self.alive_count as f64,
+        );
+        registry.set_gauge(
+            "engine_virtual_time_us",
+            "Current virtual time (us)",
+            &[],
+            self.window_start as f64,
+        );
+        if let Some(ring) = &self.trace {
+            registry.add_counter(
+                "trace_events_total",
+                "Protocol events recorded into the trace ring",
+                &[],
+                ring.total(),
+            );
         }
     }
 
@@ -371,13 +445,16 @@ impl AsyncEngine {
 
         // 1. Endpoint liveness and the loss draw, in exactly the order the
         //    synchronous Network performs them (RNG-stream compatibility).
+        //    `drop_reason` mirrors each verdict for the (passive) trace.
         let sender_alive = self.alive[from.index()];
         let mut delivered = sender_alive && self.alive[to.index()];
+        let mut drop_reason = TraceReason::DeadEndpoint;
         if delivered
             && self.config.sim.loss_prob > 0.0
             && self.rng.gen_bool(self.config.sim.loss_prob)
         {
             delivered = false;
+            drop_reason = TraceReason::Loss;
         }
 
         // 2. Latency: sampled per message, scaled by the deterministic
@@ -402,6 +479,7 @@ impl AsyncEngine {
                 let used = self.bits_this_round[from.index()];
                 if used + u64::from(bits) > budget {
                     delivered = false;
+                    drop_reason = TraceReason::Bandwidth;
                     self.async_metrics.bandwidth_drops += 1;
                 }
             }
@@ -415,6 +493,7 @@ impl AsyncEngine {
         //    sender crashing later this round still gets its call out).
         if delivered && !self.alive_at(to, arrival) {
             delivered = false;
+            drop_reason = TraceReason::DeadEndpoint;
         }
 
         // 5. Fixed deadlines drop messages that outlive their round — the
@@ -423,6 +502,7 @@ impl AsyncEngine {
             if let RoundPolicy::FixedDeadline(deadline) = self.config.round_policy {
                 if elapsed_us + latency_us > deadline {
                     delivered = false;
+                    drop_reason = TraceReason::Late;
                     self.async_metrics.late_drops += 1;
                 }
             }
@@ -448,6 +528,18 @@ impl AsyncEngine {
             },
         );
         self.metrics.record_send(phase, bits, delivered);
+        let (kind, reason) = if delivered {
+            (TraceKind::Send, TraceReason::None)
+        } else {
+            (TraceKind::Drop, drop_reason)
+        };
+        self.trace_event(
+            self.window_start + elapsed_us,
+            from.index() as u64,
+            to.index() as u64,
+            kind,
+            reason,
+        );
         delivered
     }
 }
@@ -543,15 +635,33 @@ impl Transport for AsyncEngine {
         while let Some(scheduled) = self.queue.pop_due(horizon) {
             match scheduled.event {
                 Event::Deliver {
+                    from,
+                    to,
                     delivered,
                     latency_us,
                     ..
                 } => {
                     if delivered {
                         self.async_metrics.latency.record(latency_us);
+                        self.trace_event(
+                            scheduled.at_us,
+                            to.index() as u64,
+                            from.index() as u64,
+                            TraceKind::Recv,
+                            TraceReason::None,
+                        );
                     }
                 }
-                Event::Crash { node } => self.apply_crash(node),
+                Event::Crash { node } => {
+                    self.trace_event(
+                        scheduled.at_us,
+                        node.index() as u64,
+                        NO_PEER,
+                        TraceKind::Crash,
+                        TraceReason::None,
+                    );
+                    self.apply_crash(node);
+                }
                 // The round barrier never schedules timers, but an engine
                 // taken back from an `EventDriver` (`into_engine`) may still
                 // hold armed handler timers; without a driver there is no

@@ -122,6 +122,18 @@ impl LatencyHistogram {
         self.min_us = self.min_us.min(other.min_us);
         self.max_us = self.max_us.max(other.max_us);
     }
+
+    /// Export into the observability layer's histogram type. Both use the
+    /// same 512-slot log-bucket layout, so this is a lossless copy.
+    pub fn to_obs(&self) -> gossip_obs::Histogram {
+        gossip_obs::Histogram::from_raw(
+            &self.counts,
+            self.total,
+            self.sum_us,
+            self.min_us,
+            self.max_us,
+        )
+    }
 }
 
 impl Default for LatencyHistogram {
@@ -155,6 +167,41 @@ impl AsyncMetrics {
         self.churn_crashes += other.churn_crashes;
         self.churn_rejoins += other.churn_rejoins;
         self.latency.merge(&other.latency);
+    }
+
+    /// Route these counters into an observability registry as the
+    /// `engine_*` families. Purely a read.
+    pub fn fill_registry(&self, registry: &mut gossip_obs::Registry) {
+        registry.add_counter(
+            "engine_late_drops_total",
+            "Messages dropped for missing a fixed round deadline",
+            &[],
+            self.late_drops,
+        );
+        registry.add_counter(
+            "engine_bandwidth_drops_total",
+            "Messages dropped by the per-node bandwidth budget",
+            &[],
+            self.bandwidth_drops,
+        );
+        registry.add_counter(
+            "engine_churn_crashes_total",
+            "Mid-run crashes applied by the churn model",
+            &[],
+            self.churn_crashes,
+        );
+        registry.add_counter(
+            "engine_churn_rejoins_total",
+            "Rejoins applied by the churn model",
+            &[],
+            self.churn_rejoins,
+        );
+        registry.merge_histogram(
+            "engine_delivery_latency_us",
+            "Latency distribution of delivered messages (virtual us)",
+            &[],
+            &self.latency.to_obs(),
+        );
     }
 }
 

@@ -66,6 +66,7 @@ use crate::driver::DriverMetrics;
 use crate::engine::AsyncConfig;
 use crate::metrics::AsyncMetrics;
 use gossip_net::{node_rng, Handler, Mailbox, Metrics, NodeId, Phase, TimerId};
+use gossip_obs::{TraceKind, TraceReason, TraceRing, NO_PEER};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::collections::HashMap;
@@ -238,6 +239,11 @@ struct Shard<H: Handler> {
     metrics: Metrics,
     async_metrics: AsyncMetrics,
     counters: ShardCounters,
+    /// Per-shard slice of the protocol-event trace; drained into the
+    /// driver's base ring at window barriers (in shard order), mirroring
+    /// the shard-metrics drain. Passive: recording is a plain store into
+    /// shard-local state, so the node hashes are trace-invariant.
+    trace: Option<TraceRing>,
 }
 
 /// The geometry and engine parameters a dispatching shard needs; shared
@@ -280,6 +286,7 @@ macro_rules! handler_and_mailbox {
                 outbox: &mut shard.outbox,
                 metrics: &mut shard.metrics,
                 async_metrics: &mut shard.async_metrics,
+                trace: &mut shard.trace,
             },
         )
     }};
@@ -315,6 +322,21 @@ impl<H: Handler> Shard<H> {
         }
     }
 
+    /// Record into the shard's trace ring, if tracing is on (passive).
+    #[inline]
+    fn trace_event(
+        &mut self,
+        at_us: u64,
+        node: u64,
+        peer: u64,
+        kind: TraceKind,
+        reason: TraceReason,
+    ) {
+        if let Some(ring) = &mut self.trace {
+            ring.record(at_us, node, peer, kind, reason);
+        }
+    }
+
     fn dispatch(&mut self, ev: ShardEvent<H::Msg>, topo: &Topology) {
         let local = ev.to as usize - self.start;
         let tagged = ev.kind.tag() << 60 | u64::from(ev.origin) << 28;
@@ -329,6 +351,13 @@ impl<H: Handler> Shard<H> {
                     self.pending_crashes -= 1;
                 }
                 fold3(&mut self.node_hash[local], ev.at_us, tagged, ev.oseq);
+                self.trace_event(
+                    ev.at_us,
+                    u64::from(ev.to),
+                    NO_PEER,
+                    TraceKind::Crash,
+                    TraceReason::None,
+                );
             }
             EventKind::Deliver {
                 phase,
@@ -343,11 +372,25 @@ impl<H: Handler> Shard<H> {
                 self.metrics.record_send(phase, bits, ok);
                 if !ok {
                     self.counters.dead_receiver_drops += 1;
+                    self.trace_event(
+                        ev.at_us,
+                        u64::from(ev.to),
+                        u64::from(ev.origin),
+                        TraceKind::Drop,
+                        TraceReason::DeadEndpoint,
+                    );
                     return;
                 }
                 self.async_metrics.latency.record(latency_us);
                 self.counters.messages_dispatched += 1;
                 fold3(&mut self.node_hash[local], ev.at_us, tagged, ev.oseq);
+                self.trace_event(
+                    ev.at_us,
+                    u64::from(ev.to),
+                    u64::from(ev.origin),
+                    TraceKind::Recv,
+                    TraceReason::None,
+                );
                 let incarnation = self.incarnation[local];
                 let (handler, mut mailbox) =
                     handler_and_mailbox!(self, topo, local, ev.at_us, incarnation);
@@ -356,6 +399,13 @@ impl<H: Handler> Shard<H> {
             EventKind::Timer { timer, incarnation } => {
                 if !self.alive[local] || self.incarnation[local] != incarnation {
                     self.counters.stale_timer_skips += 1;
+                    self.trace_event(
+                        ev.at_us,
+                        u64::from(ev.to),
+                        NO_PEER,
+                        TraceKind::Drop,
+                        TraceReason::Stale,
+                    );
                     return;
                 }
                 if self.cancels[local]
@@ -366,9 +416,23 @@ impl<H: Handler> Shard<H> {
                     // hash — a cancelled timer is a non-event, so runs that
                     // never cancel keep their golden fingerprints.
                     self.counters.cancelled_timer_skips += 1;
+                    self.trace_event(
+                        ev.at_us,
+                        u64::from(ev.to),
+                        NO_PEER,
+                        TraceKind::Drop,
+                        TraceReason::CancelledTimer,
+                    );
                     return;
                 }
                 self.counters.timer_fires += 1;
+                self.trace_event(
+                    ev.at_us,
+                    u64::from(ev.to),
+                    NO_PEER,
+                    TraceKind::TimerFire,
+                    TraceReason::None,
+                );
                 fold3(
                     &mut self.node_hash[local],
                     ev.at_us,
@@ -407,6 +471,7 @@ struct ShardMailbox<'a, M> {
     outbox: &'a mut Vec<Vec<ShardEvent<M>>>,
     metrics: &'a mut Metrics,
     async_metrics: &'a mut AsyncMetrics,
+    trace: &'a mut Option<TraceRing>,
 }
 
 impl<M> ShardMailbox<'_, M> {
@@ -415,6 +480,14 @@ impl<M> ShardMailbox<'_, M> {
         let seq = *self.oseq;
         *self.oseq += 1;
         seq
+    }
+
+    /// Record into the shard's trace ring, if tracing is on (passive).
+    #[inline]
+    fn trace_event(&mut self, peer: u64, kind: TraceKind, reason: TraceReason) {
+        if let Some(ring) = self.trace.as_mut() {
+            ring.record(self.now_us, self.me.index() as u64, peer, kind, reason);
+        }
     }
 
     #[inline]
@@ -467,20 +540,24 @@ impl<M> Mailbox<M> for ShardMailbox<'_, M> {
         *self.bits_window += u64::from(bits);
         if lost {
             self.metrics.record_send(phase, bits, false);
+            self.trace_event(to.index() as u64, TraceKind::Drop, TraceReason::Loss);
             return;
         }
         if over_budget {
             self.async_metrics.bandwidth_drops += 1;
             self.metrics.record_send(phase, bits, false);
+            self.trace_event(to.index() as u64, TraceKind::Drop, TraceReason::Bandwidth);
             return;
         }
         if let crate::engine::RoundPolicy::FixedDeadline(deadline) = config.round_policy {
             if latency_us > deadline {
                 self.async_metrics.late_drops += 1;
                 self.metrics.record_send(phase, bits, false);
+                self.trace_event(to.index() as u64, TraceKind::Drop, TraceReason::Late);
                 return;
             }
         }
+        self.trace_event(to.index() as u64, TraceKind::Send, TraceReason::None);
         // In flight: the receiver's shard rules on liveness at arrival and
         // records the attempt with the final verdict.
         let oseq = self.next_oseq();
@@ -564,6 +641,9 @@ pub struct ShardedDriver<H: Handler> {
     /// one round per window, with per-window message totals).
     base_metrics: Metrics,
     base_async: AsyncMetrics,
+    /// Trace events drained from the per-shard rings at window barriers
+    /// (`None` unless [`with_trace`](ShardedDriver::with_trace) was used).
+    base_trace: Option<TraceRing>,
     handler_starts: u64,
     rejoin_log: Vec<(u64, NodeId)>,
 }
@@ -622,6 +702,7 @@ where
                 metrics: Metrics::new(),
                 async_metrics: AsyncMetrics::default(),
                 counters: ShardCounters::default(),
+                trace: None,
             });
         }
         let parallel = num_shards > 1
@@ -648,8 +729,81 @@ where
             parallel,
             base_metrics: Metrics::new(),
             base_async: AsyncMetrics::default(),
+            base_trace: None,
             handler_starts: 0,
             rejoin_log: Vec::new(),
+        }
+    }
+
+    /// Attach protocol-event tracing: each shard keeps a ring of the most
+    /// recent `capacity` events, drained into a driver-level ring (also of
+    /// `capacity`) at every window barrier — the same merge cadence as the
+    /// shard metrics. Passive: the determinism suite pins that enabling it
+    /// leaves the order hash untouched. Must precede the first run.
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        assert!(!self.started, "the trace ring is fixed once the run starts");
+        self.base_trace = Some(TraceRing::new(capacity));
+        for shard in &mut self.shards {
+            shard.trace = Some(TraceRing::new(capacity));
+        }
+        self
+    }
+
+    /// A merged view of the trace: the barrier-drained base ring plus
+    /// whatever the shards recorded since the last barrier, in shard
+    /// order. `None` unless [`with_trace`](ShardedDriver::with_trace) was
+    /// used.
+    pub fn trace(&self) -> Option<TraceRing> {
+        let mut merged = self.base_trace.clone()?;
+        for shard in &self.shards {
+            if let Some(ring) = &shard.trace {
+                ring.clone().drain_into(&mut merged);
+            }
+        }
+        Some(merged)
+    }
+
+    /// Route the full backend state — merged protocol/engine metrics,
+    /// driver counters, liveness gauges and every handler's protocol
+    /// counters — into an observability registry. Purely a read.
+    pub fn fill_registry(&self, registry: &mut gossip_obs::Registry) {
+        self.net_metrics().fill_registry(registry);
+        self.async_metrics().fill_registry(registry);
+        self.metrics().fill_registry(registry);
+        registry.set_gauge(
+            "engine_nodes",
+            "Nodes in the simulated network (crashed included)",
+            &[],
+            self.topo.config.sim.n as f64,
+        );
+        registry.set_gauge(
+            "engine_alive_nodes",
+            "Currently alive nodes",
+            &[],
+            self.alive_count() as f64,
+        );
+        registry.set_gauge(
+            "engine_virtual_time_us",
+            "Current virtual time (us)",
+            &[],
+            self.clock as f64,
+        );
+        registry.set_gauge(
+            "engine_shards",
+            "Shards hosting the node space",
+            &[],
+            self.topo.num_shards as f64,
+        );
+        if let Some(ring) = self.trace() {
+            registry.add_counter(
+                "trace_events_total",
+                "Protocol events recorded into the trace ring",
+                &[],
+                ring.total(),
+            );
+        }
+        for (_, handler) in self.iter_handlers() {
+            handler.fill_registry(registry);
         }
     }
 
@@ -917,6 +1071,9 @@ where
                 .merge(&std::mem::replace(&mut shard.metrics, Metrics::new()));
             self.base_async
                 .merge(&std::mem::take(&mut shard.async_metrics));
+            if let (Some(ring), Some(base)) = (&mut shard.trace, &mut self.base_trace) {
+                ring.drain_into(base);
+            }
         }
         self.base_metrics.advance_round();
         if self.topo.config.bandwidth_bits_per_round.is_some() {

@@ -538,6 +538,78 @@ fn cancellation_reproduces_on_the_one_queue_driver() {
 }
 
 #[test]
+fn observability_is_passive_across_backends_and_shard_counts() {
+    // The instrumentation contract: enabling the trace ring and scraping
+    // the registry mid-run must not move a single event. The order hash —
+    // the fingerprint of the entire dispatch schedule — and every node's
+    // final state must be bit-identical with observability on or off, on
+    // both event-driven backends, at every shard count CI pins.
+    let n = 400;
+
+    // EventDriver: trace on vs off, with a mid-run registry scrape.
+    let event_run = |traced: bool| {
+        let vals = values(n);
+        let mut driver = max_gossip_driver(n, 0x0B5, vals);
+        if traced {
+            driver = driver.with_trace(512);
+        }
+        driver.run_until(30_000);
+        if traced {
+            // A scrape in the middle of the run: purely a read.
+            let mut registry = gossip_obs::Registry::new();
+            driver.fill_registry(&mut registry);
+            assert!(!registry.is_empty());
+        }
+        driver.run_until(60_000);
+        let maxima: Vec<u64> = driver
+            .handlers()
+            .iter()
+            .map(|h| h.current_max().to_bits())
+            .collect();
+        (driver.metrics().order_hash, maxima)
+    };
+    let plain = event_run(false);
+    let traced = event_run(true);
+    assert_eq!(plain, traced, "tracing changed an EventDriver run");
+
+    // ShardedDriver: the same contract at every pinned shard count.
+    let sharded_run = |shards: usize, traced: bool| {
+        let mut driver = sharded_max_driver(n, 0x0B5, shards);
+        if traced {
+            driver = driver.with_trace(512);
+        }
+        driver.run_until(30_000);
+        if traced {
+            let mut registry = gossip_obs::Registry::new();
+            driver.fill_registry(&mut registry);
+            assert!(!registry.is_empty());
+        }
+        driver.run_until(60_000);
+        sharded_fingerprint(&driver)
+    };
+    let counts = shard_counts();
+    let reference = sharded_run(counts[0], false);
+    for &shards in &counts {
+        assert_eq!(
+            reference,
+            sharded_run(shards, false),
+            "shard count {shards} diverged untraced"
+        );
+        assert_eq!(
+            reference,
+            sharded_run(shards, true),
+            "tracing changed a {shards}-shard run"
+        );
+    }
+
+    // And the trace actually recorded something when enabled.
+    let mut driver = sharded_max_driver(n, 0x0B5, counts[0]).with_trace(512);
+    driver.run_until(60_000);
+    let ring = driver.trace().expect("trace enabled");
+    assert!(ring.total() > 0, "an instrumented run records events");
+}
+
+#[test]
 fn drr_gossip_still_converges_under_churn_and_heavy_tails() {
     // The acceptance scenario: ≥ 1% per-round churn, log-normal latency.
     // Nodes that churned away during the one-shot protocol and rejoined hold

@@ -40,12 +40,17 @@ struct Args {
     protocol: String,
     run_ms: u64,
     seed: u64,
+    /// Where to serve `/metrics` + `/status` (e.g. `127.0.0.1:9100`;
+    /// port 0 for ephemeral). `None` = no endpoint.
+    status_addr: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  node --cluster <n> [--protocol max|ae] [--run-ms MS] [--seed S]\n  \
-         node --me <i> --peers a:p,b:p,... [--protocol max|ae] [--run-ms MS] [--seed S]"
+        "usage:\n  node --cluster <n> [--protocol max|ae] [--run-ms MS] [--seed S] \
+         [--status-addr HOST:PORT]\n  \
+         node --me <i> --peers a:p,b:p,... [--protocol max|ae] [--run-ms MS] [--seed S] \
+         [--status-addr HOST:PORT]"
     );
     std::process::exit(2);
 }
@@ -58,6 +63,7 @@ fn parse_args() -> Args {
         protocol: "max".to_string(),
         run_ms: 2_000,
         seed: 7,
+        status_addr: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -74,6 +80,7 @@ fn parse_args() -> Args {
             "--protocol" => args.protocol = value(),
             "--run-ms" => args.run_ms = value().parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--status-addr" => args.status_addr = Some(value()),
             _ => usage(),
         }
     }
@@ -115,11 +122,22 @@ where
 {
     let me = NodeId::new(args.me);
     let bind = args.peers[args.me];
-    let mut host =
-        NodeHost::bind(bind, me, args.peers.clone(), args.seed, handler).unwrap_or_else(|e| {
+    let mut host = NodeHost::bind(bind, me, args.peers.clone(), args.seed, handler)
+        .unwrap_or_else(|e| {
             eprintln!("cannot bind {bind}: {e}");
             std::process::exit(1);
-        });
+        })
+        // A small event ring so `/trace` shows the last protocol activity.
+        .with_trace(256);
+    if let Some(addr) = &args.status_addr {
+        match host.serve_status(addr.as_str()) {
+            Ok(bound) => println!("status endpoint on http://{bound} (/metrics /status /trace)"),
+            Err(e) => {
+                eprintln!("cannot bind status endpoint {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     println!(
         "node {me} up on {} ({} peers), running {} ms",
         host.local_addr().expect("bound socket has an address"),
@@ -127,18 +145,36 @@ where
         args.run_ms
     );
     host.run_for(Duration::from_millis(args.run_ms));
-    let stats = host.stats();
+    print_stats(&format!("node {me} done"), host.stats());
+    println!("  timer lag p99: {} us", host.timer_lag().quantile(0.99));
+    println!("  {}", report(&host));
+}
+
+/// Every `NodeStats` counter, so nothing the host measured is invisible
+/// from the command line.
+fn print_stats(who: &str, stats: &gossip_node::NodeStats) {
     println!(
-        "node {me} done: {} msgs in / {} out ({} wire bytes out), {} timer fires, \
-         {} decode errors, {} oversize sends",
+        "{who}: {} msgs in / {} out ({} wire bytes out, {} in), {} timer fires \
+         ({} cancelled), {} starts",
         stats.messages_dispatched,
         stats.datagrams_sent,
         stats.bytes_sent,
+        stats.bytes_received,
         stats.timer_fires,
-        stats.decode_errors,
-        stats.send_oversize
+        stats.cancelled_timer_skips,
+        stats.handler_starts,
     );
-    println!("  {}", report(&host));
+    println!(
+        "  errors: {} send, {} oversize, {} recv, {} decode, {} unknown senders, \
+         {} addr mismatches ({} datagrams received)",
+        stats.send_errors,
+        stats.send_oversize,
+        stats.recv_errors,
+        stats.decode_errors,
+        stats.unknown_sender_drops,
+        stats.addr_mismatches,
+        stats.datagrams_received,
+    );
 }
 
 fn run_cluster<H: Handler>(
@@ -155,21 +191,31 @@ fn run_cluster<H: Handler>(
         std::process::exit(1);
     });
     println!("loopback cluster: {n} nodes on 127.0.0.1 ephemeral ports");
+    if let Some(addr) = &args.status_addr {
+        match cluster.serve_status(addr.as_str()) {
+            Ok(bound) => println!("status endpoint on http://{bound} (/metrics /status)"),
+            Err(e) => {
+                eprintln!("cannot bind status endpoint {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let timeout = Duration::from_millis(args.run_ms.max(1));
-    match cluster.run_until(timeout, |hosts| hosts.iter().all(&done)) {
+    let converged = cluster.run_until(timeout, |hosts| hosts.iter().all(&done));
+    match converged {
         Some(elapsed) => println!("converged in {:.1} ms (wall)", elapsed.as_secs_f64() * 1e3),
         None => println!("not converged within {} ms", args.run_ms),
     }
-    let totals = cluster.total_stats();
-    println!(
-        "wire totals: {} datagrams / {} bytes sent, {} dispatched, {} decode errors, \
-         {} oversize sends",
-        totals.datagrams_sent,
-        totals.bytes_sent,
-        totals.messages_dispatched,
-        totals.decode_errors,
-        totals.send_oversize
-    );
+    // With a status endpoint up, keep serving scrapes for the rest of the
+    // requested run instead of exiting at convergence.
+    if args.status_addr.is_some() {
+        if let Some(elapsed) = converged {
+            if let Some(remaining) = timeout.checked_sub(elapsed) {
+                cluster.run_for(remaining);
+            }
+        }
+    }
+    print_stats("wire totals", &cluster.total_stats());
     for (node, _) in cluster.iter_handlers().take(4) {
         println!("  node {node}: {}", report(cluster.host(node)));
     }
