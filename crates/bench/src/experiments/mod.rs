@@ -16,6 +16,7 @@ pub mod gossip_max_exp;
 pub mod latency_tail;
 pub mod loopback_cluster;
 pub mod lower_bound;
+pub mod membership;
 pub mod phase_breakdown;
 pub mod rumor_exp;
 pub mod table1;
@@ -166,6 +167,12 @@ pub const EXPERIMENTS: &[ExperimentEntry] = &[
         "E20: dense vs Merkle anti-entropy digests — per-exchange bytes vs n (up to 10^5) and \
          steady-state traffic + rejoin recovery under churn (gossip-ae)",
         digest_scaling::run,
+    ),
+    (
+        "membership",
+        "E21: SWIM failure detection — detection latency and false-positive rate vs probe \
+         period × loss × n, sim vs socket (gossip-member)",
+        membership::run,
     ),
 ];
 

@@ -1,7 +1,7 @@
 //! # gossip-bench
 //!
 //! The experiment harness that regenerates every table and figure of the
-//! paper reproduction (see `DESIGN.md` §7 for the experiment index and
+//! paper reproduction (see `DESIGN.md` §8 for the experiment index and
 //! `EXPERIMENTS.md` for recorded results), plus Criterion wall-clock
 //! micro-benchmarks of the simulator itself.
 //!

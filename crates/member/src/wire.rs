@@ -1,0 +1,231 @@
+//! Wire-codec impls for the membership envelope, so [`Member`] runs
+//! unchanged on the real-socket host (`gossip-node`).
+//!
+//! The layout mirrors the modelled sizing exactly: a one-byte tag, the
+//! variant's fixed fields, then the piggybacked rumor vector (u32 count +
+//! 13 bytes per [`Update`]: u32 id, u64 incarnation, u8 state). The
+//! [`payload_bytes`] helper is the byte-length twin of the encoder —
+//! pinned equal to `to_wire_bytes().len()` by the property suite — which
+//! is what the piggyback budget arithmetic in `swim.rs` relies on to keep
+//! every datagram under `budget_bytes` and away from `send_oversize`.
+//!
+//! The decoder is total: truncated, oversized, bit-flipped and
+//! hostile-length input returns [`WireError`], never a panic. Decoding is
+//! only the first gate — a structurally valid rumor can still be hostile
+//! (subject outside the universe, stale incarnation, self-referential
+//! death claim), which [`Member`] rejects and counts before trusting
+//! (`member_forged_*`, `member_stale_updates_total`).
+//!
+//! [`Member`]: crate::Member
+
+use crate::state::{Liveness, Update, UPDATE_WIRE_BYTES};
+use crate::swim::MemberMsg;
+use gossip_net::{NodeId, WireError, WireMsg, WireReader, WireWriter};
+
+const TAG_PING: u8 = 0;
+const TAG_ACK: u8 = 1;
+const TAG_PING_REQ: u8 = 2;
+const TAG_JOIN: u8 = 3;
+const TAG_JOIN_ACK: u8 = 4;
+const TAG_LEAVE: u8 = 5;
+const TAG_APP: u8 = 6;
+
+impl WireMsg for Update {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.node.index() as u32);
+        w.put_u64(self.incarnation);
+        w.put_u8(self.state.to_wire());
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let node = NodeId::new(r.take_u32()? as usize);
+        let incarnation = r.take_u64()?;
+        let tag = r.take_u8()?;
+        let state = Liveness::from_wire(tag).ok_or(WireError::BadTag { tag })?;
+        Ok(Update {
+            node,
+            incarnation,
+            state,
+        })
+    }
+}
+
+impl<M: WireMsg> WireMsg for MemberMsg<M> {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            MemberMsg::Ping {
+                seq,
+                origin,
+                updates,
+            } => {
+                w.put_u8(TAG_PING);
+                w.put_u64(*seq);
+                origin.encode(w);
+                updates.encode(w);
+            }
+            MemberMsg::Ack {
+                seq,
+                origin,
+                updates,
+            } => {
+                w.put_u8(TAG_ACK);
+                w.put_u64(*seq);
+                origin.encode(w);
+                updates.encode(w);
+            }
+            MemberMsg::PingReq {
+                seq,
+                target,
+                updates,
+            } => {
+                w.put_u8(TAG_PING_REQ);
+                w.put_u64(*seq);
+                target.encode(w);
+                updates.encode(w);
+            }
+            MemberMsg::Join { updates } => {
+                w.put_u8(TAG_JOIN);
+                updates.encode(w);
+            }
+            MemberMsg::JoinAck { updates } => {
+                w.put_u8(TAG_JOIN_ACK);
+                updates.encode(w);
+            }
+            MemberMsg::Leave {
+                incarnation,
+                updates,
+            } => {
+                w.put_u8(TAG_LEAVE);
+                w.put_u64(*incarnation);
+                updates.encode(w);
+            }
+            MemberMsg::App { payload, updates } => {
+                w.put_u8(TAG_APP);
+                payload.encode(w);
+                updates.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.take_u8()? {
+            TAG_PING => Ok(MemberMsg::Ping {
+                seq: r.take_u64()?,
+                origin: NodeId::decode(r)?,
+                updates: Vec::<Update>::decode(r)?,
+            }),
+            TAG_ACK => Ok(MemberMsg::Ack {
+                seq: r.take_u64()?,
+                origin: NodeId::decode(r)?,
+                updates: Vec::<Update>::decode(r)?,
+            }),
+            TAG_PING_REQ => Ok(MemberMsg::PingReq {
+                seq: r.take_u64()?,
+                target: NodeId::decode(r)?,
+                updates: Vec::<Update>::decode(r)?,
+            }),
+            TAG_JOIN => Ok(MemberMsg::Join {
+                updates: Vec::<Update>::decode(r)?,
+            }),
+            TAG_JOIN_ACK => Ok(MemberMsg::JoinAck {
+                updates: Vec::<Update>::decode(r)?,
+            }),
+            TAG_LEAVE => Ok(MemberMsg::Leave {
+                incarnation: r.take_u64()?,
+                updates: Vec::<Update>::decode(r)?,
+            }),
+            TAG_APP => Ok(MemberMsg::App {
+                payload: M::decode(r)?,
+                updates: Vec::<Update>::decode(r)?,
+            }),
+            tag => Err(WireError::BadTag { tag }),
+        }
+    }
+}
+
+/// Exact encoded size of `msg` in bytes, given the encoded size of the
+/// wrapped payload for [`MemberMsg::App`] (`app_payload_bytes` is ignored
+/// for control variants). The size-twin of [`WireMsg::encode`].
+pub fn payload_bytes<M: WireMsg>(msg: &MemberMsg<M>, app_payload_bytes: usize) -> usize {
+    let updates_bytes = 4 + UPDATE_WIRE_BYTES * msg.updates().len();
+    match msg {
+        MemberMsg::Ping { .. } | MemberMsg::Ack { .. } | MemberMsg::PingReq { .. } => {
+            1 + 8 + 4 + updates_bytes
+        }
+        MemberMsg::Join { .. } | MemberMsg::JoinAck { .. } => 1 + updates_bytes,
+        MemberMsg::Leave { .. } => 1 + 8 + updates_bytes,
+        MemberMsg::App { .. } => 1 + app_payload_bytes + updates_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ups() -> Vec<Update> {
+        vec![
+            Update {
+                node: NodeId::new(3),
+                incarnation: 7,
+                state: Liveness::Suspect,
+            },
+            Update {
+                node: NodeId::new(9),
+                incarnation: 0,
+                state: Liveness::Alive,
+            },
+        ]
+    }
+
+    fn round_trip(msg: MemberMsg<u64>) {
+        let bytes = msg.to_wire_bytes();
+        assert_eq!(bytes.len(), payload_bytes(&msg, 8));
+        let mut r = WireReader::new(&bytes);
+        let back = MemberMsg::<u64>::decode(&mut r).expect("decodes");
+        assert_eq!(back, msg);
+        assert_eq!(r.remaining(), 0, "decoder consumed exactly the encoding");
+    }
+
+    #[test]
+    fn every_variant_round_trips_with_exact_sizes() {
+        round_trip(MemberMsg::Ping {
+            seq: 42,
+            origin: NodeId::new(1),
+            updates: ups(),
+        });
+        round_trip(MemberMsg::Ack {
+            seq: 42,
+            origin: NodeId::new(1),
+            updates: Vec::new(),
+        });
+        round_trip(MemberMsg::PingReq {
+            seq: 7,
+            target: NodeId::new(5),
+            updates: ups(),
+        });
+        round_trip(MemberMsg::Join { updates: ups() });
+        round_trip(MemberMsg::JoinAck { updates: ups() });
+        round_trip(MemberMsg::Leave {
+            incarnation: 3,
+            updates: ups(),
+        });
+        round_trip(MemberMsg::App {
+            payload: 0xDEAD_BEEF_u64,
+            updates: ups(),
+        });
+    }
+
+    #[test]
+    fn hostile_liveness_tag_is_rejected() {
+        let good = Update {
+            node: NodeId::new(1),
+            incarnation: 1,
+            state: Liveness::Dead,
+        };
+        let mut bytes = good.to_wire_bytes();
+        assert_eq!(bytes.len(), UPDATE_WIRE_BYTES);
+        *bytes.last_mut().unwrap() = 9;
+        let mut r = WireReader::new(&bytes);
+        assert!(Update::decode(&mut r).is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! Property tests for the membership state machine: the precedence
+//! algebra that makes every node's view converge.
+//!
+//! SWIM dissemination gives no ordering guarantees — rumors are
+//! duplicated across piggyback batches, reordered by latency and dropped
+//! by loss — so the per-record merge must be a join-semilattice: the
+//! record a table ends up with can only be the *supremum* of everything
+//! it heard under the `(incarnation, state-rank)` order, regardless of
+//! arrival order or multiplicity. The cases here generate arbitrary
+//! update multisets (including adversarial resurrection attempts no
+//! honest node produces) and arbitrary delivery schedules, and check the
+//! table against an independently computed supremum oracle.
+
+use gossip_member::{supersedes, Liveness, MemberTable, Transition, Update};
+use gossip_net::NodeId;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Universe size. Node 0 is the observing table's own id; generated
+/// updates name peers 1..N only (self-rumors are filtered one layer up,
+/// in `Member::apply_updates`, where they trigger refutation instead).
+const N: usize = 6;
+
+fn table() -> MemberTable {
+    MemberTable::new(NodeId::new(0), N, 3, N)
+}
+
+/// Decode a flat `u64` into an update; squeezing the triple through one
+/// integer strategy keeps the shim's strategy surface simple while still
+/// covering incarnation collisions and duplicate subjects densely.
+fn decode(raw: u64) -> Update {
+    let node = NodeId::new(1 + (raw as usize % (N - 1)));
+    let state = match (raw >> 3) % 3 {
+        0 => Liveness::Alive,
+        1 => Liveness::Suspect,
+        _ => Liveness::Dead,
+    };
+    let incarnation = (raw >> 5) % 4;
+    Update {
+        node,
+        incarnation,
+        state,
+    }
+}
+
+fn apply_all(table: &mut MemberTable, updates: &[Update]) {
+    for &u in updates {
+        table.apply(u, 0);
+    }
+}
+
+/// What a table looks like to the rest of the protocol: per-node
+/// `(known, state, incarnation)` plus the derived live view. `since_us`
+/// and the rumor queue are delivery-schedule artifacts, deliberately
+/// excluded — sampling and sweeping read only this.
+fn observable(table: &MemberTable) -> (Vec<(bool, Liveness, u64)>, Vec<NodeId>) {
+    let records = (0..N)
+        .map(|i| {
+            let r = table.record(NodeId::new(i)).expect("record in universe");
+            (r.known, r.state, r.incarnation)
+        })
+        .collect();
+    (records, table.live_view().to_vec())
+}
+
+/// The oracle: each node's supremum update under `(incarnation, rank)`,
+/// independent of the table implementation.
+fn supremum(updates: &[Update], node: NodeId) -> Option<Update> {
+    updates
+        .iter()
+        .filter(|u| u.node == node)
+        .copied()
+        .reduce(|best, u| {
+            if supersedes(u.state, u.incarnation, best.state, best.incarnation) {
+                u
+            } else {
+                best
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn the_final_view_is_the_supremum_regardless_of_delivery_order(
+        raws in proptest::collection::vec(0u64..4096, 0..48),
+        order_seed in 0u64..1_000_000,
+    ) {
+        let updates: Vec<Update> = raws.iter().copied().map(decode).collect();
+        let mut reference = table();
+        apply_all(&mut reference, &updates);
+
+        // Oracle: a node is known iff anything named it, live iff its
+        // supremum is not Dead.
+        for i in 1..N {
+            let node = NodeId::new(i);
+            let r = reference.record(node).expect("in universe");
+            match supremum(&updates, node) {
+                None => prop_assert!(!r.known, "node {i} known without news"),
+                Some(sup) => {
+                    prop_assert!(r.known);
+                    prop_assert_eq!(r.state, sup.state, "node {}", i);
+                    prop_assert_eq!(r.incarnation, sup.incarnation, "node {}", i);
+                    prop_assert_eq!(
+                        reference.live_view().contains(&node),
+                        sup.state != Liveness::Dead,
+                        "live view disagrees with the supremum for node {}", i
+                    );
+                }
+            }
+        }
+
+        // Any shuffle (with re-deliveries appended — the network dupes)
+        // lands on the identical observable state.
+        let reference_view = observable(&reference);
+        let mut rng = SmallRng::seed_from_u64(order_seed);
+        for _ in 0..4 {
+            let mut schedule = updates.clone();
+            schedule.extend(updates.iter().rev().copied());
+            schedule.shuffle(&mut rng);
+            let mut shuffled = table();
+            apply_all(&mut shuffled, &schedule);
+            prop_assert_eq!(observable(&shuffled), reference_view.clone());
+        }
+    }
+
+    #[test]
+    fn no_resurrection_at_or_below_the_fatal_incarnation(
+        raws in proptest::collection::vec(0u64..4096, 0..32),
+        victim_raw in 0u64..4096,
+        attempts in proptest::collection::vec(0u64..4096, 1..16),
+    ) {
+        // Once Dead at incarnation k, no Alive/Suspect at incarnation <= k
+        // may revive the record: the only road back is a genuinely fresh
+        // incarnation (the subject's own rejoin), never a replayed rumor.
+        let mut t = table();
+        apply_all(&mut t, &raws.iter().copied().map(decode).collect::<Vec<_>>());
+        let victim = decode(victim_raw).node;
+        let fatal = Update { node: victim, incarnation: 4, state: Liveness::Dead };
+        t.apply(fatal, 0);
+        for raw in attempts {
+            let u = decode(raw);
+            let replay = Update { node: victim, ..u };
+            let transition = t.apply(replay, 0);
+            if replay.incarnation <= fatal.incarnation {
+                prop_assert_eq!(transition, Transition::Stale);
+                let r = t.record(victim).expect("in universe");
+                prop_assert_eq!(r.state, Liveness::Dead, "resurrected at inc {}", replay.incarnation);
+                prop_assert!(!t.live_view().contains(&victim));
+            }
+        }
+        // The legitimate rejoin path stays open: Alive at a fresh
+        // incarnation is a Joined transition.
+        let rejoin = Update { node: victim, incarnation: 5, state: Liveness::Alive };
+        prop_assert_eq!(t.apply(rejoin, 0), Transition::Joined);
+        prop_assert!(t.live_view().contains(&victim));
+    }
+
+    #[test]
+    fn refutation_always_outranks_the_claim(
+        prior in 0u64..8,
+        claimed in 0u64..8,
+        claim_state_raw in 0u64..2,
+    ) {
+        // A node refuting a rumor about itself must end Alive at an
+        // incarnation past both the claim and its own history, so the
+        // fresh self-Alive supersedes the hostile rumor everywhere.
+        let mut t = table();
+        for inc in 0..prior {
+            t.refute(inc);
+        }
+        let before = t.my_incarnation();
+        let new_inc = t.refute(claimed);
+        prop_assert_eq!(new_inc, t.my_incarnation());
+        prop_assert!(new_inc > claimed, "refutation did not pass the claim");
+        prop_assert!(new_inc > before, "refutation did not advance");
+        let claim_state = if claim_state_raw == 0 { Liveness::Suspect } else { Liveness::Dead };
+        prop_assert!(
+            supersedes(Liveness::Alive, new_inc, claim_state, claimed),
+            "the refuting Alive must supersede the {claim_state:?} claim"
+        );
+    }
+
+    #[test]
+    fn supersedes_is_the_strict_lexicographic_order(
+        a_raw in 0u64..4096,
+        b_raw in 0u64..4096,
+    ) {
+        let (a, b) = (decode(a_raw), decode(b_raw));
+        let key = |u: Update| (u.incarnation, u.state.rank());
+        let forward = supersedes(a.state, a.incarnation, b.state, b.incarnation);
+        prop_assert_eq!(forward, key(a) > key(b));
+        // Strictness: never both directions, never self-superseding.
+        let backward = supersedes(b.state, b.incarnation, a.state, a.incarnation);
+        prop_assert!(!(forward && backward));
+        prop_assert!(!supersedes(a.state, a.incarnation, a.state, a.incarnation));
+    }
+}

@@ -55,7 +55,7 @@ pub mod wire;
 
 pub use bits::{ceil_log2, id_bits, mix64, value_bits_for_range, SETUP_STREAM_SALT};
 pub use config::SimConfig;
-pub use mailbox::{stagger_us, Handler, Mailbox, TimerId};
+pub use mailbox::{sample_from_view, stagger_us, Handler, Mailbox, PeerView, StaticView, TimerId};
 pub use metrics::{Metrics, PhaseBreakdown};
 pub use network::Network;
 pub use node::NodeId;

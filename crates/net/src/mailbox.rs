@@ -92,19 +92,128 @@ pub trait Mailbox<M> {
     /// Sample a uniformly random peer different from `me` (returns `me`
     /// only in a singleton network). The sampled node may be crashed —
     /// sending to it is then wasted, which is part of the model.
+    ///
+    /// The default routes through [`sample_from_view`] with the static
+    /// full-range [`StaticView`]; mailboxes layered over a membership view
+    /// override this to draw from the discovered topology instead.
     fn sample_peer(&mut self) -> NodeId {
         let n = self.n();
+        self.sample_peer_from(&StaticView(n))
+    }
+
+    /// Sample a uniform peer from an explicit [`PeerView`], excluding `me`.
+    /// Draws come from this node's RNG stream, so runs stay a pure function
+    /// of the seed whatever the view.
+    fn sample_peer_from(&mut self, view: &dyn PeerView) -> NodeId {
         let me = self.me();
-        if n == 1 {
-            return me;
-        }
-        loop {
-            let candidate = NodeId::new(self.rng_mut().gen_range(0..n));
-            if candidate != me {
-                return candidate;
-            }
+        sample_from_view(self.rng_mut(), me, view)
+    }
+
+    /// Record a protocol-level observability event (a state transition such
+    /// as *suspected* or *declared-dead*) against this node, with `peer` as
+    /// the subject when there is one.
+    ///
+    /// Strictly **passive**: hosts route it into their trace ring (kind
+    /// [`TraceKind::State`](gossip_obs::TraceKind)) without drawing RNG,
+    /// scheduling events, or otherwise feeding back into the run — noting
+    /// never changes an `order_hash`. The default discards the event, so
+    /// plain test mailboxes keep compiling.
+    fn note(&mut self, peer: Option<NodeId>, reason: gossip_obs::TraceReason) {
+        let _ = (peer, reason);
+    }
+}
+
+/// A swappable source of candidate peers for [`Mailbox::sample_peer`].
+///
+/// The default is the static full range `0..n` ([`StaticView`]) — every
+/// node id that could exist. A membership layer substitutes a *live* view
+/// (the ids it currently believes are up), and the aggregation protocols
+/// underneath keep calling `sample_peer` unchanged: the seam is in the
+/// mailbox, not in the handlers.
+///
+/// Contract: entries are distinct node ids; `get(i)` is defined for
+/// `i < len()`; the view may contain the sampling node itself (it is
+/// excluded at sampling time). Iteration order is part of no contract —
+/// sampling draws indices from the caller's RNG stream.
+pub trait PeerView {
+    /// Number of candidate peers in the view.
+    fn len(&self) -> usize;
+
+    /// The `idx`-th candidate (`idx < len()`).
+    fn get(&self, idx: usize) -> NodeId;
+
+    /// True when the view holds no candidates at all.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The default [`PeerView`]: every node id in `0..n`, the fixed universe
+/// the round-based backends assume.
+#[derive(Clone, Copy, Debug)]
+pub struct StaticView(pub usize);
+
+impl PeerView for StaticView {
+    fn len(&self) -> usize {
+        self.0
+    }
+    fn get(&self, idx: usize) -> NodeId {
+        NodeId::new(idx)
+    }
+}
+
+/// A slice of node ids is a view — the natural shape for a membership
+/// layer's live list.
+impl PeerView for &[NodeId] {
+    fn len(&self) -> usize {
+        <[NodeId]>::len(self)
+    }
+    fn get(&self, idx: usize) -> NodeId {
+        self[idx]
+    }
+}
+
+/// An owned id list is a view too (a membership layer keeps one
+/// incrementally up to date).
+impl PeerView for Vec<NodeId> {
+    fn len(&self) -> usize {
+        <[NodeId]>::len(self)
+    }
+    fn get(&self, idx: usize) -> NodeId {
+        self[idx]
+    }
+}
+
+/// Sample a uniform peer from `view`, excluding `me`; returns `me` only
+/// when the view offers no other candidate.
+///
+/// This is the one sampling routine behind [`Mailbox::sample_peer`] and
+/// [`Mailbox::sample_peer_from`], split out as a free function so layered
+/// mailboxes (which hold the view in their own state) can call it without
+/// fighting the borrow checker. For `StaticView(n)` it draws exactly the
+/// sequence the pre-seam `sample_peer` drew (`gen_range(0..n)` rejection),
+/// so golden hashes are unchanged.
+pub fn sample_from_view(rng: &mut SmallRng, me: NodeId, view: &dyn PeerView) -> NodeId {
+    let len = view.len();
+    if len == 0 {
+        return me;
+    }
+    if len == 1 {
+        let only = view.get(0);
+        return if only == me { me } else { only };
+    }
+    // Distinct-entry views terminate almost surely; the attempt cap turns a
+    // contract violation (every entry == me) into a scan instead of a hang.
+    for _ in 0..64 {
+        let candidate = view.get(rng.gen_range(0..len));
+        if candidate != me {
+            return candidate;
         }
     }
+    (0..len)
+        .map(|i| view.get(i))
+        .find(|&p| p != me)
+        .unwrap_or(me)
 }
 
 /// Deterministic per-node timer stagger in `[1, interval_us]`.
@@ -285,6 +394,50 @@ mod tests {
         mb.cancel_timer(TimerId(7));
         mb.set_timer(40, TimerId(0));
         assert_eq!(mb.timers, vec![(20, TimerId(1)), (40, TimerId(0))]);
+    }
+
+    #[test]
+    fn sample_peer_matches_the_static_view_draw_for_draw() {
+        // The seam must not perturb existing runs: the default sample_peer
+        // and an explicit StaticView consume the same RNG stream and return
+        // the same peers.
+        let mut a = mailbox(9);
+        let mut b = mailbox(9);
+        for _ in 0..100 {
+            let via_default = a.sample_peer();
+            let via_view = b.sample_peer_from(&StaticView(9));
+            assert_eq!(via_default, via_view);
+        }
+    }
+
+    #[test]
+    fn slice_views_sample_only_their_members() {
+        let mut mb = mailbox(100);
+        let live = [NodeId::new(0), NodeId::new(17), NodeId::new(42)];
+        let live = &live[..];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let p = mb.sample_peer_from(&live);
+            assert_ne!(p, mb.me());
+            seen.insert(p.index());
+        }
+        assert_eq!(seen, [17usize, 42].into_iter().collect());
+    }
+
+    #[test]
+    fn degenerate_views_fall_back_to_me() {
+        let mut mb = mailbox(4);
+        assert_eq!(mb.sample_peer_from(&Vec::new()), mb.me());
+        assert_eq!(mb.sample_peer_from(&vec![NodeId::new(0)]), mb.me());
+        assert_eq!(mb.sample_peer_from(&vec![NodeId::new(3)]), NodeId::new(3));
+    }
+
+    #[test]
+    fn note_defaults_to_a_discard() {
+        let mut mb = mailbox(4);
+        // Compiles and does nothing — the passive default.
+        mb.note(Some(NodeId::new(1)), gossip_obs::TraceReason::Suspected);
+        mb.note(None, gossip_obs::TraceReason::Joined);
     }
 
     #[test]

@@ -43,6 +43,9 @@ pub enum Phase {
     Routing,
     /// Continuous anti-entropy: digest exchange and delta repair (gossip-ae).
     AntiEntropy,
+    /// Membership control plane: SWIM probes, acks, joins and piggybacked
+    /// liveness updates (gossip-member).
+    Membership,
     /// Anything else.
     Other,
 }
@@ -66,11 +69,12 @@ impl Phase {
         Phase::Rumor,
         Phase::Routing,
         Phase::AntiEntropy,
+        Phase::Membership,
         Phase::Other,
     ];
 
     /// Number of distinct phases.
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 18;
 
     /// Dense index for per-phase counters.
     #[inline]
@@ -92,7 +96,8 @@ impl Phase {
             Phase::Rumor => 13,
             Phase::Routing => 14,
             Phase::AntiEntropy => 15,
-            Phase::Other => 16,
+            Phase::Membership => 16,
+            Phase::Other => 17,
         }
     }
 
@@ -115,6 +120,7 @@ impl Phase {
             Phase::Rumor => "rumor",
             Phase::Routing => "routing",
             Phase::AntiEntropy => "anti-entropy",
+            Phase::Membership => "membership",
             Phase::Other => "other",
         }
     }

@@ -184,6 +184,13 @@ where
         &self.hosts[node.index()]
     }
 
+    /// One member host, mutably — for host-initiated protocol actions
+    /// such as a graceful leave (`NodeHost::with_handler`) before the
+    /// member stops being polled.
+    pub fn host_mut(&mut self, node: NodeId) -> &mut NodeHost<H> {
+        &mut self.hosts[node.index()]
+    }
+
     /// All hosts, in node-id order.
     pub fn hosts(&self) -> &[NodeHost<H>] {
         &self.hosts

@@ -557,6 +557,18 @@ where
 {
     /// One non-blocking pump: fire every due timer, then drain up to a
     /// batch of waiting datagrams (re-checking timers between packets).
+    /// Run `f` against the handler with a live mailbox, outside the event
+    /// loop — for host-initiated protocol actions such as announcing a
+    /// graceful departure (`--leave`) just before shutdown. Sends go to
+    /// the socket immediately; timers and RNG draws behave exactly as in
+    /// a callback. Starts the host if it has not started yet, so the
+    /// handler is never observed pre-`on_start`.
+    pub fn with_handler(&mut self, f: impl FnOnce(&mut H, &mut dyn Mailbox<H::Msg>)) {
+        self.start();
+        let now = self.now_us();
+        self.with_mailbox(now, f);
+    }
+
     /// Returns the number of callbacks dispatched; `0` means idle. Never
     /// blocks — the loopback cluster round-robins this across hosts.
     pub fn poll(&mut self) -> usize {
@@ -871,5 +883,14 @@ impl<M: WireMsg> Mailbox<M> for SocketMailbox<'_, M> {
 
     fn rng_mut(&mut self) -> &mut SmallRng {
         self.rng
+    }
+
+    fn note(&mut self, peer: Option<NodeId>, reason: TraceReason) {
+        // Passive: a ring store visible on `/trace`, nothing else.
+        self.trace_event(
+            peer.map_or(NO_PEER, |p| p.index() as u64),
+            TraceKind::State,
+            reason,
+        );
     }
 }

@@ -25,6 +25,10 @@ pub enum TraceKind {
     Crash,
     /// Something was dropped; see the [`TraceReason`].
     Drop,
+    /// A protocol-level state transition (membership: suspected, refuted,
+    /// declared-dead, joined). Recorded via `Mailbox::note` — strictly
+    /// passive, never part of an order hash.
+    State,
 }
 
 impl TraceKind {
@@ -36,6 +40,7 @@ impl TraceKind {
             TraceKind::TimerFire => "timer",
             TraceKind::Crash => "crash",
             TraceKind::Drop => "drop",
+            TraceKind::State => "state",
         }
     }
 }
@@ -69,6 +74,14 @@ pub enum TraceReason {
     AddrMismatch,
     /// Event referenced state from before a crash (stale epoch).
     Stale,
+    /// A failure detector started suspecting the peer.
+    Suspected,
+    /// A suspected peer refuted the suspicion with a higher incarnation.
+    Refuted,
+    /// A suspected peer timed out and was declared dead.
+    DeclaredDead,
+    /// A peer joined (or rejoined) the membership view.
+    Joined,
 }
 
 impl TraceReason {
@@ -88,6 +101,10 @@ impl TraceReason {
             TraceReason::UnknownSender => "unknown-sender",
             TraceReason::AddrMismatch => "addr-mismatch",
             TraceReason::Stale => "stale",
+            TraceReason::Suspected => "suspected",
+            TraceReason::Refuted => "refuted",
+            TraceReason::DeclaredDead => "declared-dead",
+            TraceReason::Joined => "joined",
         }
     }
 }

@@ -218,6 +218,22 @@ impl<M> Mailbox<M> for DriverMailbox<'_, M> {
     fn rng_mut(&mut self) -> &mut SmallRng {
         self.engine.rng_mut()
     }
+
+    fn note(&mut self, peer: Option<NodeId>, reason: TraceReason) {
+        // Passive by construction: a store into the ring, no RNG, no
+        // events — noting never perturbs an order hash.
+        let at_us = self.engine.now_us();
+        let node = self.me.index() as u64;
+        if let Some(ring) = self.engine.trace_mut() {
+            ring.record(
+                at_us,
+                node,
+                peer.map_or(NO_PEER, |p| p.index() as u64),
+                TraceKind::State,
+                reason,
+            );
+        }
+    }
 }
 
 /// Hosts one [`Handler`] per node on an [`AsyncEngine`]. See the module docs.

@@ -612,6 +612,16 @@ impl<M> Mailbox<M> for ShardMailbox<'_, M> {
     fn rng_mut(&mut self) -> &mut SmallRng {
         self.rng
     }
+
+    fn note(&mut self, peer: Option<NodeId>, reason: TraceReason) {
+        // Passive: a ring store only. Per-shard rings merge at barriers,
+        // so notes are shard-count invariant like every other trace event.
+        self.trace_event(
+            peer.map_or(NO_PEER, |p| p.index() as u64),
+            TraceKind::State,
+            reason,
+        );
+    }
 }
 
 /// Hosts one [`Handler`] per node across `S` shards. See the module docs

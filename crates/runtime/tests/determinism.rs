@@ -537,6 +537,121 @@ fn cancellation_reproduces_on_the_one_queue_driver() {
     assert_ne!(a.0, run(0xF00E).0);
 }
 
+/// A [`Suspector`] that remembers when its incarnation booted, so a stale
+/// suspicion timer leaking across a crash/rejoin boundary is observable:
+/// a fresh incarnation's first suspicion cannot legitimately fire before
+/// `boot + suspect_us`, because `on_start` armed the timer at boot.
+#[derive(Debug, Clone)]
+struct EpochSuspector {
+    me: NodeId,
+    heartbeat_us: u64,
+    suspect_us: u64,
+    boot_us: u64,
+    early_fires: u64,
+    suspicions: u64,
+    heartbeats_seen: u64,
+}
+
+impl Handler for EpochSuspector {
+    type Msg = ();
+
+    fn on_start(&mut self, mailbox: &mut dyn Mailbox<()>) {
+        self.boot_us = mailbox.now_us();
+        mailbox.set_timer(gossip_net::stagger_us(self.me, self.heartbeat_us, 3), HB);
+        mailbox.set_timer(self.suspect_us, SUSPECT);
+    }
+
+    fn on_message(&mut self, _from: NodeId, _msg: (), mailbox: &mut dyn Mailbox<()>) {
+        self.heartbeats_seen += 1;
+        mailbox.cancel_timer(SUSPECT);
+        mailbox.set_timer(self.suspect_us, SUSPECT);
+    }
+
+    fn on_timer(&mut self, timer: TimerId, mailbox: &mut dyn Mailbox<()>) {
+        match timer {
+            HB => {
+                let peer = mailbox.sample_peer();
+                mailbox.send(peer, Phase::Other, 16, ());
+                mailbox.set_timer(self.heartbeat_us, HB);
+            }
+            SUSPECT => {
+                if mailbox.now_us() < self.boot_us + self.suspect_us {
+                    // Only a timer armed *before* this incarnation booted
+                    // can be due this early — a stale-timer leak.
+                    self.early_fires += 1;
+                }
+                self.suspicions += 1;
+                mailbox.set_timer(self.suspect_us, SUSPECT);
+            }
+            other => panic!("unexpected timer {other}"),
+        }
+    }
+}
+
+#[test]
+fn rejoin_within_a_suspicion_window_never_inherits_the_stale_timer() {
+    // The membership layer's stale-timer edge, pinned at the driver level:
+    // a node that crashes and rejoins *within one suspicion window* (the
+    // churn window, 850 µs, is a fraction of suspect_us) boots a fresh
+    // incarnation whose suspicion deadline restarts from the rejoin — the
+    // pre-crash timer, due mid-window, must be swallowed by the epoch
+    // check, never fire into the new incarnation and kill it early. And
+    // like every driver property, the outcome is shard-count invariant.
+    let n = 96;
+    let run = |shards| {
+        let config = AsyncConfig::new(SimConfig::new(n).with_seed(0x4E10).with_loss_prob(0.1))
+            .with_latency(LatencyModel::Uniform {
+                lo_us: 300,
+                hi_us: 2_000,
+            })
+            .with_churn(ChurnModel::per_round(0.05, 0.5).with_min_alive(n / 2));
+        let mut d = ShardedDriver::new(config, shards, |me| EpochSuspector {
+            me,
+            heartbeat_us: 1_000,
+            suspect_us: 3_500,
+            boot_us: 0,
+            early_fires: 0,
+            suspicions: 0,
+            heartbeats_seen: 0,
+        })
+        .with_window_us(850);
+        d.run_until(60_000);
+        let states: Vec<(u64, u64, u64, u64)> = d
+            .iter_handlers()
+            .map(|(_, h)| (h.boot_us, h.early_fires, h.suspicions, h.heartbeats_seen))
+            .collect();
+        let m = d.metrics();
+        (
+            m.order_hash,
+            m.stale_timer_skips,
+            m.rejoin_log.clone(),
+            states,
+        )
+    };
+    let counts = common::shard_counts();
+    let reference = run(counts[0]);
+    assert!(
+        !reference.2.is_empty(),
+        "churn produced no rejoins — the edge was not exercised"
+    );
+    assert!(
+        reference.1 > 0,
+        "no stale timer was ever skipped — the edge was not exercised"
+    );
+    // Rejoins restart mid-run, so rebooted incarnations exist…
+    assert!(reference.3.iter().any(|&(boot, ..)| boot > 0));
+    // …and not one of them saw a pre-crash suspicion timer fire early.
+    for (i, &(boot, early, ..)) in reference.3.iter().enumerate() {
+        assert_eq!(
+            early, 0,
+            "node {i} (booted {boot} µs): a stale suspicion timer crossed the rejoin"
+        );
+    }
+    for &shards in &counts {
+        assert_eq!(reference, run(shards), "shard count {shards} diverged");
+    }
+}
+
 #[test]
 fn observability_is_passive_across_backends_and_shard_counts() {
     // The instrumentation contract: enabling the trace ring and scraping

@@ -24,10 +24,23 @@
 //! from its id); `--protocol ae` runs the anti-entropy node
 //! (`gossip_ae::AeNode`, static signal). Both are the exact handler types
 //! the simulator suites pin — nothing is reimplemented here.
+//!
+//! `--member` wraps either protocol in the SWIM membership layer
+//! (`gossip-member`): probes, failure detection, and peer sampling over
+//! the discovered live view. `--join 0` (any seed list) switches from
+//! static bootstrap to join-via-seed discovery; in one-process mode
+//! `--leave` announces a graceful departure at the run deadline:
+//! ```text
+//! cargo run --release --example node -- --cluster 16 --protocol max --member --join 0
+//! cargo run --release --example node -- \
+//!   --me 2 --peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 \
+//!   --join 0 --leave --run-ms 5000
+//! ```
 
 use drr_gossip::ae::protocol::{AeConfig, AeNode};
 use drr_gossip::ae::signal::SignalModel;
 use drr_gossip::drr::handler::{MaxGossipConfig, MaxGossipHandler};
+use drr_gossip::member::{Member, MemberConfig};
 use drr_gossip::net::{Handler, NodeId, SimConfig, WireMsg};
 use gossip_node::{LoopbackCluster, NodeHost};
 use std::net::SocketAddr;
@@ -43,14 +56,26 @@ struct Args {
     /// Where to serve `/metrics` + `/status` (e.g. `127.0.0.1:9100`;
     /// port 0 for ephemeral). `None` = no endpoint.
     status_addr: Option<String>,
+    /// Wrap the protocol in the SWIM membership layer (`gossip-member`).
+    /// Implied by `--join` and `--leave`.
+    member: bool,
+    /// Seed node ids for join-via-seed bootstrap; a node not in this list
+    /// discovers the cluster by announcing itself to one of them. Empty +
+    /// `--member` = static bootstrap (everyone known from boot).
+    join: Vec<usize>,
+    /// Announce a graceful departure (self-Dead at a final incarnation)
+    /// when the run deadline is reached, just before exiting.
+    leave: bool,
+    /// SWIM probe period (ms).
+    probe_ms: u64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  node --cluster <n> [--protocol max|ae] [--run-ms MS] [--seed S] \
-         [--status-addr HOST:PORT]\n  \
+         [--status-addr HOST:PORT] [--member] [--join I,J,...] [--probe-ms MS]\n  \
          node --me <i> --peers a:p,b:p,... [--protocol max|ae] [--run-ms MS] [--seed S] \
-         [--status-addr HOST:PORT]"
+         [--status-addr HOST:PORT] [--member] [--join I,J,...] [--leave] [--probe-ms MS]"
     );
     std::process::exit(2);
 }
@@ -64,6 +89,10 @@ fn parse_args() -> Args {
         run_ms: 2_000,
         seed: 7,
         status_addr: None,
+        member: false,
+        join: Vec::new(),
+        leave: false,
+        probe_ms: 250,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -81,6 +110,19 @@ fn parse_args() -> Args {
             "--run-ms" => args.run_ms = value().parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
             "--status-addr" => args.status_addr = Some(value()),
+            "--member" => args.member = true,
+            "--join" => {
+                args.member = true;
+                args.join = value()
+                    .split(',')
+                    .map(|i| i.parse().unwrap_or_else(|_| usage()))
+                    .collect()
+            }
+            "--leave" => {
+                args.member = true;
+                args.leave = true;
+            }
+            "--probe-ms" => args.probe_ms = value().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
@@ -88,6 +130,32 @@ fn parse_args() -> Args {
         usage();
     }
     args
+}
+
+/// The `MemberConfig` the flags describe: join-via-seed when `--join`
+/// named seeds, static bootstrap otherwise.
+fn member_config(args: &Args) -> MemberConfig {
+    let base = MemberConfig::default().with_probe_interval_us(args.probe_ms.max(1) * 1_000);
+    if args.join.is_empty() {
+        MemberConfig {
+            static_bootstrap: true,
+            ..base
+        }
+    } else {
+        MemberConfig {
+            seeds: args.join.iter().map(|&i| NodeId::new(i)).collect(),
+            ..base
+        }
+    }
+}
+
+/// One `/status`-style line summarising a member's view of the cluster.
+fn member_summary<H: Handler>(m: &Member<H>) -> String {
+    let (alive, suspect, dead, unknown) = m.view_counts();
+    format!(
+        "incarnation {} | view: {alive} alive, {suspect} suspect, {dead} dead, {unknown} unknown",
+        m.incarnation()
+    )
 }
 
 /// Each node's gossip-max input, derived from its id (every process
@@ -116,8 +184,12 @@ fn ae_handler(n: usize, me: NodeId) -> AeNode {
     AeNode::new(me, n, sim.id_bits(), sim.value_bits(), config)
 }
 
-fn run_member<H: Handler>(args: &Args, handler: H, report: impl Fn(&NodeHost<H>) -> String)
-where
+fn run_member<H: Handler>(
+    args: &Args,
+    handler: H,
+    on_deadline: impl FnOnce(&mut NodeHost<H>),
+    report: impl Fn(&NodeHost<H>) -> String,
+) where
     H::Msg: WireMsg,
 {
     let me = NodeId::new(args.me);
@@ -145,6 +217,7 @@ where
         args.run_ms
     );
     host.run_for(Duration::from_millis(args.run_ms));
+    on_deadline(&mut host);
     print_stats(&format!("node {me} done"), host.stats());
     println!("  timer lag p99: {} us", host.timer_lag().quantile(0.99));
     println!("  {}", report(&host));
@@ -224,6 +297,80 @@ fn run_cluster<H: Handler>(
     }
 }
 
+/// Cluster mode, with or without the membership layer: `--member` wraps
+/// the factory in [`Member`], requires every node to finish the join
+/// handshake before the convergence predicate counts, and prefixes each
+/// node's report with its membership view.
+fn dispatch_cluster<H: Handler>(
+    n: usize,
+    args: &Args,
+    factory: impl Fn(NodeId) -> H,
+    done: impl Fn(&H) -> bool + Copy,
+    report: impl Fn(&H) -> String,
+) where
+    H::Msg: WireMsg,
+{
+    if args.member {
+        let config = member_config(args);
+        run_cluster(
+            n,
+            args,
+            move |me| Member::new(config.clone(), factory(me)),
+            move |host| host.handler().is_joined() && done(host.handler().inner()),
+            move |host| {
+                format!(
+                    "{} | {}",
+                    member_summary(host.handler()),
+                    report(host.handler().inner())
+                )
+            },
+        );
+    } else {
+        run_cluster(
+            n,
+            args,
+            factory,
+            move |host| done(host.handler()),
+            move |host| report(host.handler()),
+        );
+    }
+}
+
+/// One-process-per-node mode, with or without the membership layer:
+/// `--join` makes this node discover the cluster through the named seeds,
+/// `--leave` announces a graceful departure at the run deadline.
+fn dispatch_process<H: Handler>(args: &Args, handler: H, report: impl Fn(&H) -> String)
+where
+    H::Msg: WireMsg,
+{
+    if args.member {
+        let leave = args.leave;
+        run_member(
+            args,
+            Member::new(member_config(args), handler),
+            move |host| {
+                if leave {
+                    host.with_handler(|h, mailbox| h.initiate_leave(mailbox));
+                    println!(
+                        "node {} announced a graceful leave (final incarnation {})",
+                        host.me(),
+                        host.handler().incarnation() + 1
+                    );
+                }
+            },
+            move |host| {
+                format!(
+                    "{} | {}",
+                    member_summary(host.handler()),
+                    report(host.handler().inner())
+                )
+            },
+        );
+    } else {
+        run_member(args, handler, |_| {}, move |host| report(host.handler()));
+    }
+}
+
 fn main() {
     let args = parse_args();
     match (args.cluster, args.protocol.as_str()) {
@@ -231,44 +378,44 @@ fn main() {
             let exact = (0..n)
                 .map(|i| own_value(NodeId::new(i)))
                 .fold(f64::NEG_INFINITY, f64::max);
-            run_cluster(
+            dispatch_cluster(
                 n,
                 &args,
                 move |me| max_handler(n, me),
-                move |host| host.handler().current_max() == exact,
-                |host| format!("max estimate = {}", host.handler().current_max()),
+                move |h: &MaxGossipHandler| h.current_max() == exact,
+                |h| format!("max estimate = {}", h.current_max()),
             );
         }
-        (Some(n), "ae") => run_cluster(
+        (Some(n), "ae") => dispatch_cluster(
             n,
             &args,
             move |me| ae_handler(n, me),
-            move |host| host.handler().store().known() == n,
-            |host| {
+            move |h: &AeNode| h.store().known() == n,
+            move |h| {
                 format!(
                     "knows {}/{} origins, mean estimate = {:?}",
-                    host.handler().store().known(),
-                    host.n(),
-                    host.handler().estimate(u64::MAX)
+                    h.store().known(),
+                    n,
+                    h.estimate(u64::MAX)
                 )
             },
         ),
         (None, "max") => {
             let n = args.peers.len();
             let me = NodeId::new(args.me);
-            run_member(&args, max_handler(n, me), |host| {
-                format!("max estimate = {}", host.handler().current_max())
+            dispatch_process(&args, max_handler(n, me), |h| {
+                format!("max estimate = {}", h.current_max())
             });
         }
         (None, "ae") => {
             let n = args.peers.len();
             let me = NodeId::new(args.me);
-            run_member(&args, ae_handler(n, me), |host| {
+            dispatch_process(&args, ae_handler(n, me), move |h| {
                 format!(
                     "knows {}/{} origins, mean estimate = {:?}",
-                    host.handler().store().known(),
+                    h.store().known(),
                     n,
-                    host.handler().estimate(u64::MAX)
+                    h.estimate(u64::MAX)
                 )
             });
         }

@@ -13,6 +13,7 @@ pub use gossip_aggregate as aggregate;
 pub use gossip_analysis as analysis;
 pub use gossip_baselines as baselines;
 pub use gossip_drr as drr;
+pub use gossip_member as member;
 pub use gossip_net as net;
 pub use gossip_node as node;
 pub use gossip_runtime as runtime;
@@ -21,6 +22,7 @@ pub use gossip_topology as topology;
 /// Commonly used items.
 pub mod prelude {
     pub use gossip_ae::{ae_driver, AeConfig, AeNode, SignalModel};
+    pub use gossip_member::{Member, MemberConfig, MemberMsg};
     pub use gossip_net::{Handler, Mailbox, Network, NodeId, Phase, SimConfig, TimerId, Transport};
     pub use gossip_node::{LoopbackCluster, NodeHost};
     pub use gossip_runtime::{
