@@ -1,32 +1,48 @@
 //! E18 — Event-engine scaling: the sharded driver vs the single-queue
-//! driver at n up to 10⁶.
+//! driver at n up to 10⁷, and the round-barrier facade under the full
+//! DRR-gossip chain.
 //!
 //! The one-queue [`EventDriver`] keeps all O(n) node state, one global
 //! binary heap and a payload side-table behind a single thread — the
 //! architecture, not the protocol, is what caps experiment sizes. The
-//! [`ShardedDriver`] partitions the node space into per-shard queues with
-//! per-node RNG streams and batched cross-shard exchanges (see
-//! `gossip_runtime::shard`). This experiment measures what that buys as
-//! raw event throughput: the same interval-gossip workload
-//! ([`MaxGossipHandler`], one push per node per tick) on
+//! [`ShardedDriver`] partitions the node space into per-shard calendar
+//! queues and payload arenas with struct-of-arrays node state and
+//! per-node RNG streams (see `gossip_runtime::shard`). This experiment
+//! measures what that buys, as raw event throughput and as peak memory:
+//! the same interval-gossip workload ([`MaxGossipHandler`], one push per
+//! node per tick) under mid-run churn on
 //!
-//! * `serial` — the one-queue `EventDriver` (the baseline column), and
+//! * `serial` — the one-queue `EventDriver` (the baseline column,
+//!   skipped at n = 10⁷ where a single heap stops being a sensible
+//!   comparison point), and
 //! * `shard=S` — the sharded driver at S ∈ {1, 2, 8},
 //!
-//! reporting dispatched events, wall-clock time, events/second and the
-//! speedup over the serial baseline. Runs are deterministic per seed; only
-//! the wall-clock columns carry measurement noise.
+//! reporting dispatched events, wall-clock time, events/second, speedup
+//! over serial, peak RSS and the dispatch-order hash. The hash column is
+//! an *assertion*, not decoration: the run aborts if any shard count
+//! disagrees at any n — the determinism contract checked at scale.
 //!
-//! The two execution models consume different RNG streams (global vs
-//! per-node), so their event *counts* differ slightly; the throughput
-//! comparison is still apples-to-apples because both dispatch the same
-//! protocol at the same tick rate over the same horizon.
+//! A second table runs the paper's full Algorithm 7 chain
+//! (`drr_gossip_max`: DRR → convergecast → broadcast → gossip → spread)
+//! on [`AsyncEngine`] and on [`ShardedTransport`] — the round-barrier
+//! facade over the sharded core — and asserts the two runs are
+//! bit-identical (estimates, rounds, messages, liveness) while reporting
+//! what the facade costs in wall-clock and memory.
+//!
+//! The two interval-gossip execution models consume different RNG streams
+//! (global vs per-node), so their event *counts* differ slightly; the
+//! throughput comparison is still apples-to-apples because both dispatch
+//! the same protocol at the same tick rate over the same horizon.
 
 use super::ExperimentOptions;
 use gossip_analysis::{fmt_float, Table};
 use gossip_drr::handler::{MaxGossipConfig, MaxGossipHandler};
+use gossip_drr::protocol::{drr_gossip_max, DrrGossipConfig, DrrGossipReport};
 use gossip_net::{NodeId, SimConfig};
-use gossip_runtime::{AsyncConfig, AsyncEngine, EventDriver, LatencyModel, ShardedDriver};
+use gossip_runtime::{
+    AsyncConfig, AsyncEngine, ChurnModel, EventDriver, LatencyModel, ShardedDriver,
+    ShardedTransport,
+};
 use std::time::Instant;
 
 /// Shard counts swept against the serial baseline.
@@ -35,6 +51,12 @@ const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
 /// Virtual horizon of one run (µs): 10 push intervals — enough ticks that
 /// steady-state dispatch dominates setup.
 const HORIZON_US: u64 = 10_000;
+
+/// Above this size the serial baseline is skipped: a 10⁷-entry binary
+/// heap with a HashMap payload side-table is exactly the architecture
+/// the sharded engine exists to replace, and one row of it would
+/// dominate the experiment's wall-clock.
+const SERIAL_MAX_N: usize = 1_000_000;
 
 fn engine_config(n: usize, seed: u64) -> AsyncConfig {
     AsyncConfig::new(
@@ -49,6 +71,9 @@ fn engine_config(n: usize, seed: u64) -> AsyncConfig {
         lo_us: 500,
         hi_us: 1_500,
     })
+    // Mid-run churn keeps the crash/rejoin machinery in the measured
+    // path — the scaling claim covers the full engine, not a quiet one.
+    .with_churn(ChurnModel::per_round(0.002, 0.05).with_min_alive(n / 2))
 }
 
 fn handler_config(n: usize) -> MaxGossipConfig {
@@ -63,9 +88,30 @@ fn own_value(me: NodeId) -> f64 {
     ((me.index() as u64).wrapping_mul(0x9E37_79B9) % 1_000_003) as f64
 }
 
+/// Reset the process peak-RSS high-water mark (Linux: `/proc/self/clear_refs`),
+/// so each measurement reports its own footprint rather than the largest
+/// earlier row's. Best-effort — a no-op where procfs is absent.
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+/// Current peak RSS (`VmHWM`) in MiB, `None` where procfs is absent.
+fn peak_rss_mib() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib / 1024.0)
+}
+
+fn rss_cell(rss: Option<f64>) -> String {
+    rss.map(fmt_float).unwrap_or_else(|| "n/a".to_string())
+}
+
 struct Measurement {
     events: u64,
     wall_s: f64,
+    peak_rss_mib: Option<f64>,
+    order_hash: u64,
 }
 
 impl Measurement {
@@ -75,6 +121,7 @@ impl Measurement {
 }
 
 fn run_serial(n: usize, seed: u64) -> Measurement {
+    reset_peak_rss();
     let hc = handler_config(n);
     let mut driver = EventDriver::new(AsyncEngine::new(engine_config(n, seed)), move |me| {
         MaxGossipHandler::new(me, own_value(me), hc)
@@ -83,8 +130,7 @@ fn run_serial(n: usize, seed: u64) -> Measurement {
     driver.run_until(HORIZON_US);
     let wall_s = started.elapsed().as_secs_f64();
     // Same formula as ShardedDriver::events_dispatched, so the two
-    // backends' "events" columns compare like for like even if the
-    // workload gains churn later.
+    // backends' "events" columns compare like for like under churn.
     let m = driver.metrics();
     let crashes = driver.engine().async_metrics().churn_crashes;
     Measurement {
@@ -94,10 +140,13 @@ fn run_serial(n: usize, seed: u64) -> Measurement {
             + m.dead_receiver_drops
             + crashes,
         wall_s,
+        peak_rss_mib: peak_rss_mib(),
+        order_hash: m.order_hash,
     }
 }
 
 fn run_sharded(n: usize, seed: u64, shards: usize) -> Measurement {
+    reset_peak_rss();
     let hc = handler_config(n);
     let mut driver = ShardedDriver::new(engine_config(n, seed), shards, move |me| {
         MaxGossipHandler::new(me, own_value(me), hc)
@@ -108,59 +157,192 @@ fn run_sharded(n: usize, seed: u64, shards: usize) -> Measurement {
     Measurement {
         events: driver.events_dispatched(),
         wall_s,
+        peak_rss_mib: peak_rss_mib(),
+        order_hash: driver.order_hash(),
     }
+}
+
+/// One `drr_gossip_max` chain run: the protocol outcome plus its cost.
+struct ChainRun {
+    report: DrrGossipReport,
+    wall_s: f64,
+    peak_rss_mib: Option<f64>,
+}
+
+/// Everything the chain can diverge on, compared bit for bit.
+fn chain_fingerprint(report: &DrrGossipReport) -> (Vec<u64>, u64, u64, Vec<bool>) {
+    let bits = report.estimates.iter().map(|e| e.to_bits()).collect();
+    (
+        bits,
+        report.total_rounds,
+        report.total_messages,
+        report.alive.clone(),
+    )
+}
+
+fn run_chain_engine(n: usize, seed: u64) -> ChainRun {
+    reset_peak_rss();
+    let vals: Vec<f64> = (0..n).map(|i| own_value(NodeId::new(i))).collect();
+    let mut engine = AsyncEngine::new(engine_config(n, seed));
+    let started = Instant::now();
+    let report = drr_gossip_max(&mut engine, &vals, &DrrGossipConfig::paper());
+    ChainRun {
+        report,
+        wall_s: started.elapsed().as_secs_f64(),
+        peak_rss_mib: peak_rss_mib(),
+    }
+}
+
+fn run_chain_facade(n: usize, seed: u64, shards: usize) -> ChainRun {
+    reset_peak_rss();
+    let vals: Vec<f64> = (0..n).map(|i| own_value(NodeId::new(i))).collect();
+    let mut facade = ShardedTransport::new(engine_config(n, seed), shards);
+    let started = Instant::now();
+    let report = drr_gossip_max(&mut facade, &vals, &DrrGossipConfig::paper());
+    ChainRun {
+        report,
+        wall_s: started.elapsed().as_secs_f64(),
+        peak_rss_mib: peak_rss_mib(),
+    }
+}
+
+fn chain_row(n: usize, backend: &str, run: &ChainRun) -> Vec<String> {
+    vec![
+        n.to_string(),
+        backend.to_string(),
+        run.report.total_rounds.to_string(),
+        run.report.total_messages.to_string(),
+        fmt_float(run.report.fraction_exact()),
+        fmt_float(run.wall_s * 1_000.0),
+        rss_cell(run.peak_rss_mib),
+    ]
 }
 
 /// Run E18.
 pub fn run(options: &ExperimentOptions) -> Vec<Table> {
     let sizes: Vec<usize> = if options.quick {
-        vec![10_000, 30_000]
+        vec![10_000, 100_000]
     } else {
-        vec![10_000, 100_000, 1_000_000]
+        vec![10_000, 100_000, 1_000_000, 10_000_000]
     };
     let seed = 0xE18;
     let mut table = Table::new(
         format!(
-            "E18 — engine scaling: events/sec vs n and shard count ({} virtual ms, 1 push/node/ms)",
+            "E18 — engine scaling under churn: events/sec vs n and shard count ({} virtual ms, \
+             1 push/node/ms)",
             HORIZON_US / 1_000
         ),
-        &["n", "backend", "events", "wall ms", "events/s", "speedup"],
+        &[
+            "n",
+            "backend",
+            "events",
+            "wall ms",
+            "events/s",
+            "speedup",
+            "peak rss MiB",
+            "order hash",
+        ],
     );
     for &n in &sizes {
-        let serial = run_serial(n, seed);
-        table.push_row(vec![
-            n.to_string(),
-            "serial".to_string(),
-            serial.events.to_string(),
-            fmt_float(serial.wall_s * 1_000.0),
-            fmt_float(serial.events_per_sec()),
-            "1".to_string(),
-        ]);
+        let serial = (n <= SERIAL_MAX_N).then(|| run_serial(n, seed));
+        if let Some(serial) = &serial {
+            table.push_row(vec![
+                n.to_string(),
+                "serial".to_string(),
+                serial.events.to_string(),
+                fmt_float(serial.wall_s * 1_000.0),
+                fmt_float(serial.events_per_sec()),
+                "1".to_string(),
+                rss_cell(serial.peak_rss_mib),
+                format!("{:016x}", serial.order_hash),
+            ]);
+        }
+        let mut sharded_hash: Option<u64> = None;
         for &shards in &SHARD_COUNTS {
             let sharded = run_sharded(n, seed, shards);
+            // The determinism contract, enforced at scale: every shard
+            // count must walk the exact same dispatch schedule.
+            let reference = *sharded_hash.get_or_insert(sharded.order_hash);
+            assert_eq!(
+                reference, sharded.order_hash,
+                "order hash diverged across shard counts at n = {n}"
+            );
             table.push_row(vec![
                 n.to_string(),
                 format!("shard={shards}"),
                 sharded.events.to_string(),
                 fmt_float(sharded.wall_s * 1_000.0),
                 fmt_float(sharded.events_per_sec()),
-                fmt_float(serial.wall_s / sharded.wall_s.max(1e-9)),
+                serial
+                    .as_ref()
+                    .map(|s| fmt_float(s.wall_s / sharded.wall_s.max(1e-9)))
+                    .unwrap_or_else(|| "—".to_string()),
+                rss_cell(sharded.peak_rss_mib),
+                format!("{:016x}", sharded.order_hash),
             ]);
         }
     }
     table.push_note(
-        "serial = the one-queue EventDriver (global heap + payload side-table); shard=S = the \
-         sharded driver (per-shard queues, per-node RNG streams, batched cross-shard exchange)",
+        "serial = the one-queue EventDriver (global heap + payload side-table), skipped beyond \
+         n = 10⁶; shard=S = the sharded driver (per-shard calendar queues + payload arenas, \
+         struct-of-arrays node state, per-node RNG streams, batched cross-shard exchange)",
     );
     table.push_note(
         "speedup = serial wall-clock / sharded wall-clock at the same n; identical workload \
-         (uniform gossip-max, 10 ticks), deterministic per seed — only wall-clock is noisy",
+         (uniform gossip-max, 10 ticks, ~0.2% churn/round), deterministic per seed — only \
+         wall-clock and RSS are noisy",
     );
     table.push_note(
-        "the two execution models consume different RNG streams, so event counts differ \
-         slightly between serial and sharded rows",
+        "order hash fingerprints the entire dispatch schedule; equality across the shard=S rows \
+         of one n is asserted, not merely reported (peak rss = VmHWM since the row started)",
     );
-    vec![table]
+
+    // Table 2: the full Algorithm 7 chain on the round-barrier facade,
+    // bit-identical to the engine by assertion.
+    let chain_sizes: Vec<usize> = if options.quick {
+        vec![100_000]
+    } else {
+        vec![100_000, 1_000_000]
+    };
+    let mut chain = Table::new(
+        "E18b — full DRR-gossip chain (Algorithm 7) on the round-barrier facade vs the \
+         event-queue engine"
+            .to_string(),
+        &[
+            "n",
+            "backend",
+            "rounds",
+            "messages",
+            "exact",
+            "wall ms",
+            "peak rss MiB",
+        ],
+    );
+    for &n in &chain_sizes {
+        let engine = run_chain_engine(n, seed);
+        chain.push_row(chain_row(n, "engine", &engine));
+        for shards in [1usize, 8] {
+            let facade = run_chain_facade(n, seed, shards);
+            assert_eq!(
+                chain_fingerprint(&engine.report),
+                chain_fingerprint(&facade.report),
+                "facade at {shards} shard(s) diverged from the engine at n = {n}"
+            );
+            chain.push_row(chain_row(n, &format!("facade={shards}"), &facade));
+        }
+    }
+    chain.push_note(
+        "engine = AsyncEngine (one binary heap); facade=S = ShardedTransport (round-barrier \
+         facade over S calendar-queue shards); estimates, rounds, messages and liveness are \
+         asserted bit-identical between all rows of one n",
+    );
+    chain.push_note(
+        "exact = fraction of alive nodes holding the true maximum when the chain ends; the same \
+         churny configuration as the scaling table. peak rss has a floor of allocator-retained \
+         pages from earlier rows (a VmHWM reset cannot go below current RSS), so in a full run \
+         the chain rows inherit the 10⁷ scaling rows' retained memory",
+    );
+    vec![table, chain]
 }
 
 #[cfg(test)]
@@ -176,6 +358,36 @@ mod tests {
         let sharded = run_sharded(2_000, 7, 4);
         assert!(sharded.events > 2_000 * 9);
         assert!(sharded.events_per_sec() > 0.0);
+        assert_eq!(
+            sharded.order_hash,
+            run_sharded(2_000, 7, 2).order_hash,
+            "shard counts must agree"
+        );
+    }
+
+    #[test]
+    fn peak_rss_probe_reports_on_linux() {
+        // The CI smoke step greps the RSS column; on Linux the probe must
+        // actually produce numbers, not silently fall back to n/a.
+        reset_peak_rss();
+        let rss = peak_rss_mib();
+        if cfg!(target_os = "linux") {
+            assert!(rss.is_some(), "VmHWM missing from /proc/self/status");
+            assert!(rss.unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn drr_chain_is_bit_identical_on_the_facade() {
+        let engine = run_chain_engine(3_000, 0xE18B);
+        for shards in [1usize, 4] {
+            let facade = run_chain_facade(3_000, 0xE18B, shards);
+            assert_eq!(
+                chain_fingerprint(&engine.report),
+                chain_fingerprint(&facade.report),
+                "facade at {shards} shard(s) diverged"
+            );
+        }
     }
 
     #[test]

@@ -152,8 +152,8 @@ pub const EXPERIMENTS: &[ExperimentEntry] = &[
     ),
     (
         "engine_scaling",
-        "E18: sharded event engine vs the one-queue driver — events/sec and wall-clock vs n \
-         (up to 10^6) and shard count",
+        "E18: sharded event engine vs the one-queue driver — events/sec, peak RSS and \
+         wall-clock vs n (up to 10^7) and shard count, plus the DRR chain on the facade",
         engine_scaling::run,
     ),
     (

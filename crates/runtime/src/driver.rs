@@ -27,14 +27,17 @@
 //!   "churned-and-rejoined node knows nothing" gap that the anti-entropy
 //!   layer (`gossip-ae`) exists to close.
 //! * **Payload transport.** Handler messages are typed values; the driver
-//!   carries them next to the engine's `Deliver` events (keyed by the
-//!   event's schedule sequence), so the engine's loss/latency/churn/
-//!   bandwidth/deadline modelling applies to them unchanged and the
-//!   existing [`Metrics`](gossip_net::Metrics) accounting stays honest.
+//!   parks them in a [`PayloadArena`] slab and the engine's `Deliver`
+//!   events carry the `u32` slot key, so the engine's loss/latency/churn/
+//!   bandwidth/deadline modelling applies to them unchanged, the existing
+//!   [`Metrics`](gossip_net::Metrics) accounting stays honest, and
+//!   steady-state traffic allocates nothing per message (freed slots are
+//!   reused; burst memory decays at window boundaries).
 //! * **An order fingerprint.** Every dispatched event folds into
 //!   [`DriverMetrics::order_hash`]; the determinism suite pins it across
 //!   re-runs and sweep thread counts.
 
+use crate::arena::PayloadArena;
 use crate::engine::AsyncEngine;
 use crate::event::Event;
 use gossip_net::{Handler, Mailbox, NodeId, Phase, TimerId, Transport};
@@ -149,7 +152,7 @@ struct DriverMailbox<'a, M> {
     /// Host-injected timer jitter ceiling (µs); `0` = disabled, no draw.
     jitter_us: u64,
     engine: &'a mut AsyncEngine,
-    payloads: &'a mut HashMap<u64, M>,
+    arena: &'a mut PayloadArena<M>,
     cancels: &'a mut HashMap<(NodeId, TimerId), u64>,
 }
 
@@ -168,15 +171,14 @@ impl<M> Mailbox<M> for DriverMailbox<'_, M> {
 
     fn send(&mut self, to: NodeId, phase: Phase, bits: u32, msg: M) {
         // The engine decides loss/latency/churn/bandwidth/deadline and
-        // schedules the Deliver event; the payload rides alongside, keyed
-        // by that event's schedule sequence. Undelivered messages need no
-        // payload — their event pops and is discarded.
-        if self.engine.send(self.me, to, phase, bits) {
-            let seq = self
-                .engine
-                .last_seq()
-                .expect("send always schedules a Deliver event");
-            self.payloads.insert(seq, msg);
+        // schedules the Deliver event; the payload parks in the arena and
+        // the event carries its slot key. An undelivered message frees its
+        // slot immediately — the slot may be reused before the undelivered
+        // event pops, which is why dispatch rules on `delivered` before it
+        // ever reads a key.
+        let key = self.arena.insert(msg);
+        if !self.engine.send_with_payload(self.me, to, phase, bits, key) {
+            self.arena.take(key);
         }
     }
 
@@ -243,8 +245,9 @@ pub struct EventDriver<H: Handler> {
     handlers: Vec<H>,
     /// Incarnation counter per node; bumped at every rejoin restart.
     epochs: Vec<u32>,
-    /// In-flight handler message payloads, keyed by Deliver-event sequence.
-    payloads: HashMap<u64, H::Msg>,
+    /// In-flight handler message payloads; `Deliver` events carry the slot
+    /// key.
+    arena: PayloadArena<H::Msg>,
     /// Cancellation watermarks: timers of `(node, label)` scheduled at or
     /// below the recorded sequence number are suppressed at dispatch.
     cancels: HashMap<(NodeId, TimerId), u64>,
@@ -268,7 +271,7 @@ impl<H: Handler> EventDriver<H> {
             handlers,
             factory: Box::new(factory),
             epochs: vec![0; n],
-            payloads: HashMap::new(),
+            arena: PayloadArena::new(),
             cancels: HashMap::new(),
             timer_jitter_us: 0,
             window_us,
@@ -349,12 +352,45 @@ impl<H: Handler> EventDriver<H> {
         &self.metrics
     }
 
-    /// Route the full backend state — engine metrics, driver counters and
-    /// every handler's protocol counters — into an observability registry.
-    /// Purely a read.
+    /// Payloads currently live in the slab arena (in-flight messages).
+    pub fn arena_live(&self) -> usize {
+        self.arena.live()
+    }
+
+    /// Total payload slots the slab arena holds memory for.
+    pub fn arena_capacity(&self) -> usize {
+        self.arena.capacity()
+    }
+
+    /// Arena inserts that reused a freed slot instead of allocating.
+    pub fn arena_reuse_total(&self) -> u64 {
+        self.arena.reuse_total()
+    }
+
+    /// Route the full backend state — engine metrics, driver counters,
+    /// allocation gauges and every handler's protocol counters — into an
+    /// observability registry. Purely a read.
     pub fn fill_registry(&self, registry: &mut gossip_obs::Registry) {
         self.engine.fill_registry(registry);
         self.metrics.fill_registry(registry);
+        registry.set_gauge(
+            "engine_arena_live",
+            "Message payloads live in the slab arenas",
+            &[],
+            self.arena_live() as f64,
+        );
+        registry.set_gauge(
+            "engine_arena_capacity",
+            "Payload slots the slab arenas hold memory for",
+            &[],
+            self.arena_capacity() as f64,
+        );
+        registry.add_counter(
+            "engine_slot_reuse_total",
+            "Arena inserts that reused a freed slot instead of allocating",
+            &[],
+            self.arena_reuse_total(),
+        );
         for handler in &self.handlers {
             handler.fill_registry(registry);
         }
@@ -418,13 +454,16 @@ impl<H: Handler> EventDriver<H> {
             epoch: self.epochs[i],
             jitter_us: self.timer_jitter_us,
             engine: &mut self.engine,
-            payloads: &mut self.payloads,
+            arena: &mut self.arena,
             cancels: &mut self.cancels,
         };
         self.handlers[i].on_start(&mut mailbox);
     }
 
     fn cross_boundary(&mut self, boundary: u64) {
+        // Hand burst memory back on the churn cadence (a no-op while the
+        // slab is busy or already small).
+        self.arena.decay();
         let mut rejoined = Vec::new();
         self.engine
             .begin_window(boundary, self.window_us, &mut rejoined);
@@ -460,13 +499,17 @@ impl<H: Handler> EventDriver<H> {
                 to,
                 delivered,
                 latency_us,
+                payload,
                 ..
             } => {
                 if !delivered {
+                    // Undelivered events freed their arena slot at send
+                    // time; the key may already name a newer payload, so it
+                    // must not be read past this point.
                     return;
                 }
                 self.engine.record_delivered_latency(latency_us);
-                let payload = self.payloads.remove(&seq);
+                let payload = self.arena.take(payload);
                 if !Transport::is_alive(&self.engine, to) {
                     // The delivery verdict predates a crash drawn in a later
                     // window (only possible when latency spans windows).
@@ -505,7 +548,7 @@ impl<H: Handler> EventDriver<H> {
                     epoch: self.epochs[i],
                     jitter_us: self.timer_jitter_us,
                     engine: &mut self.engine,
-                    payloads: &mut self.payloads,
+                    arena: &mut self.arena,
                     cancels: &mut self.cancels,
                 };
                 self.handlers[i].on_message(from, msg, &mut mailbox);
@@ -572,7 +615,7 @@ impl<H: Handler> EventDriver<H> {
                     epoch,
                     jitter_us: self.timer_jitter_us,
                     engine: &mut self.engine,
-                    payloads: &mut self.payloads,
+                    arena: &mut self.arena,
                     cancels: &mut self.cancels,
                 };
                 self.handlers[i].on_timer(timer, &mut mailbox);

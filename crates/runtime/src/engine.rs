@@ -426,18 +426,35 @@ impl AsyncEngine {
         self.draw_churn_into(start, len, Some(rejoined));
     }
 
+    /// Send a message whose payload the event-driven driver has parked in
+    /// its arena under `payload`: the key rides inside the `Deliver` event
+    /// and comes back out at dispatch. Verdicts, draws and accounting are
+    /// exactly [`Transport::send`]'s.
+    pub(crate) fn send_with_payload(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        phase: Phase,
+        bits: u32,
+        payload: u32,
+    ) -> bool {
+        self.send_attempt(from, to, phase, bits, payload, 0)
+    }
+
     /// One transmission attempt, `elapsed_us` of virtual time after the
     /// send instant (`0` for a first attempt; retransmissions carry the
     /// timeout cycles already burned, see
     /// [`Transport::send_with_retries`]). The attempt's arrival includes
     /// the offset, and under [`RoundPolicy::FixedDeadline`] the offset
-    /// counts against the delivery budget.
+    /// counts against the delivery budget. `payload` is carried opaquely
+    /// into the `Deliver` event ([`crate::NO_PAYLOAD`] for raw sends).
     fn send_attempt(
         &mut self,
         from: NodeId,
         to: NodeId,
         phase: Phase,
         bits: u32,
+        payload: u32,
         elapsed_us: u64,
     ) -> bool {
         debug_assert!(from.index() < self.config.sim.n, "sender out of range");
@@ -525,6 +542,7 @@ impl AsyncEngine {
                 bits,
                 delivered,
                 latency_us,
+                payload,
             },
         );
         self.metrics.record_send(phase, bits, delivered);
@@ -566,7 +584,7 @@ impl Transport for AsyncEngine {
     }
 
     fn send(&mut self, from: NodeId, to: NodeId, phase: Phase, bits: u32) -> bool {
-        self.send_attempt(from, to, phase, bits, 0)
+        self.send_attempt(from, to, phase, bits, crate::arena::NO_PAYLOAD, 0)
     }
 
     /// Under [`RoundPolicy::FixedDeadline`], retransmissions happen in
@@ -609,7 +627,7 @@ impl Transport for AsyncEngine {
                 None => 0,
             };
             attempts += 1;
-            if self.send_attempt(from, to, phase, bits, elapsed) {
+            if self.send_attempt(from, to, phase, bits, crate::arena::NO_PAYLOAD, elapsed) {
                 return (attempts, true);
             }
             // A dead endpoint will never succeed; avoid burning the budget.

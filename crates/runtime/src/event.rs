@@ -22,6 +22,11 @@ pub enum Event {
         delivered: bool,
         /// End-to-end latency of this message (µs).
         latency_us: u64,
+        /// Arena key of the message payload in the host's
+        /// [`PayloadArena`](crate::PayloadArena), or
+        /// [`NO_PAYLOAD`](crate::NO_PAYLOAD) for payload-free traffic
+        /// (raw `Transport::send` calls from the round-barrier protocols).
+        payload: u32,
     },
     /// `node` crashes (flips to dead when this event is processed, so a
     /// crash at `t` is correctly ordered against deliveries before/after

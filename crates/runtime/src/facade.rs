@@ -1,0 +1,642 @@
+//! The round-barrier [`Transport`] facade over the sharded event core.
+//!
+//! The workspace has two protocol styles: one-shot round-barrier
+//! coordinators (`drr_gossip_max`, `drr_gossip_ave`, `push_sum_average`,
+//! convergecast/broadcast on the DRR forest) written against
+//! [`Transport`], and continuous [`Handler`](gossip_net::Handler)
+//! protocols written for the event-driven hosts. The sharded scale-out
+//! work ([`ShardedDriver`](crate::ShardedDriver)) only served the second
+//! style; [`ShardedTransport`] closes the gap by putting the same calendar
+//! machinery behind the plain `Transport` trait, so every round-barrier
+//! protocol runs on the sharded core **unchanged**.
+//!
+//! # Round ↔ epoch mapping
+//!
+//! A `Transport` round maps onto the sharded core as one **window barrier
+//! per round**, with no intermediate epochs:
+//!
+//! * All sends of a round happen logically at the window start (the
+//!   phone-call model). [`Transport::send`] draws every verdict — loss,
+//!   latency, per-link bias, bandwidth, receiver liveness at arrival,
+//!   deadline — **at send time**, from one global RNG in exactly the order
+//!   [`AsyncEngine`](crate::AsyncEngine) draws them. Mid-window crashes are pre-scheduled at
+//!   the previous barrier, so "alive at the arrival instant" is known
+//!   without waiting.
+//! * Each *delivered* message becomes a plain-old-data event in the
+//!   calendar queue of the **receiver's shard** (payload-free:
+//!   round-barrier protocols carry their data in the coordinator, not in
+//!   the event).
+//! * [`Transport::advance_round`] is the barrier: it closes the window at
+//!   the engine's horizon rule (fixed deadline, or stretch to the slowest
+//!   delivered arrival), drains every shard's calendar up to the horizon —
+//!   concurrently when the host has cores to spare — tallies per-shard
+//!   delivery latencies, applies the window's crashes, resets bandwidth
+//!   budgets and draws next-window churn serially in node-id order.
+//!
+//! # Why this is bit-identical to the single-queue engine
+//!
+//! Every protocol-visible draw happens at send time on the shared RNG, in
+//! the engine's order; the sharded part of the machinery only ever touches
+//! *order-insensitive* state. A drained event does exactly one thing —
+//! record its latency into its shard's [`LatencyHistogram`] — and
+//! histogram merge is a commutative sum; crashes apply at the barrier from
+//! verdicts fixed at churn-draw time; both round policies close the window
+//! at or beyond every delivered arrival, so the queues are empty at every
+//! barrier and no state leaks across rounds. Hence runs are bit-identical
+//! to [`AsyncEngine`](crate::AsyncEngine) on **every** configuration, invariant under the
+//! shard count and the parallel/sequential drain path — and, by the
+//! engine's own compatibility contract, bit-identical to the synchronous
+//! [`Network`](gossip_net::Network) in the compatibility configuration.
+//! The facade determinism suite pins all three equalities.
+//!
+//! [`LatencyHistogram`]: crate::LatencyHistogram
+
+use crate::arena::NO_PAYLOAD;
+use crate::engine::{draw_initial_liveness, AsyncConfig, RoundPolicy};
+use crate::latency::LatencyModel;
+use crate::metrics::AsyncMetrics;
+use crate::shard::{CalendarQueue, EventKind, ShardEvent};
+use crate::soa::NO_CRASH;
+use gossip_net::{Metrics, NodeId, Phase, SimConfig, Transport};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Epochs shorter than this would not pay for a thread scope; the facade
+/// drains whole round windows, so the only cheap case is a tiny window.
+const MIN_PARALLEL_WINDOW_US: u64 = 32;
+
+/// [`Transport`] over sharded calendar queues. See the module docs.
+pub struct ShardedTransport {
+    config: AsyncConfig,
+    /// The shared protocol RNG (seeded and positioned exactly like
+    /// [`AsyncEngine`](crate::AsyncEngine)'s: the setup stream continues as the send/churn
+    /// stream).
+    rng: SmallRng,
+    alive: Vec<bool>,
+    alive_count: usize,
+    /// Crash instant scheduled inside the current window, per node
+    /// ([`NO_CRASH`] when none is).
+    crash_at: Vec<u64>,
+    /// Nodes with a crash scheduled this window, in node-id order.
+    crashes: Vec<u32>,
+    bits_this_round: Vec<u64>,
+    window_start: u64,
+    round_horizon: u64,
+    /// Nodes per shard; node `i`'s deliveries queue at shard `i / chunk`.
+    chunk: usize,
+    /// Per-shard calendar queues, receiver-partitioned. Only *delivered*
+    /// messages are queued (an undelivered one has no barrier-time effect).
+    queues: Vec<CalendarQueue>,
+    /// Per-shard engine metrics (the latency tallies the concurrent drain
+    /// writes); merged with `base_async` on read.
+    shard_async: Vec<AsyncMetrics>,
+    /// Engine metrics written at send/barrier time (drop causes, churn).
+    base_async: AsyncMetrics,
+    metrics: Metrics,
+    /// Global origin-sequence counter for queued events (the calendar only
+    /// needs a total order key; the facade never dispatches callbacks, so
+    /// one shared counter is fine).
+    next_oseq: u64,
+    parallel: bool,
+}
+
+impl ShardedTransport {
+    /// Build a facade over `shards` receiver-partitioned calendar queues,
+    /// applying initial crashes exactly like [`AsyncEngine::new`] (same
+    /// RNG stream).
+    ///
+    /// [`AsyncEngine::new`]: crate::AsyncEngine::new
+    pub fn new(config: AsyncConfig, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        config
+            .sim
+            .validate()
+            .expect("invalid simulation configuration");
+        let n = config.sim.n;
+        let num_shards = shards.min(n).max(1);
+        let chunk = n.div_ceil(num_shards);
+        let num_shards = n.div_ceil(chunk);
+        let (alive, alive_count, rng) = draw_initial_liveness(&config.sim);
+        let parallel = num_shards > 1
+            && std::thread::available_parallelism()
+                .map(|v| v.get())
+                .unwrap_or(1)
+                > 1;
+        ShardedTransport {
+            rng,
+            alive,
+            alive_count,
+            crash_at: vec![NO_CRASH; n],
+            crashes: Vec::new(),
+            bits_this_round: vec![0; n],
+            window_start: 0,
+            round_horizon: 0,
+            chunk,
+            queues: (0..num_shards).map(|_| CalendarQueue::new()).collect(),
+            shard_async: vec![AsyncMetrics::default(); num_shards],
+            base_async: AsyncMetrics::default(),
+            metrics: Metrics::new(),
+            next_oseq: 0,
+            parallel,
+            config,
+        }
+    }
+
+    /// Force the parallel (scoped worker threads) or sequential drain
+    /// path. Results are bit-identical either way.
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel && self.queues.len() > 1;
+        self
+    }
+
+    /// Number of shards actually in use (`min(requested, n)`).
+    pub fn num_shards(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Current virtual time (µs). Advances at round barriers.
+    pub fn now_us(&self) -> u64 {
+        self.window_start
+    }
+
+    /// The engine configuration.
+    pub fn async_config(&self) -> &AsyncConfig {
+        &self.config
+    }
+
+    /// Engine-level metrics (drop causes, churn counts, latency tail),
+    /// merged across the per-shard drain tallies.
+    pub fn async_metrics(&self) -> AsyncMetrics {
+        let mut merged = self.base_async.clone();
+        for shard in &self.shard_async {
+            merged.merge(shard);
+        }
+        merged
+    }
+
+    /// Take the protocol metrics out, leaving zeroed metrics behind
+    /// (mirrors `Network::take_metrics`).
+    pub fn take_metrics(&mut self) -> Metrics {
+        std::mem::replace(&mut self.metrics, Metrics::new())
+    }
+
+    /// Total event slots the calendar queues hold memory for — the
+    /// flat-memory regression probe.
+    pub fn queue_capacity_events(&self) -> usize {
+        self.queues.iter().map(CalendarQueue::capacity_events).sum()
+    }
+
+    /// Route backend state into an observability registry: protocol
+    /// metrics, engine metrics, liveness and allocation gauges. Purely a
+    /// read.
+    pub fn fill_registry(&self, registry: &mut gossip_obs::Registry) {
+        self.metrics.fill_registry(registry);
+        self.async_metrics().fill_registry(registry);
+        registry.set_gauge(
+            "engine_nodes",
+            "Nodes in the simulated network (crashed included)",
+            &[],
+            self.config.sim.n as f64,
+        );
+        registry.set_gauge(
+            "engine_alive_nodes",
+            "Currently alive nodes",
+            &[],
+            self.alive_count as f64,
+        );
+        registry.set_gauge(
+            "engine_virtual_time_us",
+            "Current virtual time (us)",
+            &[],
+            self.window_start as f64,
+        );
+        registry.set_gauge(
+            "engine_shards",
+            "Shards hosting the node space",
+            &[],
+            self.queues.len() as f64,
+        );
+        registry.set_gauge(
+            "engine_queue_capacity_events",
+            "Event slots the calendar queues hold memory for",
+            &[],
+            self.queue_capacity_events() as f64,
+        );
+    }
+
+    /// Whether `node` will still be alive at virtual instant `at_us`,
+    /// given the crashes already scheduled inside the current window.
+    fn alive_at(&self, node: NodeId, at_us: u64) -> bool {
+        self.alive[node.index()] && at_us < self.crash_at[node.index()]
+    }
+
+    /// The reference window length (mirrors the engine).
+    fn base_window_len(&self) -> u64 {
+        match self.config.round_policy {
+            RoundPolicy::FixedDeadline(d) => d.max(1),
+            RoundPolicy::Stretch => self.config.latency.median_us().max(1),
+        }
+    }
+
+    /// One transmission attempt, `elapsed_us` after the send instant. The
+    /// verdict sequence and every RNG draw mirror the single-queue
+    /// engine's `send_attempt` exactly — the bit-compatibility contract.
+    fn send_attempt(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        phase: Phase,
+        bits: u32,
+        elapsed_us: u64,
+    ) -> bool {
+        debug_assert!(from.index() < self.config.sim.n, "sender out of range");
+        debug_assert!(to.index() < self.config.sim.n, "receiver out of range");
+
+        // 1. Endpoint liveness and the loss draw.
+        let sender_alive = self.alive[from.index()];
+        let mut delivered = sender_alive && self.alive[to.index()];
+        if delivered
+            && self.config.sim.loss_prob > 0.0
+            && self.rng.gen_bool(self.config.sim.loss_prob)
+        {
+            delivered = false;
+        }
+
+        // 2. Latency: sampled per message, scaled by the per-link bias.
+        let mut latency_us = self.config.latency.sample(&mut self.rng);
+        if self.config.link_spread > 0.0 {
+            let bias =
+                LatencyModel::link_bias(self.config.sim.seed, from, to, self.config.link_spread);
+            latency_us = ((latency_us as f64) * bias).round().max(1.0) as u64;
+        }
+        let arrival = self.window_start + elapsed_us + latency_us;
+
+        // 3. Bandwidth budget: live attempts accrue, delivered or not.
+        if delivered {
+            if let Some(budget) = self.config.bandwidth_bits_per_round {
+                if self.bits_this_round[from.index()] + u64::from(bits) > budget {
+                    delivered = false;
+                    self.base_async.bandwidth_drops += 1;
+                }
+            }
+        }
+        if sender_alive {
+            self.bits_this_round[from.index()] += u64::from(bits);
+        }
+
+        // 4. Receiver liveness at the arrival instant (mid-window crashes
+        //    were pre-scheduled at the last barrier).
+        if delivered && !self.alive_at(to, arrival) {
+            delivered = false;
+        }
+
+        // 5. Fixed deadlines drop messages that outlive their round.
+        if delivered {
+            if let RoundPolicy::FixedDeadline(deadline) = self.config.round_policy {
+                if elapsed_us + latency_us > deadline {
+                    delivered = false;
+                    self.base_async.late_drops += 1;
+                }
+            }
+        }
+
+        if delivered {
+            self.round_horizon = self.round_horizon.max(arrival);
+            // Only delivered messages queue: an undelivered one has no
+            // barrier-time effect (the engine queues and ignores them).
+            let oseq = self.next_oseq;
+            self.next_oseq += 1;
+            self.queues[to.index() / self.chunk].push(ShardEvent {
+                at_us: arrival,
+                origin: from.index() as u32,
+                oseq,
+                to: to.index() as u32,
+                kind: EventKind::Deliver {
+                    phase,
+                    bits,
+                    latency_us,
+                    payload: NO_PAYLOAD,
+                },
+            });
+        }
+        self.metrics.record_send(phase, bits, delivered);
+        delivered
+    }
+
+    /// Draw next-window churn exactly like the engine: the same stream,
+    /// the same per-node draw order. Crashes are recorded (not queued —
+    /// the barrier applies them) so `alive_at` can rule on arrivals.
+    fn draw_churn(&mut self, window_start: u64, window_len: u64) {
+        if !self.config.churn.is_enabled() {
+            return;
+        }
+        let churn = self.config.churn;
+        for i in 0..self.config.sim.n {
+            if self.alive[i] {
+                // `crashes.len()` is the engine's `pending_crashes`.
+                let can_crash = self.alive_count - self.crashes.len() > churn.min_alive;
+                if can_crash
+                    && churn.crash_prob > 0.0
+                    && self.crash_at[i] == NO_CRASH
+                    && self.rng.gen_bool(churn.crash_prob)
+                {
+                    let at = window_start + 1 + self.rng.gen_range(0..window_len.max(1));
+                    self.crash_at[i] = at;
+                    self.crashes.push(i as u32);
+                }
+            } else if churn.rejoin_prob > 0.0 && self.rng.gen_bool(churn.rejoin_prob) {
+                self.alive[i] = true;
+                self.alive_count += 1;
+                self.base_async.churn_rejoins += 1;
+            }
+        }
+    }
+}
+
+impl Transport for ShardedTransport {
+    fn config(&self) -> &SimConfig {
+        &self.config.sim
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node.index()]
+    }
+
+    fn alive_count(&self) -> usize {
+        self.alive_count
+    }
+
+    fn rng_mut(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    fn send(&mut self, from: NodeId, to: NodeId, phase: Phase, bits: u32) -> bool {
+        self.send_attempt(from, to, phase, bits, 0)
+    }
+
+    /// Identical retry semantics to the single-queue engine: under a fixed
+    /// deadline, attempt `k` carries `k − 1` RTT-sized timeout cycles of
+    /// elapsed time that eat into the delivery budget; under stretching
+    /// rounds retries are independent same-instant draws.
+    fn send_with_retries(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        phase: Phase,
+        bits: u32,
+        max_attempts: u32,
+    ) -> (u32, bool) {
+        let deadline = self.deadline_budget_us();
+        let rtt = self
+            .rtt_estimate_us()
+            .expect("the facade always has a latency model");
+        let mut attempts = 0;
+        while attempts < max_attempts {
+            let elapsed = match deadline {
+                Some(d) => {
+                    let elapsed = u64::from(attempts) * rtt;
+                    if attempts > 0 && elapsed >= d {
+                        break;
+                    }
+                    elapsed
+                }
+                None => 0,
+            };
+            attempts += 1;
+            if self.send_attempt(from, to, phase, bits, elapsed) {
+                return (attempts, true);
+            }
+            if !self.alive[from.index()] || !self.alive[to.index()] {
+                return (attempts, false);
+            }
+        }
+        (attempts, false)
+    }
+
+    fn advance_round(&mut self) {
+        // Close the window at the engine's horizon rule.
+        let horizon = match self.config.round_policy {
+            RoundPolicy::FixedDeadline(d) => self.window_start + d.max(1),
+            RoundPolicy::Stretch => self
+                .round_horizon
+                .max(self.window_start + self.base_window_len()),
+        };
+
+        // Drain every shard's calendar up to the horizon (inclusive, like
+        // the engine's `pop_due(horizon)`), tallying delivery latencies
+        // into per-shard histograms — the only per-event effect, and an
+        // order-insensitive one, which is what makes the concurrent drain
+        // safe and the result shard-count invariant. Empty queues must
+        // sweep too: their cursors have to cross the window so next
+        // round's arrivals are never "in the past".
+        let end = horizon + 1;
+        let drain_one = |queue: &mut CalendarQueue, tally: &mut AsyncMetrics| {
+            queue.drain_until(end, |ev| {
+                if let EventKind::Deliver { latency_us, .. } = ev.kind {
+                    tally.latency.record(latency_us);
+                }
+            });
+        };
+        if self.parallel && horizon - self.window_start >= MIN_PARALLEL_WINDOW_US {
+            std::thread::scope(|scope| {
+                for (queue, tally) in self.queues.iter_mut().zip(self.shard_async.iter_mut()) {
+                    scope.spawn(move || drain_one(queue, tally));
+                }
+            });
+        } else {
+            for (queue, tally) in self.queues.iter_mut().zip(self.shard_async.iter_mut()) {
+                drain_one(queue, tally);
+            }
+        }
+        debug_assert!(
+            self.queues.iter().all(CalendarQueue::is_empty),
+            "both round policies close the window at or beyond every delivered arrival"
+        );
+
+        // Apply the window's crashes. Delivery verdicts already honoured
+        // the crash instants at send time, so barrier-time application is
+        // equivalent to the engine's in-drain application.
+        for i in std::mem::take(&mut self.crashes) {
+            let i = i as usize;
+            if self.alive[i] {
+                self.alive[i] = false;
+                self.alive_count -= 1;
+                self.base_async.churn_crashes += 1;
+            }
+            self.crash_at[i] = NO_CRASH;
+        }
+
+        self.window_start = horizon;
+        self.round_horizon = horizon;
+        self.bits_this_round.iter_mut().for_each(|b| *b = 0);
+        self.metrics.advance_round();
+
+        let window_len = self.base_window_len();
+        self.draw_churn(horizon, window_len);
+    }
+
+    fn reset_metrics(&mut self) {
+        self.metrics.reset();
+        self.base_async = AsyncMetrics::default();
+        self.shard_async = vec![AsyncMetrics::default(); self.queues.len()];
+    }
+
+    fn deadline_budget_us(&self) -> Option<u64> {
+        match self.config.round_policy {
+            RoundPolicy::FixedDeadline(d) => Some(d.max(1)),
+            RoundPolicy::Stretch => None,
+        }
+    }
+
+    fn rtt_estimate_us(&self) -> Option<u64> {
+        Some(2 * self.config.latency.median_us().max(1))
+    }
+}
+
+impl std::fmt::Debug for ShardedTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedTransport")
+            .field("n", &self.config.sim.n)
+            .field("shards", &self.queues.len())
+            .field("now_us", &self.window_start)
+            .field("parallel", &self.parallel)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::ChurnModel;
+    use crate::engine::AsyncEngine;
+
+    fn churny_config(n: usize, seed: u64) -> AsyncConfig {
+        AsyncConfig::new(SimConfig::new(n).with_seed(seed).with_loss_prob(0.05))
+            .with_latency(LatencyModel::Uniform {
+                lo_us: 400,
+                hi_us: 2_000,
+            })
+            .with_link_spread(0.2)
+            .with_churn(ChurnModel::per_round(0.02, 0.1).with_min_alive(n / 2))
+    }
+
+    /// Run an identical ad-hoc traffic pattern on both backends and
+    /// compare every observable.
+    #[test]
+    fn facade_matches_the_engine_on_a_churny_config() {
+        let config = churny_config(128, 0xFACE);
+        let mut engine = AsyncEngine::new(config.clone());
+        let mut facade = ShardedTransport::new(config, 4);
+        for round in 0..40u64 {
+            for k in 0..64 {
+                let a = engine.sample_uniform();
+                let b = facade.sample_uniform();
+                assert_eq!(a, b, "round {round} draw {k}");
+                let a2 = engine.sample_other_than(a);
+                let b2 = facade.sample_other_than(b);
+                assert_eq!(a2, b2);
+                assert_eq!(
+                    engine.send(a, a2, Phase::Convergecast, 64),
+                    facade.send(b, b2, Phase::Convergecast, 64)
+                );
+            }
+            engine.advance_round();
+            facade.advance_round();
+            assert_eq!(engine.now_us(), facade.now_us(), "round {round}");
+            assert_eq!(
+                Transport::alive_count(&engine),
+                Transport::alive_count(&facade)
+            );
+        }
+        assert_eq!(Transport::metrics(&engine), Transport::metrics(&facade));
+        assert_eq!(*engine.async_metrics(), facade.async_metrics());
+    }
+
+    #[test]
+    fn shard_count_and_drain_path_do_not_change_the_run() {
+        let run = |shards, parallel| {
+            let mut t = ShardedTransport::new(churny_config(96, 7), shards).with_parallel(parallel);
+            let mut sent = 0u32;
+            for _ in 0..30 {
+                for _ in 0..48 {
+                    let a = t.sample_uniform();
+                    let b = t.sample_other_than(a);
+                    if t.send(a, b, Phase::Other, 32) {
+                        sent += 1;
+                    }
+                }
+                t.advance_round();
+            }
+            (
+                sent,
+                t.now_us(),
+                Transport::alive_count(&t),
+                Transport::metrics(&t).clone(),
+                t.async_metrics(),
+            )
+        };
+        let one = run(1, false);
+        assert_eq!(one, run(2, false));
+        assert_eq!(one, run(8, true));
+        assert_eq!(one, run(13, true));
+    }
+
+    #[test]
+    fn retries_match_the_engine_under_deadlines() {
+        let config = AsyncConfig::new(SimConfig::new(8).with_seed(2).with_loss_prob(0.6))
+            .with_round_policy(RoundPolicy::FixedDeadline(5_000));
+        let mut engine = AsyncEngine::new(config.clone());
+        let mut facade = ShardedTransport::new(config, 2);
+        for _ in 0..200 {
+            let a = engine.send_with_retries(NodeId::new(0), NodeId::new(1), Phase::Other, 8, 64);
+            let b = facade.send_with_retries(NodeId::new(0), NodeId::new(1), Phase::Other, 8, 64);
+            assert_eq!(a, b);
+            engine.advance_round();
+            facade.advance_round();
+        }
+        assert_eq!(*engine.async_metrics(), facade.async_metrics());
+    }
+
+    #[test]
+    fn queues_drain_flat_and_registry_exports_the_probe() {
+        // Constant latency funnels a round's arrivals into one calendar
+        // slot per queue — the worst case for slot ballooning. One huge
+        // round, then quiet ones: the ballooned slots must hand their
+        // capacity back at the next wheel revolution instead of pinning
+        // the burst's high-water mark forever.
+        let config = AsyncConfig::new(SimConfig::new(64).with_seed(3))
+            .with_latency(LatencyModel::Constant(500));
+        let mut facade = ShardedTransport::new(config, 4);
+        for i in 0..64 {
+            let from = NodeId::new(i);
+            for _ in 0..200 {
+                let to = facade.sample_other_than(from);
+                facade.send(from, to, Phase::Other, 16);
+            }
+        }
+        facade.advance_round();
+        let peak = facade.queue_capacity_events();
+        assert!(peak > 10_000, "the burst ballooned the slots, got {peak}");
+        // Quiet rounds: one send each, across several wheel revolutions.
+        for _ in 0..12 {
+            let from = facade.sample_uniform();
+            let to = facade.sample_other_than(from);
+            facade.send(from, to, Phase::Other, 16);
+            facade.advance_round();
+        }
+        assert!(
+            facade.queue_capacity_events() < 1_000,
+            "burst capacity decayed, got {}",
+            facade.queue_capacity_events()
+        );
+        let mut registry = gossip_obs::Registry::new();
+        facade.fill_registry(&mut registry);
+        let text = registry.render();
+        assert!(text.contains("engine_queue_capacity_events"));
+        assert!(text.contains("engine_shards 4"));
+    }
+}

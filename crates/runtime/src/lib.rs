@@ -35,10 +35,17 @@
 //!   execution model of the continuous anti-entropy layer (`gossip-ae`).
 //! * **A sharded host** ([`ShardedDriver`]): the same `Handler` protocols
 //!   with the node space partitioned across shards — per-shard calendar
-//!   queues, per-node RNG streams ([`gossip_net::node_rng`]) and deterministic
-//!   bounded-lag cross-shard batching — which scales the event loop to
-//!   n ≥ 10⁶ with runs that are bit-identical across shard counts, worker
-//!   threads and event-loop slicings (see the `shard` module docs).
+//!   queues and payload arenas, struct-of-arrays node state, per-node RNG
+//!   streams ([`gossip_net::node_rng`]) and deterministic bounded-lag
+//!   cross-shard batching — which scales the event loop to n ≥ 10⁷ with
+//!   runs that are bit-identical across shard counts, worker threads and
+//!   event-loop slicings (see the `shard` module docs).
+//! * **A round-barrier facade** ([`ShardedTransport`]): the sharded
+//!   engine's calendar machinery behind the plain
+//!   [`Transport`](gossip_net::Transport) trait, so the one-shot
+//!   round-barrier protocols (`drr_gossip_max`, convergecast, broadcast)
+//!   run on the sharded core unchanged — bit-identical to [`AsyncEngine`]
+//!   on every configuration (see the `facade` module docs).
 //!
 //! Determinism is preserved end to end: a run is a pure function of the
 //! [`SimConfig`](gossip_net::SimConfig) seed and the engine parameters.
@@ -68,19 +75,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod churn;
 pub mod driver;
 pub mod engine;
 pub mod event;
+pub mod facade;
 pub mod latency;
 pub mod metrics;
 pub mod shard;
+mod soa;
 pub mod sweep;
 
+pub use arena::{PayloadArena, NO_PAYLOAD};
 pub use churn::ChurnModel;
 pub use driver::{DriverMetrics, EventDriver};
 pub use engine::{AsyncConfig, AsyncEngine, RoundPolicy};
 pub use event::{Event, EventQueue, ScheduledEvent};
+pub use facade::ShardedTransport;
 pub use latency::LatencyModel;
 pub use metrics::{AsyncMetrics, LatencyHistogram};
 pub use shard::ShardedDriver;

@@ -6,10 +6,15 @@
 //! small n. [`ShardedDriver`] is the scale-out execution model: the node
 //! space is split into `S` contiguous shards, and each shard owns
 //!
-//! * its nodes' state — handler instances, liveness, incarnation epochs,
-//!   per-window bandwidth tallies,
+//! * its nodes' state — handler instances in their own slab, the scalar
+//!   per-node fields packed into the dense parallel arrays of a
+//!   `NodeTable` (liveness, incarnations, bandwidth tallies, cancel
+//!   watermarks — see the `soa` module docs),
 //! * a **per-shard event queue** holding exactly the events addressed to
-//!   its nodes, and
+//!   its nodes, with message payloads parked in a per-shard
+//!   [`PayloadArena`] and referenced by `u32` slot key from the event
+//!   (events are plain-old-data; steady-state traffic allocates nothing
+//!   per event), and
 //! * its nodes' **private RNG streams** ([`gossip_net::node_rng`]).
 //!
 //! # Why per-node RNG streams
@@ -37,12 +42,15 @@
 //! it emits lands at or beyond the epoch end. Shards therefore run each
 //! epoch completely independently (in parallel when the host has cores to
 //! spare — results are bit-identical either way), buffer cross-shard sends
-//! in per-destination outboxes, and exchange the batches at the epoch
-//! barrier. **Window barriers** (the churn cadence, default one latency
-//! median) are global synchronization points layered on the same loop:
-//! churn coins are drawn serially from a dedicated driver-level stream in
-//! node-id order, rejoiners reboot with fresh handlers and bumped epochs,
-//! and per-window bandwidth budgets reset.
+//! in per-destination outboxes (the payload travels next to the event and
+//! is re-homed into the destination shard's arena at the exchange), and
+//! swap the batches at the epoch barrier. **Window barriers** (the churn
+//! cadence, default one latency median) are global synchronization points
+//! layered on the same loop: churn coins are drawn serially from a
+//! dedicated driver-level stream in node-id order, rejoiners reboot with
+//! fresh handlers and bumped epochs, per-window bandwidth budgets reset,
+//! and burst memory decays (arena slabs and calendar slots hand back
+//! capacity they no longer need).
 //!
 //! # The order fingerprint
 //!
@@ -51,7 +59,9 @@
 //! node-id order. Because each node's event sequence is shard-count
 //! invariant, the combined hash is too — the determinism suite pins it
 //! across shard counts {1, 2, 8}, re-runs, slicing, and the parallel vs
-//! sequential execution paths.
+//! sequential execution paths. Arena keys and slab layout never feed the
+//! hash, so the memory layout is free to differ where the event order may
+//! not.
 //!
 //! Delivery semantics are the engine's, re-cut along ownership lines: the
 //! *sender's* shard draws loss and latency and enforces the bandwidth
@@ -62,14 +72,15 @@
 //! bit-comparable with `EventDriver` runs — each execution model pins its
 //! own golden hashes.
 
+use crate::arena::{PayloadArena, NO_PAYLOAD};
 use crate::driver::DriverMetrics;
 use crate::engine::AsyncConfig;
 use crate::metrics::AsyncMetrics;
+use crate::soa::{NodeTable, NO_CRASH};
 use gossip_net::{node_rng, Handler, Mailbox, Metrics, NodeId, Phase, TimerId};
 use gossip_obs::{TraceKind, TraceReason, TraceRing, NO_PEER};
 use rand::rngs::SmallRng;
 use rand::Rng;
-use std::collections::HashMap;
 
 /// Word-level FNV-style fold for the per-node dispatch hashes, on the same
 /// FNV constants as [`DriverMetrics`]. Three words per event keep the hot
@@ -84,22 +95,36 @@ fn fold3(h: &mut u64, a: u64, b: u64, c: u64) {
 }
 
 /// What happens when a scheduled event reaches its destination node.
-enum EventKind<M> {
+/// Plain old data: message payloads live in the owning shard's
+/// [`PayloadArena`] and are referenced by slot key.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum EventKind {
     /// A message arrives (sender-side checks already passed; receiver
     /// liveness is ruled on here, at the owner).
     Deliver {
+        /// Protocol phase of the message.
         phase: Phase,
+        /// Message size in bits.
         bits: u32,
+        /// End-to-end latency (µs), recorded at dispatch.
         latency_us: u64,
-        msg: M,
+        /// Arena key of the payload in the destination shard's arena
+        /// ([`NO_PAYLOAD`] for payload-free traffic, e.g. the round-barrier
+        /// facade's deliveries).
+        payload: u32,
     },
     /// A timer armed by incarnation `incarnation` of the node fires.
-    Timer { timer: TimerId, incarnation: u32 },
+    Timer {
+        /// The handler-chosen timer label.
+        timer: TimerId,
+        /// Incarnation that armed the timer.
+        incarnation: u32,
+    },
     /// The node crashes.
     Crash,
 }
 
-impl<M> EventKind<M> {
+impl EventKind {
     /// Kind tag folded into the order hash (mirrors the one-queue driver's
     /// 1 = message, 2 = crash, 3 = timer labelling).
     fn tag(&self) -> u64 {
@@ -114,16 +139,25 @@ impl<M> EventKind<M> {
 /// An event addressed to `to`, globally ordered by
 /// `(at_us, origin, oseq)` — a key every shard computes locally, so the
 /// total order is independent of the shard count.
-struct ShardEvent<M> {
-    at_us: u64,
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ShardEvent {
+    pub(crate) at_us: u64,
     /// The node whose action scheduled this event (sender of a message,
     /// owner of a timer, the crashing node itself).
-    origin: u32,
+    pub(crate) origin: u32,
     /// The origin's private, monotone event-scheduling counter.
-    oseq: u64,
+    pub(crate) oseq: u64,
     /// Destination node (the shard that owns it dispatches the event).
-    to: u32,
-    kind: EventKind<M>,
+    pub(crate) to: u32,
+    pub(crate) kind: EventKind,
+}
+
+/// A cross-shard send parked in an outbox: the event plus its payload,
+/// which is re-homed into the destination shard's arena at the exchange
+/// (the event's `payload` key is filled in there).
+struct Outbound<M> {
+    ev: ShardEvent,
+    msg: M,
 }
 
 /// Wheel size (µs, power of two). Events further than this ahead of the
@@ -131,6 +165,11 @@ struct ShardEvent<M> {
 /// revolution boundaries.
 const WHEEL_US: u64 = 4096;
 const WHEEL_MASK: u64 = WHEEL_US - 1;
+
+/// Slots (and the overflow list) whose capacity is at or below this never
+/// decay — the floor keeps steady traffic from thrashing tiny
+/// reallocations.
+const SLOT_DECAY_MIN: usize = 32;
 
 /// Epochs shorter than this run the shards sequentially even when the
 /// parallel path is enabled: below it, the per-epoch `thread::scope`
@@ -151,17 +190,17 @@ const MIN_PARALLEL_EPOCH_US: u64 = 32;
 /// `WHEEL_US` apart, hence simultaneous) and drains in `(origin, oseq)`
 /// order — the same global `(timestamp, origin, origin-sequence)` total
 /// order a heap would produce.
-struct CalendarQueue<M> {
-    wheel: Vec<Vec<ShardEvent<M>>>,
+pub(crate) struct CalendarQueue {
+    wheel: Vec<Vec<ShardEvent>>,
     /// Events at or beyond `cursor + WHEEL_US`, parked until their
     /// revolution comes around.
-    overflow: Vec<ShardEvent<M>>,
+    overflow: Vec<ShardEvent>,
     /// All events strictly below the cursor have been drained.
     cursor: u64,
 }
 
-impl<M> CalendarQueue<M> {
-    fn new() -> Self {
+impl CalendarQueue {
+    pub(crate) fn new() -> Self {
         CalendarQueue {
             wheel: (0..WHEEL_US).map(|_| Vec::new()).collect(),
             overflow: Vec::new(),
@@ -173,7 +212,7 @@ impl<M> CalendarQueue<M> {
     /// mailbox floors delays at 1 µs and cross-shard arrivals carry at
     /// least the lookahead, so this holds by construction).
     #[inline]
-    fn push(&mut self, ev: ShardEvent<M>) {
+    pub(crate) fn push(&mut self, ev: ShardEvent) {
         debug_assert!(ev.at_us >= self.cursor, "event scheduled in the past");
         if ev.at_us >= self.cursor + WHEEL_US {
             self.overflow.push(ev);
@@ -183,10 +222,10 @@ impl<M> CalendarQueue<M> {
     }
 
     /// Fold every overflow event whose revolution has arrived into the
-    /// wheel. Called whenever the cursor crosses a multiple of
-    /// [`WHEEL_US`]; an overflow event's instant is always at or beyond
-    /// the *next* boundary, so it is re-filed before the cursor can pass
-    /// it.
+    /// wheel, and decay slot capacities that ballooned during a burst.
+    /// Called whenever the cursor crosses a multiple of [`WHEEL_US`]; an
+    /// overflow event's instant is always at or beyond the *next*
+    /// boundary, so it is re-filed before the cursor can pass it.
     fn redistribute(&mut self) {
         let horizon = self.cursor + WHEEL_US;
         let mut i = 0;
@@ -198,6 +237,52 @@ impl<M> CalendarQueue<M> {
                 i += 1;
             }
         }
+        // Hand burst memory back: a slot that ballooned keeps its capacity
+        // only until its next revolution (it used to keep it forever — the
+        // memory-drift bug). The floor avoids thrashing small slots.
+        for slot in &mut self.wheel {
+            if slot.capacity() > SLOT_DECAY_MIN && slot.capacity() > 4 * slot.len() {
+                slot.shrink_to(SLOT_DECAY_MIN.max(2 * slot.len()));
+            }
+        }
+        if self.overflow.capacity() > SLOT_DECAY_MIN
+            && self.overflow.capacity() > 4 * self.overflow.len()
+        {
+            self.overflow
+                .shrink_to(SLOT_DECAY_MIN.max(2 * self.overflow.len()));
+        }
+    }
+
+    /// Drain every event due strictly before `end_us` into `f`, advancing
+    /// the cursor. Events of one instant come out in push order, *not*
+    /// sorted by the global key — callers whose handling is order-sensitive
+    /// (the shard dispatch loop) sweep the wheel themselves and sort each
+    /// slot batch; this is for order-insensitive drains (the round-barrier
+    /// facade, which only tallies per-event metrics).
+    pub(crate) fn drain_until(&mut self, end_us: u64, mut f: impl FnMut(ShardEvent)) {
+        while self.cursor < end_us {
+            if self.cursor & WHEEL_MASK == 0 {
+                self.redistribute();
+            }
+            let slot = (self.cursor & WHEEL_MASK) as usize;
+            for ev in self.wheel[slot].drain(..) {
+                debug_assert_eq!(ev.at_us, self.cursor, "slot holds one instant");
+                f(ev);
+            }
+            self.cursor += 1;
+        }
+    }
+
+    /// Whether any event is still queued (wheel or overflow).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.overflow.is_empty() && self.wheel.iter().all(Vec::is_empty)
+    }
+
+    /// Total event slots this queue holds memory for (wheel slot
+    /// capacities plus the overflow list) — the flat-memory regression
+    /// probe.
+    pub(crate) fn capacity_events(&self) -> usize {
+        self.wheel.iter().map(Vec::capacity).sum::<usize>() + self.overflow.capacity()
     }
 }
 
@@ -211,31 +296,24 @@ struct ShardCounters {
     dead_receiver_drops: u64,
 }
 
-/// One shard: the owner of a contiguous block of nodes.
+/// One shard: the owner of a contiguous block of nodes. Scalar per-node
+/// state lives in the `NodeTable`'s parallel arrays; handlers and RNG
+/// streams keep their own slabs (they are lent out individually by `&mut`).
 struct Shard<H: Handler> {
     /// First global node id owned by this shard.
     start: usize,
     // Per owned node, indexed by `global id - start`:
     handlers: Vec<H>,
-    alive: Vec<bool>,
-    crash_at: Vec<Option<u64>>,
-    incarnation: Vec<u32>,
     rng: Vec<SmallRng>,
-    oseq: Vec<u64>,
-    bits_window: Vec<u64>,
-    node_hash: Vec<u64>,
-    /// Per-node cancellation watermarks: a timer label maps to the node's
-    /// `oseq` at cancel time; pending timers with a smaller `oseq` are
-    /// suppressed at dispatch. `oseq` is monotone across incarnations, so
-    /// stale entries can never cancel a post-rejoin timer.
-    cancels: Vec<HashMap<u32, u64>>,
-    // Shard-local aggregates:
-    alive_count: usize,
-    pending_crashes: usize,
-    queue: CalendarQueue<H::Msg>,
+    /// Liveness, incarnations, sequence counters, bandwidth tallies,
+    /// dispatch hashes and cancel watermarks, as dense parallel arrays.
+    nodes: NodeTable,
+    queue: CalendarQueue,
+    /// In-flight payloads of events queued at this shard.
+    arena: PayloadArena<H::Msg>,
     /// Cross-shard sends buffered per destination shard, exchanged at
     /// epoch barriers.
-    outbox: Vec<Vec<ShardEvent<H::Msg>>>,
+    outbox: Vec<Vec<Outbound<H::Msg>>>,
     metrics: Metrics,
     async_metrics: AsyncMetrics,
     counters: ShardCounters,
@@ -274,15 +352,15 @@ macro_rules! handler_and_mailbox {
             &mut shard.handlers[$local],
             ShardMailbox {
                 me: NodeId::new(shard.start + $local),
+                local: $local,
                 now_us: $now_us,
                 incarnation: $incarnation,
                 topo: $topo,
                 rng: &mut shard.rng[$local],
-                oseq: &mut shard.oseq[$local],
-                bits_window: &mut shard.bits_window[$local],
-                cancels: &mut shard.cancels[$local],
+                nodes: &mut shard.nodes,
                 shard_start: shard.start,
                 queue: &mut shard.queue,
+                arena: &mut shard.arena,
                 outbox: &mut shard.outbox,
                 metrics: &mut shard.metrics,
                 async_metrics: &mut shard.async_metrics,
@@ -315,7 +393,9 @@ impl<H: Handler> Shard<H> {
                     debug_assert_eq!(ev.at_us, self.queue.cursor, "slot holds one instant");
                     self.dispatch(ev, topo);
                 }
-                // Hand the allocation back for the slot's next revolution.
+                // Hand the allocation back for the slot's next revolution
+                // (redistribute decays it if the burst that filled it has
+                // passed).
                 self.queue.wheel[slot] = batch;
             }
             self.queue.cursor += 1;
@@ -337,20 +417,21 @@ impl<H: Handler> Shard<H> {
         }
     }
 
-    fn dispatch(&mut self, ev: ShardEvent<H::Msg>, topo: &Topology) {
+    fn dispatch(&mut self, ev: ShardEvent, topo: &Topology) {
         let local = ev.to as usize - self.start;
         let tagged = ev.kind.tag() << 60 | u64::from(ev.origin) << 28;
         match ev.kind {
             EventKind::Crash => {
-                if self.alive[local] {
-                    self.alive[local] = false;
-                    self.alive_count -= 1;
+                if self.nodes.alive[local] {
+                    self.nodes.alive[local] = false;
+                    self.nodes.alive_count -= 1;
                     self.async_metrics.churn_crashes += 1;
                 }
-                if self.crash_at[local].take().is_some() {
-                    self.pending_crashes -= 1;
+                if self.nodes.crash_at[local] != NO_CRASH {
+                    self.nodes.crash_at[local] = NO_CRASH;
+                    self.nodes.pending_crashes -= 1;
                 }
-                fold3(&mut self.node_hash[local], ev.at_us, tagged, ev.oseq);
+                fold3(&mut self.nodes.node_hash[local], ev.at_us, tagged, ev.oseq);
                 self.trace_event(
                     ev.at_us,
                     u64::from(ev.to),
@@ -363,12 +444,15 @@ impl<H: Handler> Shard<H> {
                 phase,
                 bits,
                 latency_us,
-                msg,
+                payload,
             } => {
+                // Reclaim the payload first: a dead receiver must still
+                // free the slot, or burst memory would leak.
+                let msg = self.arena.take(payload);
                 // The receiver-side verdict: alive at the arrival instant.
                 // Crashes are events in the same total order, so "at the
                 // arrival instant" is exact, not a window approximation.
-                let ok = self.alive[local];
+                let ok = self.nodes.alive[local];
                 self.metrics.record_send(phase, bits, ok);
                 if !ok {
                     self.counters.dead_receiver_drops += 1;
@@ -383,7 +467,7 @@ impl<H: Handler> Shard<H> {
                 }
                 self.async_metrics.latency.record(latency_us);
                 self.counters.messages_dispatched += 1;
-                fold3(&mut self.node_hash[local], ev.at_us, tagged, ev.oseq);
+                fold3(&mut self.nodes.node_hash[local], ev.at_us, tagged, ev.oseq);
                 self.trace_event(
                     ev.at_us,
                     u64::from(ev.to),
@@ -391,13 +475,14 @@ impl<H: Handler> Shard<H> {
                     TraceKind::Recv,
                     TraceReason::None,
                 );
-                let incarnation = self.incarnation[local];
+                let msg = msg.expect("a queued delivery always carries a payload");
+                let incarnation = self.nodes.incarnation[local];
                 let (handler, mut mailbox) =
                     handler_and_mailbox!(self, topo, local, ev.at_us, incarnation);
                 handler.on_message(NodeId::new(ev.origin as usize), msg, &mut mailbox);
             }
             EventKind::Timer { timer, incarnation } => {
-                if !self.alive[local] || self.incarnation[local] != incarnation {
+                if !self.nodes.alive[local] || self.nodes.incarnation[local] != incarnation {
                     self.counters.stale_timer_skips += 1;
                     self.trace_event(
                         ev.at_us,
@@ -408,8 +493,10 @@ impl<H: Handler> Shard<H> {
                     );
                     return;
                 }
-                if self.cancels[local]
-                    .get(&timer.0)
+                if self
+                    .nodes
+                    .cancels
+                    .get(&(local as u32, timer.0))
                     .is_some_and(|&watermark| ev.oseq < watermark)
                 {
                     // Suppressed by cancel_timer; not folded into the node
@@ -434,7 +521,7 @@ impl<H: Handler> Shard<H> {
                     TraceReason::None,
                 );
                 fold3(
-                    &mut self.node_hash[local],
+                    &mut self.nodes.node_hash[local],
                     ev.at_us,
                     tagged | u64::from(timer.0),
                     ev.oseq,
@@ -449,7 +536,7 @@ impl<H: Handler> Shard<H> {
     /// Run `on_start` for the (fresh) handler at local index `local`, with
     /// the clock at `now_us`. Used for initial boots and rejoin restarts.
     fn boot(&mut self, local: usize, now_us: u64, topo: &Topology) {
-        let incarnation = self.incarnation[local];
+        let incarnation = self.nodes.incarnation[local];
         let (handler, mut mailbox) = handler_and_mailbox!(self, topo, local, now_us, incarnation);
         handler.on_start(&mut mailbox);
     }
@@ -459,16 +546,16 @@ impl<H: Handler> Shard<H> {
 /// one node's slice of its shard.
 struct ShardMailbox<'a, M> {
     me: NodeId,
+    local: usize,
     now_us: u64,
     incarnation: u32,
     topo: &'a Topology,
     rng: &'a mut SmallRng,
-    oseq: &'a mut u64,
-    bits_window: &'a mut u64,
-    cancels: &'a mut HashMap<u32, u64>,
+    nodes: &'a mut NodeTable,
     shard_start: usize,
-    queue: &'a mut CalendarQueue<M>,
-    outbox: &'a mut Vec<Vec<ShardEvent<M>>>,
+    queue: &'a mut CalendarQueue,
+    arena: &'a mut PayloadArena<M>,
+    outbox: &'a mut Vec<Vec<Outbound<M>>>,
     metrics: &'a mut Metrics,
     async_metrics: &'a mut AsyncMetrics,
     trace: &'a mut Option<TraceRing>,
@@ -477,9 +564,7 @@ struct ShardMailbox<'a, M> {
 impl<M> ShardMailbox<'_, M> {
     #[inline]
     fn next_oseq(&mut self) -> u64 {
-        let seq = *self.oseq;
-        *self.oseq += 1;
-        seq
+        self.nodes.next_oseq(self.local)
     }
 
     /// Record into the shard's trace ring, if tracing is on (passive).
@@ -487,18 +572,6 @@ impl<M> ShardMailbox<'_, M> {
     fn trace_event(&mut self, peer: u64, kind: TraceKind, reason: TraceReason) {
         if let Some(ring) = self.trace.as_mut() {
             ring.record(self.now_us, self.me.index() as u64, peer, kind, reason);
-        }
-    }
-
-    #[inline]
-    fn push(&mut self, ev: ShardEvent<M>) {
-        let dest = ev.to as usize / self.topo.chunk;
-        if ev.to as usize >= self.shard_start
-            && (ev.to as usize) < self.shard_start + self.topo.chunk
-        {
-            self.queue.push(ev);
-        } else {
-            self.outbox[dest].push(ev);
         }
     }
 }
@@ -534,10 +607,10 @@ impl<M> Mailbox<M> for ShardMailbox<'_, M> {
             latency_us = ((latency_us as f64) * bias).round().max(1.0) as u64;
         }
         let over_budget = match config.bandwidth_bits_per_round {
-            Some(budget) => *self.bits_window + u64::from(bits) > budget,
+            Some(budget) => self.nodes.bits_window[self.local] + u64::from(bits) > budget,
             None => false,
         };
-        *self.bits_window += u64::from(bits);
+        self.nodes.bits_window[self.local] += u64::from(bits);
         if lost {
             self.metrics.record_send(phase, bits, false);
             self.trace_event(to.index() as u64, TraceKind::Drop, TraceReason::Loss);
@@ -559,9 +632,11 @@ impl<M> Mailbox<M> for ShardMailbox<'_, M> {
         }
         self.trace_event(to.index() as u64, TraceKind::Send, TraceReason::None);
         // In flight: the receiver's shard rules on liveness at arrival and
-        // records the attempt with the final verdict.
+        // records the attempt with the final verdict. A local delivery
+        // parks its payload in the shard's own arena; a cross-shard one
+        // travels next to the event and is re-homed at the exchange.
         let oseq = self.next_oseq();
-        let ev = ShardEvent {
+        let mut ev = ShardEvent {
             at_us: self.now_us + latency_us,
             origin: self.me.index() as u32,
             oseq,
@@ -570,10 +645,18 @@ impl<M> Mailbox<M> for ShardMailbox<'_, M> {
                 phase,
                 bits,
                 latency_us,
-                msg,
+                payload: NO_PAYLOAD,
             },
         };
-        self.push(ev);
+        let to_idx = to.index();
+        if to_idx >= self.shard_start && to_idx < self.shard_start + self.topo.chunk {
+            if let EventKind::Deliver { payload, .. } = &mut ev.kind {
+                *payload = self.arena.insert(msg);
+            }
+            self.queue.push(ev);
+        } else {
+            self.outbox[to_idx / self.topo.chunk].push(Outbound { ev, msg });
+        }
     }
 
     fn set_timer(&mut self, delay_us: u64, timer: TimerId) {
@@ -606,7 +689,9 @@ impl<M> Mailbox<M> for ShardMailbox<'_, M> {
         // Watermark = the node's next oseq: every pending timer with this
         // label was scheduled with a smaller oseq and is suppressed at
         // dispatch; a later set_timer draws a larger one and fires.
-        self.cancels.insert(timer.0, *self.oseq);
+        self.nodes
+            .cancels
+            .insert((self.local as u32, timer.0), self.nodes.oseq[self.local]);
     }
 
     fn rng_mut(&mut self) -> &mut SmallRng {
@@ -694,20 +779,13 @@ where
             shard_vec.push(Shard {
                 start,
                 handlers: ids.clone().map(|i| factory(NodeId::new(i))).collect(),
-                alive: alive[start..end].to_vec(),
-                crash_at: vec![None; end - start],
-                incarnation: vec![0; end - start],
                 rng: ids
                     .clone()
                     .map(|i| node_rng(config.sim.seed, NodeId::new(i)))
                     .collect(),
-                oseq: vec![0; end - start],
-                bits_window: vec![0; end - start],
-                node_hash: vec![crate::driver::FNV_OFFSET; end - start],
-                cancels: vec![HashMap::new(); end - start],
-                alive_count: alive[start..end].iter().filter(|&&a| a).count(),
-                pending_crashes: 0,
+                nodes: NodeTable::new(&alive[start..end]),
                 queue: CalendarQueue::new(),
+                arena: PayloadArena::new(),
                 outbox: (0..num_shards).map(|_| Vec::new()).collect(),
                 metrics: Metrics::new(),
                 async_metrics: AsyncMetrics::default(),
@@ -774,8 +852,8 @@ where
     }
 
     /// Route the full backend state — merged protocol/engine metrics,
-    /// driver counters, liveness gauges and every handler's protocol
-    /// counters — into an observability registry. Purely a read.
+    /// driver counters, liveness/allocation gauges and every handler's
+    /// protocol counters — into an observability registry. Purely a read.
     pub fn fill_registry(&self, registry: &mut gossip_obs::Registry) {
         self.net_metrics().fill_registry(registry);
         self.async_metrics().fill_registry(registry);
@@ -803,6 +881,30 @@ where
             "Shards hosting the node space",
             &[],
             self.topo.num_shards as f64,
+        );
+        registry.set_gauge(
+            "engine_arena_live",
+            "Message payloads live in the slab arenas",
+            &[],
+            self.arena_live() as f64,
+        );
+        registry.set_gauge(
+            "engine_arena_capacity",
+            "Payload slots the slab arenas hold memory for",
+            &[],
+            self.arena_capacity() as f64,
+        );
+        registry.add_counter(
+            "engine_slot_reuse_total",
+            "Arena inserts that reused a freed slot instead of allocating",
+            &[],
+            self.arena_reuse_total(),
+        );
+        registry.set_gauge(
+            "engine_queue_capacity_events",
+            "Event slots the calendar queues hold memory for",
+            &[],
+            self.queue_capacity_events() as f64,
         );
         if let Some(ring) = self.trace() {
             registry.add_counter(
@@ -894,12 +996,33 @@ where
     /// Whether `node` is currently alive.
     pub fn is_alive(&self, node: NodeId) -> bool {
         let (s, local) = self.locate(node.index());
-        self.shards[s].alive[local]
+        self.shards[s].nodes.alive[local]
     }
 
     /// Number of currently alive nodes.
     pub fn alive_count(&self) -> usize {
-        self.shards.iter().map(|s| s.alive_count).sum()
+        self.shards.iter().map(|s| s.nodes.alive_count).sum()
+    }
+
+    /// Payloads currently live across the per-shard slab arenas.
+    pub fn arena_live(&self) -> usize {
+        self.shards.iter().map(|s| s.arena.live()).sum()
+    }
+
+    /// Total payload slots the per-shard arenas hold memory for.
+    pub fn arena_capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.arena.capacity()).sum()
+    }
+
+    /// Arena inserts that reused a freed slot instead of allocating.
+    pub fn arena_reuse_total(&self) -> u64 {
+        self.shards.iter().map(|s| s.arena.reuse_total()).sum()
+    }
+
+    /// Total event slots the calendar queues hold memory for (wheel slot
+    /// capacities plus overflow lists) — the flat-memory regression probe.
+    pub fn queue_capacity_events(&self) -> usize {
+        self.shards.iter().map(|s| s.queue.capacity_events()).sum()
     }
 
     /// The handler currently installed at `node` (the live incarnation).
@@ -952,7 +1075,7 @@ where
             m.dead_receiver_drops += shard.counters.dead_receiver_drops;
         }
         for shard in &self.shards {
-            for &h in &shard.node_hash {
+            for &h in &shard.nodes.node_hash {
                 m.fold_word(h);
             }
         }
@@ -993,7 +1116,7 @@ where
             self.started = true;
             for i in 0..self.topo.config.sim.n {
                 let (s, local) = self.locate(i);
-                if self.shards[s].alive[local] {
+                if self.shards[s].nodes.alive[local] {
                     self.handler_starts += 1;
                     self.shards[s].boot(local, 0, &self.topo);
                 }
@@ -1048,9 +1171,10 @@ where
         }
     }
 
-    /// Move every buffered cross-shard batch into its destination queue.
-    /// Order of insertion is irrelevant — the queues order by the global
-    /// key — so the batches need no sorting.
+    /// Move every buffered cross-shard batch into its destination queue,
+    /// re-homing each payload into the destination shard's arena. Order of
+    /// insertion is irrelevant — the queues order by the global key — so
+    /// the batches need no sorting.
     fn exchange(&mut self) {
         if self.topo.num_shards == 1 {
             return;
@@ -1061,9 +1185,12 @@ where
                 if events.is_empty() {
                     continue;
                 }
-                let queue = &mut self.shards[d].queue;
-                for ev in events.drain(..) {
-                    queue.push(ev);
+                let dest = &mut self.shards[d];
+                for Outbound { mut ev, msg } in events.drain(..) {
+                    if let EventKind::Deliver { payload, .. } = &mut ev.kind {
+                        *payload = dest.arena.insert(msg);
+                    }
+                    dest.queue.push(ev);
                 }
             }
             self.shards[s].outbox = outbox;
@@ -1071,10 +1198,10 @@ where
     }
 
     /// A window barrier: drain shard metrics into the base (one round per
-    /// window), reset bandwidth budgets, and draw churn serially in
-    /// node-id order from the driver-level stream. Rejoiners restart with
-    /// fresh handlers, a bumped incarnation and an `on_start` at the
-    /// boundary.
+    /// window), decay burst memory, reset bandwidth budgets, and draw
+    /// churn serially in node-id order from the driver-level stream.
+    /// Rejoiners restart with fresh handlers, a bumped incarnation and an
+    /// `on_start` at the boundary.
     fn cross_barrier(&mut self, boundary: u64) {
         for shard in &mut self.shards {
             self.base_metrics
@@ -1084,37 +1211,37 @@ where
             if let (Some(ring), Some(base)) = (&mut shard.trace, &mut self.base_trace) {
                 ring.drain_into(base);
             }
+            shard.arena.decay();
         }
         self.base_metrics.advance_round();
         if self.topo.config.bandwidth_bits_per_round.is_some() {
             for shard in &mut self.shards {
-                shard.bits_window.iter_mut().for_each(|b| *b = 0);
+                shard.nodes.bits_window.iter_mut().for_each(|b| *b = 0);
             }
         }
         let churn = self.topo.config.churn;
         if !churn.is_enabled() {
             return;
         }
-        let mut alive_total: usize = self.shards.iter().map(|s| s.alive_count).sum();
-        let mut pending_total: usize = self.shards.iter().map(|s| s.pending_crashes).sum();
+        let mut alive_total: usize = self.shards.iter().map(|s| s.nodes.alive_count).sum();
+        let mut pending_total: usize = self.shards.iter().map(|s| s.nodes.pending_crashes).sum();
         for i in 0..self.topo.config.sim.n {
             let (s, local) = self.locate(i);
-            if self.shards[s].alive[local] {
+            if self.shards[s].nodes.alive[local] {
                 let can_crash = alive_total - pending_total > churn.min_alive;
                 if can_crash
                     && churn.crash_prob > 0.0
-                    && self.shards[s].crash_at[local].is_none()
+                    && self.shards[s].nodes.crash_at[local] == NO_CRASH
                     && self.churn_rng.gen_bool(churn.crash_prob)
                 {
                     // Uniform instant strictly inside the window, ordered
                     // against deliveries by the event queue.
                     let at = boundary + 1 + self.churn_rng.gen_range(0..self.window_us.max(1));
                     let shard = &mut self.shards[s];
-                    shard.crash_at[local] = Some(at);
-                    shard.pending_crashes += 1;
+                    shard.nodes.crash_at[local] = at;
+                    shard.nodes.pending_crashes += 1;
                     pending_total += 1;
-                    let oseq = shard.oseq[local];
-                    shard.oseq[local] += 1;
+                    let oseq = shard.nodes.next_oseq(local);
                     shard.queue.push(ShardEvent {
                         at_us: at,
                         origin: i as u32,
@@ -1126,10 +1253,10 @@ where
             } else if churn.rejoin_prob > 0.0 && self.churn_rng.gen_bool(churn.rejoin_prob) {
                 let node = NodeId::new(i);
                 let shard = &mut self.shards[s];
-                shard.alive[local] = true;
-                shard.alive_count += 1;
+                shard.nodes.alive[local] = true;
+                shard.nodes.alive_count += 1;
                 alive_total += 1;
-                shard.incarnation[local] = shard.incarnation[local].wrapping_add(1);
+                shard.nodes.incarnation[local] = shard.nodes.incarnation[local].wrapping_add(1);
                 shard.handlers[local] = (self.factory)(node);
                 self.base_async.churn_rejoins += 1;
                 self.rejoin_log.push((boundary, node));
@@ -1246,6 +1373,10 @@ mod tests {
         assert!(driver.metrics().messages_dispatched > 0);
         assert_eq!(driver.now_us(), 40_000);
         assert_eq!(driver.net_metrics().rounds(), 47, "one round per window");
+        // Live arena slots are exactly the messages still in flight at the
+        // cutoff — a bounded number, not an accreting one.
+        assert!(driver.arena_live() < 200, "got {}", driver.arena_live());
+        assert!(driver.arena_reuse_total() > 0, "steady state reuses slots");
     }
 
     #[test]
@@ -1449,5 +1580,64 @@ mod tests {
             tick_us: 1_000,
         })
         .with_epoch_us(301);
+    }
+
+    /// Sends one huge burst at boot time and tiny trickles afterwards —
+    /// the workload that used to pin slot and arena capacity at the
+    /// burst's high-water mark forever.
+    #[derive(Debug)]
+    struct Burst {
+        me: NodeId,
+        bursts: u32,
+    }
+
+    impl Handler for Burst {
+        type Msg = u64;
+        fn on_start(&mut self, mailbox: &mut dyn Mailbox<u64>) {
+            if self.me.index() == 0 {
+                mailbox.set_timer(1, TICK);
+            }
+        }
+        fn on_message(&mut self, _from: NodeId, _msg: u64, _mailbox: &mut dyn Mailbox<u64>) {}
+        fn on_timer(&mut self, _timer: TimerId, mailbox: &mut dyn Mailbox<u64>) {
+            let k: u64 = if self.bursts == 0 { 10_000 } else { 10 };
+            self.bursts += 1;
+            for i in 0..k {
+                mailbox.send(NodeId::new(1), Phase::Other, 32, i);
+            }
+            mailbox.set_timer(4_096, TICK);
+        }
+    }
+
+    #[test]
+    fn burst_memory_decays_instead_of_sticking() {
+        // Constant latency funnels the whole burst into a single calendar
+        // slot of the receiver's shard and a matching block of arena
+        // slots; two shards force the cross-shard (outbox + re-homing)
+        // path. Before capacity decay, the ballooned slot and slab kept
+        // their 10⁴-event capacity for the rest of the run.
+        let config = AsyncConfig::new(SimConfig::new(2).with_seed(5))
+            .with_latency(LatencyModel::Constant(500));
+        let mut driver = ShardedDriver::new(config, 2, |me| Burst { me, bursts: 0 });
+        driver.run_until(60_000);
+        assert!(
+            driver.metrics().messages_dispatched > 10_000,
+            "the burst and the trickles were all delivered"
+        );
+        assert_eq!(driver.arena_live(), 0, "no payload outlives its dispatch");
+        assert!(
+            driver.arena_capacity() < 1_000,
+            "arena decayed after the burst, still holds {} slots",
+            driver.arena_capacity()
+        );
+        assert!(
+            driver.queue_capacity_events() < 1_000,
+            "calendar slots decayed after the burst, still hold {} events",
+            driver.queue_capacity_events()
+        );
+        assert!(
+            driver.arena_reuse_total() > 0,
+            "trickle traffic reuses freed slots"
+        );
     }
 }

@@ -1,0 +1,99 @@
+//! Struct-of-arrays per-node state for the sharded engine.
+//!
+//! A shard used to scatter each node's scalar state across an
+//! array-of-structs-flavoured mix of `Vec<Option<u64>>` and per-node
+//! `HashMap`s; at n ≥ 10⁶ the barrier sweeps (bandwidth reset, churn
+//! draw, hash folding) paid a cache miss per node for fields they never
+//! touch together. [`NodeTable`] packs each field into its own dense
+//! array so every sweep walks exactly the bytes it reads:
+//!
+//! * `crash_at` stores a raw `u64` with [`NO_CRASH`] as the "none"
+//!   sentinel — half the width of `Option<u64>` and branch-free to scan;
+//! * cancellation watermarks live in **one** shard-level map keyed by
+//!   `(local node, timer label)` instead of a `HashMap` per node, so the
+//!   common all-nodes-never-cancel case costs one empty map, not n.
+//!
+//! Handlers and per-node RNG streams stay in their own slabs next to the
+//! table (they are handed out by `&mut` reference individually, which a
+//! field of the table could not be while the rest is borrowed).
+//!
+//! The layout is storage-only: dispatch reads and writes the same values
+//! in the same order as before, so the per-node order hashes — and with
+//! them the driver's shard-count-invariant fingerprint — are preserved
+//! bit for bit.
+
+use std::collections::HashMap;
+
+/// Sentinel in [`NodeTable::crash_at`] marking "no crash scheduled".
+pub(crate) const NO_CRASH: u64 = u64::MAX;
+
+/// Dense parallel arrays of per-node scalar state, indexed by a node's
+/// local (shard-relative) index. See the module docs.
+pub(crate) struct NodeTable {
+    /// Current liveness.
+    pub(crate) alive: Vec<bool>,
+    /// Crash instant scheduled inside the current window ([`NO_CRASH`]
+    /// when none is).
+    pub(crate) crash_at: Vec<u64>,
+    /// Incarnation epoch, bumped at every rejoin.
+    pub(crate) incarnation: Vec<u32>,
+    /// Private, monotone event-scheduling counter.
+    pub(crate) oseq: Vec<u64>,
+    /// Bits sent in the current bandwidth window.
+    pub(crate) bits_window: Vec<u64>,
+    /// Per-node dispatch-order hash (FNV fold of the node's events).
+    pub(crate) node_hash: Vec<u64>,
+    /// Cancellation watermarks, keyed `(local index, timer label)`: a
+    /// pending timer with a smaller `oseq` than the recorded watermark is
+    /// suppressed at dispatch. `oseq` is monotone across incarnations, so
+    /// stale entries can never cancel a post-rejoin timer.
+    pub(crate) cancels: HashMap<(u32, u32), u64>,
+    /// Number of `true` entries in `alive`.
+    pub(crate) alive_count: usize,
+    /// Number of non-sentinel entries in `crash_at`.
+    pub(crate) pending_crashes: usize,
+}
+
+impl NodeTable {
+    /// A table seeded from the initial liveness pattern.
+    pub(crate) fn new(alive: &[bool]) -> Self {
+        let n = alive.len();
+        NodeTable {
+            alive: alive.to_vec(),
+            crash_at: vec![NO_CRASH; n],
+            incarnation: vec![0; n],
+            oseq: vec![0; n],
+            bits_window: vec![0; n],
+            node_hash: vec![crate::driver::FNV_OFFSET; n],
+            cancels: HashMap::new(),
+            alive_count: alive.iter().filter(|&&a| a).count(),
+            pending_crashes: 0,
+        }
+    }
+
+    /// Advance and return `local`'s event-scheduling counter.
+    #[inline]
+    pub(crate) fn next_oseq(&mut self, local: usize) -> u64 {
+        let seq = self.oseq[local];
+        self.oseq[local] += 1;
+        seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_tracks_liveness_and_sequences() {
+        let mut t = NodeTable::new(&[true, false, true]);
+        assert_eq!(t.alive.len(), 3);
+        assert_eq!(t.alive_count, 2);
+        assert_eq!(t.pending_crashes, 0);
+        assert!(t.crash_at.iter().all(|&c| c == NO_CRASH));
+        assert_eq!(t.next_oseq(1), 0);
+        assert_eq!(t.next_oseq(1), 1);
+        assert_eq!(t.next_oseq(0), 0);
+        assert_eq!(t.node_hash[2], crate::driver::FNV_OFFSET);
+    }
+}

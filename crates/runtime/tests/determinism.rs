@@ -8,7 +8,8 @@ use gossip_drr::handler::{MaxGossipConfig, MaxGossipHandler};
 use gossip_drr::protocol::{drr_gossip_ave, drr_gossip_max, DrrGossipConfig, DrrGossipReport};
 use gossip_net::{Handler, Mailbox, Network, NodeId, Phase, SimConfig, TimerId};
 use gossip_runtime::{
-    AsyncConfig, AsyncEngine, ChurnModel, EventDriver, LatencyModel, ShardedDriver, SweepRunner,
+    AsyncConfig, AsyncEngine, ChurnModel, EventDriver, LatencyModel, RoundPolicy, ShardedDriver,
+    SweepRunner,
 };
 use std::sync::{Arc, Mutex};
 
@@ -245,6 +246,58 @@ fn event_driven_dispatch_order_is_invariant_across_thread_counts() {
     // Slicing the run differently must not change the schedule either:
     // grid row 0 (one shot) equals grid row 1 (four slices), seed by seed.
     assert_eq!(one[..seeds.len()], one[seeds.len()..]);
+}
+
+#[test]
+fn event_driver_golden_order_hashes_survive_storage_refactors() {
+    // Serial-side twins of the absolute pins in `sharding.rs`: the same
+    // two golden configurations on the one-queue `EventDriver`, with
+    // hashes captured before the arena-payload rewrite. A storage change
+    // that re-orders or drops a dispatch fails here even if it remains
+    // internally reproducible.
+    let golden_a = AsyncConfig::new(
+        SimConfig::new(1_000)
+            .with_seed(0x60_1D)
+            .with_loss_prob(0.05),
+    )
+    .with_latency(LatencyModel::Uniform {
+        lo_us: 400,
+        hi_us: 2_000,
+    })
+    .with_link_spread(0.2)
+    .with_churn(ChurnModel::per_round(0.02, 0.1).with_min_alive(500));
+    let golden_b = AsyncConfig::new(SimConfig::new(500).with_seed(0xB0_1D).with_loss_prob(0.02))
+        .with_latency(LatencyModel::Uniform {
+            lo_us: 500,
+            hi_us: 1_500,
+        })
+        .with_churn(ChurnModel::per_round(0.01, 0.2).with_min_alive(100))
+        .with_bandwidth_bits_per_round(300)
+        .with_round_policy(RoundPolicy::FixedDeadline(2_000));
+    let golden = [
+        (golden_a, 0x1A8D_506A_FE94_1784u64, 21_289u64),
+        (golden_b, 0x6FC6_29C7_AB17_0E3Fu64, 12_893u64),
+    ];
+    for (i, (config, hash, messages)) in golden.into_iter().enumerate() {
+        let hc = MaxGossipConfig {
+            bits: config.sim.id_bits() + config.sim.value_bits(),
+            ..MaxGossipConfig::default()
+        };
+        let own = |me: NodeId| ((me.index() as u64).wrapping_mul(0x9E37_79B9) % 1_000_003) as f64;
+        let mut driver = EventDriver::new(AsyncEngine::new(config), move |me| {
+            MaxGossipHandler::new(me, own(me), hc)
+        });
+        driver.run_until(30_000);
+        assert_eq!(
+            (
+                driver.metrics().order_hash,
+                driver.metrics().messages_dispatched
+            ),
+            (hash, messages),
+            "golden config {} diverged on the EventDriver",
+            ["A", "B"][i]
+        );
+    }
 }
 
 #[test]

@@ -17,6 +17,75 @@ use rand::{Rng, SeedableRng};
 mod common;
 use common::shard_counts;
 
+/// Golden configuration A: mid-size, lossy, churny, spread links.
+/// Shared with the serial pins in `determinism.rs` — the two suites pin
+/// the *same* runs from both engines' perspectives.
+fn golden_config_a() -> AsyncConfig {
+    AsyncConfig::new(
+        SimConfig::new(1_000)
+            .with_seed(0x60_1D)
+            .with_loss_prob(0.05),
+    )
+    .with_latency(LatencyModel::Uniform {
+        lo_us: 400,
+        hi_us: 2_000,
+    })
+    .with_link_spread(0.2)
+    .with_churn(ChurnModel::per_round(0.02, 0.1).with_min_alive(500))
+}
+
+/// Golden configuration B: bandwidth-capped with a fixed round deadline,
+/// so the budget-drop and deadline-loss paths fold into the hash too.
+fn golden_config_b() -> AsyncConfig {
+    AsyncConfig::new(SimConfig::new(500).with_seed(0xB0_1D).with_loss_prob(0.02))
+        .with_latency(LatencyModel::Uniform {
+            lo_us: 500,
+            hi_us: 1_500,
+        })
+        .with_churn(ChurnModel::per_round(0.01, 0.2).with_min_alive(100))
+        .with_bandwidth_bits_per_round(300)
+        .with_round_policy(RoundPolicy::FixedDeadline(2_000))
+}
+
+fn golden_handler_config(config: &AsyncConfig) -> MaxGossipConfig {
+    MaxGossipConfig {
+        bits: config.sim.id_bits() + config.sim.value_bits(),
+        ..MaxGossipConfig::default()
+    }
+}
+
+fn golden_own_value(me: NodeId) -> f64 {
+    ((me.index() as u64).wrapping_mul(0x9E37_79B9) % 1_000_003) as f64
+}
+
+#[test]
+fn golden_order_hashes_survive_storage_refactors() {
+    // Absolute pins, not just cross-shard agreement: these hashes were
+    // captured on the HashMap-payload, array-of-structs engine *before*
+    // the arena/SoA rewrite, and the rewrite reproduced them bit for bit.
+    // Any future storage change that moves an event — or re-orders one —
+    // fails here even if it stays self-consistent across shard counts.
+    let golden = [
+        (golden_config_a(), 0x302C_A34D_92AD_3E9Cu64, 52_135u64),
+        (golden_config_b(), 0x9972_BB35_2ED1_100Fu64, 28_401u64),
+    ];
+    for (i, (config, hash, events)) in golden.into_iter().enumerate() {
+        let hc = golden_handler_config(&config);
+        for shards in shard_counts() {
+            let mut driver = ShardedDriver::new(config.clone(), shards, move |me| {
+                MaxGossipHandler::new(me, golden_own_value(me), hc)
+            });
+            driver.run_until(30_000);
+            assert_eq!(
+                (driver.order_hash(), driver.events_dispatched()),
+                (hash, events),
+                "golden config {} diverged at {shards} shard(s)",
+                ["A", "B"][i]
+            );
+        }
+    }
+}
+
 /// One random configuration, drawn from `rng`. Latency minima stay ≥ 100µs
 /// so the bounded-lag epoch (and with it the test) stays fast.
 fn random_config(rng: &mut SmallRng) -> AsyncConfig {
