@@ -266,6 +266,17 @@ pub struct AeNode {
     tree: Option<DigestTree>,
     /// Diagnostic counters.
     pub stats: AeNodeStats,
+    /// Anti-entropy ticks since the last adoption from a peer: the
+    /// convergence lag. A node that keeps ticking without adopting is
+    /// either converged or partitioned; the staleness histogram below
+    /// tells the two apart.
+    ticks_since_adopt: u64,
+    /// Wall/virtual time of the last adoption (`None` before the first).
+    last_adopt_us: Option<u64>,
+    /// Distribution of entry staleness (`now - stamp`, µs) over every
+    /// known entry, sampled once per tick. Converged stores cluster at
+    /// the update cadence; a stale node grows a long tail.
+    staleness: gossip_obs::Histogram,
 }
 
 impl AeNode {
@@ -286,7 +297,16 @@ impl AeNode {
             store,
             tree,
             stats: AeNodeStats::default(),
+            ticks_since_adopt: 0,
+            last_adopt_us: None,
+            staleness: gossip_obs::Histogram::new(),
         }
+    }
+
+    /// Ticks fired since the last adoption from a peer (the convergence
+    /// lag surfaced as `ae_convergence_lag`).
+    pub fn convergence_lag(&self) -> u64 {
+        self.ticks_since_adopt
     }
 
     /// The node's replicated store.
@@ -397,6 +417,13 @@ impl Handler for AeNode {
         match timer {
             TIMER_TICK => {
                 self.stats.ticks += 1;
+                self.ticks_since_adopt += 1;
+                let now_us = mailbox.now_us();
+                for i in 0..self.store.n() {
+                    if let Some(entry) = self.store.get(NodeId::new(i)) {
+                        self.staleness.record(now_us.saturating_sub(entry.stamp));
+                    }
+                }
                 // One opener serves every fanout target: the store cannot
                 // change between the sends of one tick.
                 let opener = self.opener();
@@ -430,6 +457,10 @@ impl Handler for AeNode {
         );
         self.stats.entries_adopted += handled.adopted as u64;
         self.stats.digest_mismatches += handled.invalid as u64;
+        if handled.adopted > 0 {
+            self.ticks_since_adopt = 0;
+            self.last_adopt_us = Some(mailbox.now_us());
+        }
         for reply in handled.replies {
             let bits = self.msg_bits(&reply);
             mailbox.send(from, Phase::AntiEntropy, bits, reply);
@@ -473,6 +504,24 @@ impl Handler for AeNode {
             &[],
             self.store.known() as f64,
         );
+        registry.add_gauge(
+            "ae_convergence_lag",
+            "Anti-entropy ticks since the last adoption from a peer",
+            &[],
+            self.ticks_since_adopt as f64,
+        );
+        registry.add_gauge(
+            "ae_last_adopt_us",
+            "Timestamp of the last adoption from a peer (µs; 0 before the first)",
+            &[],
+            self.last_adopt_us.unwrap_or(0) as f64,
+        );
+        registry.merge_histogram(
+            "ae_staleness_age_us",
+            "Entry staleness (now - stamp, µs) over known entries, sampled per tick",
+            &[],
+            &self.staleness,
+        );
     }
 
     fn status_lines(&self, now_us: u64) -> Vec<(String, String)> {
@@ -494,6 +543,17 @@ impl Handler for AeNode {
                     "{} ({} exchanges, {} adoptions)",
                     self.stats.ticks, self.stats.syn_sent, self.stats.entries_adopted
                 ),
+            ),
+            (
+                "ae.convergence".to_string(),
+                match self.last_adopt_us {
+                    Some(at) => format!(
+                        "lag {} ticks, last adoption {:.1}s ago",
+                        self.ticks_since_adopt,
+                        now_us.saturating_sub(at) as f64 / 1e6
+                    ),
+                    None => format!("lag {} ticks, no adoptions yet", self.ticks_since_adopt),
+                },
             ),
         ];
         if self.stats.digest_mismatches > 0 {

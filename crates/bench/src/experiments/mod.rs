@@ -19,6 +19,7 @@ pub mod lower_bound;
 pub mod membership;
 pub mod phase_breakdown;
 pub mod rumor_exp;
+pub mod soak;
 pub mod table1;
 
 use gossip_analysis::Table;
@@ -173,6 +174,13 @@ pub const EXPERIMENTS: &[ExperimentEntry] = &[
         "E21: SWIM failure detection — detection latency and false-positive rate vs probe \
          period × loss × n, sim vs socket (gossip-member)",
         membership::run,
+    ),
+    (
+        "soak",
+        "E22: drift-asserting soak — hours-equivalent churned run of SWIM + Merkle \
+         anti-entropy with causal tracing; occupancy gauges, counter rates and peak RSS \
+         asserted flat (sim + loopback)",
+        soak::run,
     ),
 ];
 

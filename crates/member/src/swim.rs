@@ -1013,4 +1013,10 @@ impl<M> Mailbox<M> for MemberMailbox<'_, M> {
     fn note(&mut self, peer: Option<NodeId>, reason: TraceReason) {
         self.outer.note(peer, reason);
     }
+
+    fn trace_ctx(&self) -> gossip_obs::TraceCtx {
+        // Detector pings/acks must stay on the causal chain of the event
+        // that triggered them, not restart at TraceCtx::NONE.
+        self.outer.trace_ctx()
+    }
 }

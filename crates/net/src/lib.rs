@@ -63,6 +63,7 @@ pub use phase::Phase;
 pub use stream::node_rng;
 pub use transport::{NodeIdIter, Transport};
 pub use wire::{
-    decode_frame, encode_frame, frame_with_payload, WireError, WireMsg, WireReader, WireWriter,
-    FRAME_HEADER_BYTES, MAX_PAYLOAD_BYTES, WIRE_MAGIC, WIRE_VERSION,
+    decode_frame, decode_frame_traced, encode_frame, encode_frame_traced, frame_with_payload,
+    frame_with_payload_traced, WireError, WireMsg, WireReader, WireWriter, FLAG_TRACE,
+    FRAME_HEADER_BYTES, MAX_PAYLOAD_BYTES, TRACE_CTX_BYTES, WIRE_MAGIC, WIRE_VERSION,
 };

@@ -121,6 +121,21 @@ pub trait Mailbox<M> {
     fn note(&mut self, peer: Option<NodeId>, reason: gossip_obs::TraceReason) {
         let _ = (peer, reason);
     }
+
+    /// The causal context of the event this mailbox is dispatching — the
+    /// chain id and hop of the message, timer fire, or start callback the
+    /// handler is currently handling. Hosts with tracing enabled override
+    /// this; messages sent through [`Mailbox::send`] inherit the context
+    /// at `hop + 1`, so an operator can follow one stimulus across nodes.
+    ///
+    /// Strictly **passive**: contexts are derived from values already at
+    /// hand (never an RNG draw) and ride alongside events without touching
+    /// scheduling, so traced and untraced runs are bit-identical. The
+    /// default is [`gossip_obs::TraceCtx::NONE`] — plain test mailboxes keep compiling
+    /// and handlers needing no causality never see a difference.
+    fn trace_ctx(&self) -> gossip_obs::TraceCtx {
+        gossip_obs::TraceCtx::NONE
+    }
 }
 
 /// A swappable source of candidate peers for [`Mailbox::sample_peer`].

@@ -27,6 +27,7 @@
 //! the network and shrug.
 
 use crate::node::NodeId;
+use gossip_obs::TraceCtx;
 use std::fmt;
 
 /// First two bytes of every frame (little-endian on the wire). Chosen to
@@ -40,6 +41,20 @@ pub const WIRE_VERSION: u8 = 1;
 /// Frame header size in bytes: magic (2) + version (1) + flags (1) +
 /// sender id (4) + payload length (4).
 pub const FRAME_HEADER_BYTES: usize = 12;
+
+/// Flags bit: the header is followed by a trace context (trace id `u64`
+/// plus hop `u8`) before the payload. Frames without the bit carry no extra
+/// bytes and are byte-identical to version-1 frames from builds that
+/// predate tracing — the feature is opt-in per frame, not a version bump.
+pub const FLAG_TRACE: u8 = 0x01;
+
+/// All flags bits this build understands. Unknown bits are rejected: a
+/// flag may imply extra header bytes (as [`FLAG_TRACE`] does), so a
+/// decoder that ignored one would misparse everything after it.
+pub const KNOWN_FLAGS: u8 = FLAG_TRACE;
+
+/// Extra bytes a [`FLAG_TRACE`] frame carries: trace id (8) + hop (1).
+pub const TRACE_CTX_BYTES: usize = 9;
 
 /// Hard ceiling on a frame's payload length, chosen so that header +
 /// payload always fits a single unfragmented-at-the-API UDP datagram
@@ -97,6 +112,12 @@ pub enum WireError {
         /// The claimed element count.
         claimed: usize,
     },
+    /// The flags byte carries a bit this build does not understand (see
+    /// [`KNOWN_FLAGS`]): the frame cannot be parsed safely.
+    BadFlags {
+        /// The flags byte actually found.
+        found: u8,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -120,6 +141,12 @@ impl fmt::Display for WireError {
                 write!(
                     f,
                     "collection length {claimed} cannot fit the remaining bytes"
+                )
+            }
+            WireError::BadFlags { found } => {
+                write!(
+                    f,
+                    "unknown flags {found:#04x} (this build understands {KNOWN_FLAGS:#04x})"
                 )
             }
         }
@@ -434,6 +461,15 @@ pub fn encode_frame<M: WireMsg>(from: NodeId, msg: &M) -> Vec<u8> {
 /// error). Callers must have checked `payload.len()` against
 /// [`MAX_PAYLOAD_BYTES`]; this function `debug_assert!`s it.
 pub fn frame_with_payload(from: NodeId, payload: &[u8]) -> Vec<u8> {
+    frame_with_payload_traced(from, TraceCtx::NONE, payload)
+}
+
+/// [`frame_with_payload`] with a causal context. The absent context
+/// produces a frame byte-identical to an untraced one (flags 0, no extra
+/// bytes); a real context sets [`FLAG_TRACE`] and carries
+/// [`TRACE_CTX_BYTES`] of trace id + hop between the header and the
+/// payload. The length field counts the payload only.
+pub fn frame_with_payload_traced(from: NodeId, ctx: TraceCtx, payload: &[u8]) -> Vec<u8> {
     debug_assert!(
         payload.len() <= MAX_PAYLOAD_BYTES,
         "caller must reject oversize payloads before framing"
@@ -441,11 +477,35 @@ pub fn frame_with_payload(from: NodeId, payload: &[u8]) -> Vec<u8> {
     let mut w = WireWriter::new();
     w.put_u16(WIRE_MAGIC);
     w.put_u8(WIRE_VERSION);
-    w.put_u8(0); // flags, reserved
+    if ctx.is_none() {
+        w.put_u8(0); // flags: no extensions
+    } else {
+        w.put_u8(FLAG_TRACE);
+    }
     w.put_u32(from.0);
     w.put_u32(payload.len() as u32);
+    if ctx.is_some() {
+        w.put_u64(ctx.trace_id);
+        w.put_u8(ctx.hop);
+    }
     w.put_bytes(payload);
     w.into_bytes()
+}
+
+/// [`encode_frame`] with a causal context (see
+/// [`frame_with_payload_traced`] for the layout).
+///
+/// # Panics
+/// Panics on oversize payloads, like [`encode_frame`].
+pub fn encode_frame_traced<M: WireMsg>(from: NodeId, ctx: TraceCtx, msg: &M) -> Vec<u8> {
+    let payload = msg.to_wire_bytes();
+    assert!(
+        payload.len() <= MAX_PAYLOAD_BYTES,
+        "encoded payload ({} bytes) exceeds the {}-byte frame limit",
+        payload.len(),
+        MAX_PAYLOAD_BYTES
+    );
+    frame_with_payload_traced(from, ctx, &payload)
 }
 
 /// Decode one frame: validates magic, version and the length field, then
@@ -454,6 +514,15 @@ pub fn frame_with_payload(from: NodeId, payload: &[u8]) -> Vec<u8> {
 ///
 /// Total over arbitrary input — every failure is a [`WireError`].
 pub fn decode_frame<M: WireMsg>(buf: &[u8]) -> Result<(NodeId, M), WireError> {
+    let (from, _ctx, msg) = decode_frame_traced(buf)?;
+    Ok((from, msg))
+}
+
+/// [`decode_frame`] that also surfaces the frame's causal context —
+/// [`TraceCtx::NONE`] for untraced frames. Total over arbitrary input:
+/// unknown flag bits are [`WireError::BadFlags`], a tagged-but-truncated
+/// context is [`WireError::Truncated`].
+pub fn decode_frame_traced<M: WireMsg>(buf: &[u8]) -> Result<(NodeId, TraceCtx, M), WireError> {
     let mut r = WireReader::new(buf);
     let magic = r.take_u16()?;
     if magic != WIRE_MAGIC {
@@ -463,7 +532,10 @@ pub fn decode_frame<M: WireMsg>(buf: &[u8]) -> Result<(NodeId, M), WireError> {
     if version != WIRE_VERSION {
         return Err(WireError::VersionMismatch { found: version });
     }
-    let _flags = r.take_u8()?;
+    let flags = r.take_u8()?;
+    if flags & !KNOWN_FLAGS != 0 {
+        return Err(WireError::BadFlags { found: flags });
+    }
     let from = NodeId(r.take_u32()?);
     let claimed = r.take_u32()? as usize;
     if claimed > MAX_PAYLOAD_BYTES {
@@ -472,6 +544,13 @@ pub fn decode_frame<M: WireMsg>(buf: &[u8]) -> Result<(NodeId, M), WireError> {
             limit: MAX_PAYLOAD_BYTES,
         });
     }
+    let ctx = if flags & FLAG_TRACE != 0 {
+        let trace_id = r.take_u64()?;
+        let hop = r.take_u8()?;
+        TraceCtx { trace_id, hop }
+    } else {
+        TraceCtx::NONE
+    };
     if claimed != r.remaining() {
         // A datagram is one frame: the payload must fill the rest exactly.
         // Shorter is truncation; longer is trailing garbage.
@@ -491,7 +570,7 @@ pub fn decode_frame<M: WireMsg>(buf: &[u8]) -> Result<(NodeId, M), WireError> {
             extra: r.remaining(),
         });
     }
-    Ok((from, msg))
+    Ok((from, ctx, msg))
 }
 
 #[cfg(test)]
@@ -643,9 +722,96 @@ mod tests {
             Box::new(WireError::TrailingBytes { extra: 4 }),
             Box::new(WireError::BadTag { tag: 7 }),
             Box::new(WireError::BadLength { claimed: 1 << 40 }),
+            Box::new(WireError::BadFlags { found: 0x80 }),
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn traced_frames_round_trip_and_untraced_frames_are_unchanged() {
+        let msg = vec![1u64, 2, 3];
+        let ctx = TraceCtx {
+            trace_id: 0x0123_4567_89AB_CDEF,
+            hop: 3,
+        };
+        let traced = encode_frame_traced(NodeId::new(9), ctx, &msg);
+        assert_eq!(
+            traced.len(),
+            FRAME_HEADER_BYTES + TRACE_CTX_BYTES + msg.to_wire_bytes().len()
+        );
+        assert_eq!(traced[3], FLAG_TRACE);
+        let (from, got_ctx, decoded): (NodeId, TraceCtx, Vec<u64>) =
+            decode_frame_traced(&traced).unwrap();
+        assert_eq!(from, NodeId::new(9));
+        assert_eq!(got_ctx, ctx);
+        assert_eq!(decoded, msg);
+
+        // The absent context produces a frame byte-identical to the
+        // untraced encoder's — the version-compatibility contract.
+        let plain = encode_frame_traced(NodeId::new(9), TraceCtx::NONE, &msg);
+        assert_eq!(plain, encode_frame(NodeId::new(9), &msg));
+        let (_, got_ctx, _): (NodeId, TraceCtx, Vec<u64>) = decode_frame_traced(&plain).unwrap();
+        assert!(got_ctx.is_none());
+
+        // The untraced decoder accepts traced frames (drops the context).
+        let (from, decoded): (NodeId, Vec<u64>) = decode_frame(&traced).unwrap();
+        assert_eq!(from, NodeId::new(9));
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn unknown_flag_bits_are_rejected() {
+        let mut frame = encode_frame(NodeId::new(1), &7u64);
+        frame[3] = 0x02; // a bit this build does not define
+        assert_eq!(
+            decode_frame::<u64>(&frame),
+            Err(WireError::BadFlags { found: 0x02 })
+        );
+        let mut frame = encode_frame_traced(
+            NodeId::new(1),
+            TraceCtx {
+                trace_id: 5,
+                hop: 0,
+            },
+            &7u64,
+        );
+        frame[3] |= 0x80;
+        assert!(matches!(
+            decode_frame::<u64>(&frame),
+            Err(WireError::BadFlags { found }) if found == 0x81
+        ));
+    }
+
+    #[test]
+    fn truncated_traced_frames_error_at_every_cut() {
+        let ctx = TraceCtx {
+            trace_id: 42,
+            hop: 1,
+        };
+        let frame = encode_frame_traced(NodeId::new(3), ctx, &vec![1u64, 2, 3]);
+        for cut in 0..frame.len() {
+            let err = decode_frame_traced::<Vec<u64>>(&frame[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    WireError::Truncated { .. } | WireError::BadLength { .. }
+                ),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+        // A frame that claims FLAG_TRACE but ends inside the context.
+        let mut w = WireWriter::new();
+        w.put_u16(WIRE_MAGIC);
+        w.put_u8(WIRE_VERSION);
+        w.put_u8(FLAG_TRACE);
+        w.put_u32(0);
+        w.put_u32(0); // empty payload...
+        w.put_u32(0xDEAD); // ...but only 4 of the 9 context bytes
+        assert!(matches!(
+            decode_frame_traced::<u64>(&w.into_bytes()),
+            Err(WireError::Truncated { .. })
+        ));
     }
 }

@@ -11,7 +11,7 @@
 
 use crate::host::{NodeHost, NodeStats};
 use gossip_net::{Handler, Metrics, NodeId, WireMsg};
-use gossip_obs::{HttpServer, Registry, Request, Response};
+use gossip_obs::{HttpServer, Registry, Request, Response, TraceRing};
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::time::{Duration, Instant};
@@ -60,6 +60,41 @@ where
             hosts,
             status: None,
         })
+    }
+
+    /// Attach a passive trace ring of `capacity` events to every member.
+    /// Each host records into its own ring; [`trace`](Self::trace) merges
+    /// them for cross-node causal reconstruction.
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.hosts = self
+            .hosts
+            .into_iter()
+            .map(|h| h.with_trace(capacity))
+            .collect();
+        self
+    }
+
+    /// The cluster's causal trace: every member's ring drained into one,
+    /// in node-id order (`None` unless built [`with_trace`](Self::with_trace)).
+    /// Causal chains span rings — a `Send` on one host and its `Recv` on
+    /// another share a `trace_id` — so the merge is what the
+    /// reconstructor wants.
+    pub fn trace(&self) -> Option<TraceRing> {
+        let capacity: usize = self
+            .hosts
+            .iter()
+            .map(|h| h.trace().map_or(0, TraceRing::capacity))
+            .sum();
+        if capacity == 0 {
+            return None;
+        }
+        let mut merged = TraceRing::new(capacity);
+        for host in &self.hosts {
+            if let Some(ring) = host.trace() {
+                ring.clone().drain_into(&mut merged);
+            }
+        }
+        Some(merged)
     }
 
     /// Serve one cluster-wide `/metrics` + `/status` endpoint at `addr`
@@ -126,6 +161,25 @@ where
                 &[],
                 host.now_us() as f64,
             );
+        }
+        if let Some(ring) = self.trace() {
+            registry.add_counter(
+                "trace_events_total",
+                "Protocol events recorded into the trace rings",
+                &[],
+                ring.total(),
+            );
+            registry.add_counter(
+                "trace_ring_overwrites_total",
+                "Trace events lost to ring capacity",
+                &[],
+                self.hosts
+                    .iter()
+                    .filter_map(NodeHost::trace)
+                    .map(TraceRing::overwritten)
+                    .sum(),
+            );
+            gossip_obs::reconstruct(&ring).fill_registry(registry);
         }
         for host in &self.hosts {
             host.handler().fill_registry(registry);

@@ -22,11 +22,12 @@
 //! secretly relied on determinism do not.
 
 use gossip_net::{
-    decode_frame, frame_with_payload, node_rng, Handler, Mailbox, Metrics, NodeId, Phase, TimerId,
-    WireMsg, MAX_PAYLOAD_BYTES,
+    decode_frame_traced, frame_with_payload_traced, node_rng, Handler, Mailbox, Metrics, NodeId,
+    Phase, TimerId, WireMsg, MAX_PAYLOAD_BYTES,
 };
 use gossip_obs::{
-    Histogram, HttpServer, Registry, Request, Response, TraceKind, TraceReason, TraceRing, NO_PEER,
+    Histogram, HttpServer, Registry, Request, Response, TraceCtx, TraceFilter, TraceKind,
+    TraceReason, TraceRing, NO_PEER,
 };
 use rand::rngs::SmallRng;
 use std::cmp::Reverse;
@@ -336,7 +337,10 @@ where
         self.started = true;
         self.stats.handler_starts += 1;
         let now = self.now_us();
-        self.with_mailbox(now, |handler, mailbox| handler.on_start(mailbox));
+        // Boot roots live in their own id space (high bit set), matching
+        // the simulated hosts' convention.
+        let ctx = self.root_ctx(1 << 63);
+        self.with_mailbox(now, ctx, |handler, mailbox| handler.on_start(mailbox));
     }
 }
 
@@ -471,6 +475,16 @@ impl<H: Handler> NodeHost<H> {
                 &[],
                 ring.total(),
             );
+            registry.add_counter(
+                "trace_ring_overwrites_total",
+                "Trace events evicted from the ring to make room",
+                &[],
+                ring.overwritten(),
+            );
+            // Causal chains reconstructed from the ring snapshot: counts,
+            // depth/span distributions and the latency breakdown. A pure
+            // read of the ring — reconstruction happens at scrape time.
+            gossip_obs::reconstruct(ring).fill_registry(registry);
         }
         self.handler.fill_registry(registry);
     }
@@ -512,6 +526,9 @@ impl<H: Handler> NodeHost<H> {
             self.stats.cancelled_timer_skips,
             self.timer_lag.quantile(0.99)
         );
+        if let Some(ring) = &self.trace {
+            let _ = writeln!(page, "causal: {}", gossip_obs::reconstruct(ring).summary());
+        }
         for (key, value) in self.handler.status_lines(now) {
             let _ = writeln!(page, "{key}: {value}");
         }
@@ -524,9 +541,11 @@ impl<H: Handler> NodeHost<H> {
     }
 
     fn respond(&self, req: &Request) -> Response {
-        // Query strings are tolerated (Prometheus appends none, humans
-        // might): route on the path alone.
-        let path = req.path.split('?').next().unwrap_or("");
+        // Query strings are meaningful on /trace and tolerated elsewhere
+        // (Prometheus appends none, humans might): route on the path.
+        let mut parts = req.path.splitn(2, '?');
+        let path = parts.next().unwrap_or("");
+        let query = parts.next().unwrap_or("");
         match path {
             "/metrics" => {
                 let mut registry = Registry::new();
@@ -535,7 +554,10 @@ impl<H: Handler> NodeHost<H> {
             }
             "/status" => Response::ok("text/plain", self.status_page()),
             "/trace" => match &self.trace {
-                Some(ring) => Response::ok("text/plain", ring.render()),
+                Some(ring) => match parse_trace_query(query) {
+                    Ok(filter) => Response::ok("text/plain", ring.render_filtered(&filter)),
+                    Err(detail) => Response::bad_request(&detail),
+                },
                 None => Response::not_found(),
             },
             _ => Response::not_found(),
@@ -544,11 +566,64 @@ impl<H: Handler> NodeHost<H> {
 
     /// Record one trace event (no-op without a ring; never touches
     /// protocol state).
-    fn trace_event(&mut self, at_us: u64, peer: u64, kind: TraceKind, reason: TraceReason) {
+    fn trace_event(
+        &mut self,
+        at_us: u64,
+        peer: u64,
+        kind: TraceKind,
+        reason: TraceReason,
+        ctx: TraceCtx,
+    ) {
         if let Some(ring) = &mut self.trace {
-            ring.record(at_us, self.me.index() as u64, peer, kind, reason);
+            ring.record_ctx(at_us, self.me.index() as u64, peer, kind, reason, ctx);
         }
     }
+
+    /// Mint a root causal context for a locally-originated event — only
+    /// when tracing is on. `seq` distinguishes roots of one node; never an
+    /// RNG draw (passivity).
+    fn root_ctx(&self, seq: u64) -> TraceCtx {
+        if self.trace.is_some() {
+            TraceCtx::derive(self.me.index() as u64, seq)
+        } else {
+            TraceCtx::NONE
+        }
+    }
+}
+
+/// Parse a `/trace` query string into a [`TraceFilter`]. Strict: unknown
+/// keys, out-of-range numbers or malformed pairs are errors (a hostile
+/// query gets a 400, never a partial answer).
+fn parse_trace_query(query: &str) -> Result<TraceFilter, String> {
+    let mut filter = TraceFilter::default();
+    for pair in query.split('&') {
+        if pair.is_empty() {
+            continue;
+        }
+        let (key, value) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("query parameter {pair:?} is not a key=value pair"))?;
+        match key {
+            "n" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| format!("n={value:?} is not a count"))?;
+                filter.last_n = Some(n);
+            }
+            "kind" => {
+                let kind = TraceKind::parse(value)
+                    .ok_or_else(|| format!("kind={value:?} is not a trace kind"))?;
+                filter.kind = Some(kind);
+            }
+            "trace" => {
+                let id = u64::from_str_radix(value.trim_start_matches("0x"), 16)
+                    .map_err(|_| format!("trace={value:?} is not a hex chain id"))?;
+                filter.trace_id = Some(id);
+            }
+            _ => return Err(format!("unknown query parameter {key:?}")),
+        }
+    }
+    Ok(filter)
 }
 
 impl<H: Handler> NodeHost<H>
@@ -566,7 +641,11 @@ where
     pub fn with_handler(&mut self, f: impl FnOnce(&mut H, &mut dyn Mailbox<H::Msg>)) {
         self.start();
         let now = self.now_us();
-        self.with_mailbox(now, f);
+        // A host-initiated action is a root of its own chain, in a distinct
+        // id space from boots and timers.
+        let seq = (1 << 62) | self.trace.as_ref().map_or(0, TraceRing::total);
+        let ctx = self.root_ctx(seq);
+        self.with_mailbox(now, ctx, f);
     }
 
     /// Returns the number of callbacks dispatched; `0` means idle. Never
@@ -658,7 +737,13 @@ where
                 .is_some_and(|&watermark| seq < watermark)
             {
                 self.stats.cancelled_timer_skips += 1;
-                self.trace_event(now, NO_PEER, TraceKind::Drop, TraceReason::CancelledTimer);
+                self.trace_event(
+                    now,
+                    NO_PEER,
+                    TraceKind::Drop,
+                    TraceReason::CancelledTimer,
+                    TraceCtx::NONE,
+                );
                 continue;
             }
             self.stats.timer_fires += 1;
@@ -666,8 +751,16 @@ where
             fired += 1;
             // The callback's clock never runs behind the timer's instant.
             let cb_now = now.max(at);
-            self.trace_event(cb_now, NO_PEER, TraceKind::TimerFire, TraceReason::None);
-            self.with_mailbox(cb_now, |handler, mailbox| {
+            // Each timer fire roots a causal chain, keyed by its arm seq.
+            let ctx = self.root_ctx(seq);
+            self.trace_event(
+                cb_now,
+                NO_PEER,
+                TraceKind::TimerFire,
+                TraceReason::None,
+                ctx,
+            );
+            self.with_mailbox(cb_now, ctx, |handler, mailbox| {
                 handler.on_timer(TimerId(label), mailbox)
             });
         }
@@ -686,18 +779,30 @@ where
             Err(_) => {
                 self.stats.recv_errors += 1;
                 let now = self.now_us();
-                self.trace_event(now, NO_PEER, TraceKind::Drop, TraceReason::RecvError);
+                self.trace_event(
+                    now,
+                    NO_PEER,
+                    TraceKind::Drop,
+                    TraceReason::RecvError,
+                    TraceCtx::NONE,
+                );
                 return Recv::Error;
             }
         };
         self.stats.datagrams_received += 1;
         self.stats.bytes_received += len as u64;
-        let (from, msg) = match decode_frame::<H::Msg>(&self.recv_buf[..len]) {
+        let (from, ctx, msg) = match decode_frame_traced::<H::Msg>(&self.recv_buf[..len]) {
             Ok(decoded) => decoded,
             Err(_) => {
                 self.stats.decode_errors += 1;
                 let now = self.now_us();
-                self.trace_event(now, NO_PEER, TraceKind::Drop, TraceReason::DecodeError);
+                self.trace_event(
+                    now,
+                    NO_PEER,
+                    TraceKind::Drop,
+                    TraceReason::DecodeError,
+                    TraceCtx::NONE,
+                );
                 return Recv::Rejected;
             }
         };
@@ -709,6 +814,7 @@ where
                 from.index() as u64,
                 TraceKind::Drop,
                 TraceReason::UnknownSender,
+                ctx,
             );
             return Recv::Rejected;
         }
@@ -722,8 +828,8 @@ where
         }
         self.stats.messages_dispatched += 1;
         let now = self.now_us();
-        self.trace_event(now, from.index() as u64, TraceKind::Recv, recv_reason);
-        self.with_mailbox(now, |handler, mailbox| {
+        self.trace_event(now, from.index() as u64, TraceKind::Recv, recv_reason, ctx);
+        self.with_mailbox(now, ctx, |handler, mailbox| {
             handler.on_message(from, msg, mailbox)
         });
         Recv::Dispatched
@@ -732,7 +838,12 @@ where
     /// Split-borrow the host into its handler plus a mailbox over every
     /// other field, and run `f` — the socket-host analogue of the drivers'
     /// `handler_and_mailbox!`.
-    fn with_mailbox(&mut self, now_us: u64, f: impl FnOnce(&mut H, &mut dyn Mailbox<H::Msg>)) {
+    fn with_mailbox(
+        &mut self,
+        now_us: u64,
+        ctx: TraceCtx,
+        f: impl FnOnce(&mut H, &mut dyn Mailbox<H::Msg>),
+    ) {
         let NodeHost {
             me,
             socket,
@@ -751,6 +862,7 @@ where
         let mut mailbox = SocketMailbox {
             me: *me,
             now_us,
+            ctx,
             socket,
             peers,
             rng,
@@ -784,6 +896,9 @@ impl<H: Handler + std::fmt::Debug> std::fmt::Debug for NodeHost<H> {
 struct SocketMailbox<'a, M> {
     me: NodeId,
     now_us: u64,
+    /// Causal context of the event being dispatched ([`TraceCtx::NONE`]
+    /// when tracing is off). Sends inherit it at `hop + 1` on the wire.
+    ctx: TraceCtx,
     socket: &'a UdpSocket,
     peers: &'a [SocketAddr],
     rng: &'a mut SmallRng,
@@ -800,9 +915,9 @@ struct SocketMailbox<'a, M> {
 impl<M> SocketMailbox<'_, M> {
     /// Record one trace event against this node at the callback's clock.
     #[inline]
-    fn trace_event(&mut self, peer: u64, kind: TraceKind, reason: TraceReason) {
+    fn trace_event(&mut self, peer: u64, kind: TraceKind, reason: TraceReason, ctx: TraceCtx) {
         if let Some(ring) = self.trace.as_mut() {
-            ring.record(self.now_us, self.me.index() as u64, peer, kind, reason);
+            ring.record_ctx(self.now_us, self.me.index() as u64, peer, kind, reason, ctx);
         }
     }
 }
@@ -822,6 +937,10 @@ impl<M: WireMsg> Mailbox<M> for SocketMailbox<'_, M> {
 
     fn send(&mut self, to: NodeId, phase: Phase, bits: u32, msg: M) {
         let peer = to.index() as u64;
+        // The outgoing frame carries this callback's causal context one
+        // hop downstream (a NONE ctx encodes the exact pre-tracing frame,
+        // so untraced hosts stay wire-compatible with old builds).
+        let ctx = self.ctx.next_hop();
         let ok = if let Some(&addr) = self.peers.get(to.index()) {
             let payload = msg.to_wire_bytes();
             if payload.len() > MAX_PAYLOAD_BYTES {
@@ -830,27 +949,27 @@ impl<M: WireMsg> Mailbox<M> for SocketMailbox<'_, M> {
                 // loss at a glance. Counted separately from send_errors so
                 // "your message outgrew the transport" has its own signal.
                 self.stats.send_oversize += 1;
-                self.trace_event(peer, TraceKind::Drop, TraceReason::Oversize);
+                self.trace_event(peer, TraceKind::Drop, TraceReason::Oversize, ctx);
                 false
             } else {
-                let frame = frame_with_payload(self.me, &payload);
+                let frame = frame_with_payload_traced(self.me, ctx, &payload);
                 match self.socket.send_to(&frame, addr) {
                     Ok(_) => {
                         self.stats.datagrams_sent += 1;
                         self.stats.bytes_sent += frame.len() as u64;
-                        self.trace_event(peer, TraceKind::Send, TraceReason::None);
+                        self.trace_event(peer, TraceKind::Send, TraceReason::None, ctx);
                         true
                     }
                     Err(_) => {
                         self.stats.send_errors += 1;
-                        self.trace_event(peer, TraceKind::Drop, TraceReason::SendError);
+                        self.trace_event(peer, TraceKind::Drop, TraceReason::SendError, ctx);
                         false
                     }
                 }
             }
         } else {
             self.stats.send_errors += 1;
-            self.trace_event(peer, TraceKind::Drop, TraceReason::SendError);
+            self.trace_event(peer, TraceKind::Drop, TraceReason::SendError, ctx);
             false
         };
         // The modelled accounting the Mailbox contract requires:
@@ -887,10 +1006,16 @@ impl<M: WireMsg> Mailbox<M> for SocketMailbox<'_, M> {
 
     fn note(&mut self, peer: Option<NodeId>, reason: TraceReason) {
         // Passive: a ring store visible on `/trace`, nothing else.
+        let ctx = self.ctx;
         self.trace_event(
             peer.map_or(NO_PEER, |p| p.index() as u64),
             TraceKind::State,
             reason,
+            ctx,
         );
+    }
+
+    fn trace_ctx(&self) -> TraceCtx {
+        self.ctx
     }
 }

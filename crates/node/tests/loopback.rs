@@ -322,3 +322,95 @@ fn oversize_sends_are_counted_and_dropped_before_the_kernel() {
     assert_eq!(metrics.total_messages(), 2);
     assert_eq!(metrics.total_dropped(), 1);
 }
+
+/// A bucket brigade: node 0 launches a token at boot; every node that
+/// receives it forwards to the next id. One logical cause — the boot —
+/// crosses the whole cluster through real sockets, which is exactly what
+/// the causal trace must reconstruct as ONE chain.
+#[derive(Debug, Clone, Default)]
+struct Relay {
+    saw_token: bool,
+}
+
+impl Handler for Relay {
+    type Msg = u32;
+
+    fn on_start(&mut self, mailbox: &mut dyn Mailbox<u32>) {
+        if mailbox.me().index() == 0 {
+            mailbox.send(NodeId::new(1), Phase::Other, 32, 7);
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: u32, mailbox: &mut dyn Mailbox<u32>) {
+        self.saw_token = true;
+        let next = mailbox.me().index() + 1;
+        if next < mailbox.n() {
+            mailbox.send(NodeId::new(next), Phase::Other, 32, msg);
+        }
+    }
+
+    fn on_timer(&mut self, _timer: TimerId, _mailbox: &mut dyn Mailbox<u32>) {}
+}
+
+#[test]
+fn one_causal_chain_crosses_four_real_hosts() {
+    if !sockets_available() {
+        return;
+    }
+    use gossip_obs::TraceKind;
+
+    let n = 4;
+    let mut cluster =
+        LoopbackCluster::bind(n, 0xCA5A, |_| Relay::default()).expect("bind 4 sockets");
+    cluster = cluster.with_trace(256);
+    let relayed = cluster.run_until(GENEROUS, |hosts| {
+        hosts.iter().skip(1).all(|h| h.handler().saw_token)
+    });
+    assert!(relayed.is_some(), "the token must reach every host");
+
+    // The whole brigade hangs off node 0's boot: every hop of the relay
+    // — Send at node i, Recv at node i+1, across real kernel sockets —
+    // must carry the SAME chain id, with the hop counter ticking up by
+    // one per wire crossing.
+    let ring = cluster.trace().expect("tracing enabled");
+    let chain_id = ring
+        .iter()
+        .find(|e| e.kind == TraceKind::Send && e.node == 0 && e.peer == 1)
+        .expect("node 0's boot send is in the ring")
+        .trace_id;
+    assert_ne!(chain_id, 0, "the boot send was minted a chain id");
+
+    let mut chain: Vec<_> = ring.iter().filter(|e| e.trace_id == chain_id).collect();
+    chain.sort_by_key(|e| (e.hop, e.kind != TraceKind::Send));
+    // Send 0→1 at hop 1, Recv at 1; Send 1→2 at hop 2, Recv at 2; ...
+    for step in 1..n as u64 {
+        let hop = step as u8;
+        assert!(
+            chain
+                .iter()
+                .any(|e| e.kind == TraceKind::Send && e.node == step - 1 && e.hop == hop),
+            "missing Send node {} hop {hop} on chain {chain_id:016x}",
+            step - 1
+        );
+        assert!(
+            chain
+                .iter()
+                .any(|e| e.kind == TraceKind::Recv && e.node == step && e.hop == hop),
+            "missing Recv node {step} hop {hop} on chain {chain_id:016x}"
+        );
+    }
+    // Three distinct hosts (beyond the origin) took part in this one chain.
+    let hosts_on_chain: std::collections::HashSet<u64> = chain.iter().map(|e| e.node).collect();
+    assert!(
+        hosts_on_chain.len() >= n,
+        "chain covered only {hosts_on_chain:?}"
+    );
+
+    // And the chain id is exactly what a `/trace?trace=` query would
+    // match — the ring renders it in the same hex the filter parses.
+    let rendered = ring.render_filtered(&gossip_obs::TraceFilter {
+        trace_id: Some(chain_id),
+        ..Default::default()
+    });
+    assert!(rendered.contains(&format!("trace {chain_id:016x}/1")));
+}

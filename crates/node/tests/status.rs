@@ -245,6 +245,115 @@ fn member_host_serves_metrics_status_and_trace() {
 }
 
 #[test]
+fn trace_query_filters_narrow_the_page_and_hostile_queries_get_400() {
+    if !sockets_available() {
+        return;
+    }
+    // Two traced member hosts; host 0 serves the endpoints.
+    let sockets: Vec<std::net::UdpSocket> = (0..2)
+        .map(|_| std::net::UdpSocket::bind(("127.0.0.1", 0)).expect("bind"))
+        .collect();
+    let peers: Vec<SocketAddr> = sockets
+        .iter()
+        .map(|s| s.local_addr().expect("bound"))
+        .collect();
+    let factory = ae_factory(2);
+    let mut hosts: Vec<NodeHost<AeNode>> = sockets
+        .into_iter()
+        .enumerate()
+        .map(|(i, socket)| {
+            let me = NodeId::new(i);
+            NodeHost::from_socket(socket, me, peers.clone(), 0x7F17, factory(me))
+                .expect("host")
+                .with_trace(256)
+        })
+        .collect();
+    let status = hosts[0]
+        .serve_status(("127.0.0.1", 0))
+        .expect("bind status");
+
+    let deadline = Instant::now() + GENEROUS;
+    while hosts.iter().any(|h| h.handler().store().known() < 2) {
+        for h in hosts.iter_mut() {
+            h.poll();
+        }
+        assert!(Instant::now() < deadline, "members never reconciled");
+    }
+    let mut pump = {
+        let hosts = &mut hosts;
+        move || {
+            for h in hosts.iter_mut() {
+                h.poll();
+            }
+        }
+    };
+
+    // ?n= caps the page at the newest n lines.
+    let (code, page) = get(status, "/trace?n=3", &mut pump);
+    assert_eq!(code, 200);
+    assert!(page.lines().count() <= 3, "n=3 returned more than 3 lines");
+    assert!(!page.is_empty(), "a busy ring renders something");
+
+    // ?kind= keeps only that kind; filters compose with ?n=.
+    let (code, page) = get(status, "/trace?kind=send", &mut pump);
+    assert_eq!(code, 200);
+    assert!(
+        page.lines().all(|l| l.contains(" send ")),
+        "kind=send leaked other kinds:\n{page}"
+    );
+    let (code, page) = get(status, "/trace?kind=recv&n=2", &mut pump);
+    assert_eq!(code, 200);
+    assert!(page.lines().count() <= 2);
+    assert!(page.lines().all(|l| l.contains(" recv ")));
+
+    // ?trace= follows one causal chain, by the hex id the page prints.
+    let (code, full) = get(status, "/trace", &mut pump);
+    assert_eq!(code, 200);
+    let chain_id = full
+        .lines()
+        .filter_map(|l| l.split("trace ").nth(1))
+        .filter_map(|rest| rest.split('/').next())
+        .next()
+        .expect("a traced run prints at least one chain id")
+        .to_string();
+    let (code, chain) = get(status, &format!("/trace?trace={chain_id}"), &mut pump);
+    assert_eq!(code, 200);
+    assert!(!chain.is_empty(), "the chain filter matched nothing");
+    assert!(
+        chain
+            .lines()
+            .all(|l| l.contains(&format!("trace {chain_id}"))),
+        "trace={chain_id} leaked other chains:\n{chain}"
+    );
+
+    // Hostile queries: malformed values, unknown keys, keys without
+    // values, overflowing counts — all a 400 with a reason, never a
+    // panic or a 200 that silently ignored the filter.
+    for hostile in [
+        "/trace?n=abc",
+        "/trace?n=-1",
+        "/trace?n=99999999999999999999999999",
+        "/trace?kind=bogus",
+        "/trace?kind=",
+        "/trace?trace=not-hex",
+        "/trace?wat=1",
+        "/trace?n",
+        "/trace?=3",
+    ] {
+        let (code, body) = get(status, hostile, &mut pump);
+        assert_eq!(code, 400, "{hostile} was not rejected: {body}");
+        assert!(
+            body.starts_with("bad request:"),
+            "{hostile} gave no reason: {body}"
+        );
+    }
+
+    // And after all the hostility, the legitimate page still works.
+    let (code, _) = get(status, "/trace?n=5", &mut pump);
+    assert_eq!(code, 200);
+}
+
+#[test]
 fn hostile_http_input_cannot_wedge_the_node() {
     if !sockets_available() {
         return;

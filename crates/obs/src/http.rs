@@ -69,6 +69,16 @@ impl Response {
         }
     }
 
+    /// A plain-text `400` with a short explanation (endpoints use this
+    /// for malformed query strings).
+    pub fn bad_request(detail: &str) -> Self {
+        Response {
+            status: 400,
+            content_type: "text/plain".to_string(),
+            body: format!("bad request: {detail}\n"),
+        }
+    }
+
     fn status_line(&self) -> &'static str {
         match self.status {
             200 => "200 OK",

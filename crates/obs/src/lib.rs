@@ -28,10 +28,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod causal;
 pub mod http;
 pub mod registry;
 pub mod trace;
 
+pub use causal::{reconstruct, CausalReport, ChainStep, TraceChain};
 pub use http::{HttpServer, Request, Response};
 pub use registry::{Histogram, Registry};
-pub use trace::{TraceEvent, TraceKind, TraceReason, TraceRing, NO_PEER};
+pub use trace::{
+    TraceCtx, TraceEvent, TraceFilter, TraceKind, TraceReason, TraceRing, NO_PEER, NO_TRACE,
+};

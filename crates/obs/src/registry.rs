@@ -228,7 +228,13 @@ fn label_key(labels: &[(&str, &str)]) -> String {
         if i > 0 {
             out.push(',');
         }
-        let escaped = v.replace('\\', "\\\\").replace('"', "\\\"");
+        // Label-value escaping per the 0.0.4 text format: backslash
+        // first (so the other escapes don't double), then quote and
+        // newline — a raw newline would split the sample line in two.
+        let escaped = v
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n");
         let _ = write!(out, "{k}=\"{escaped}\"");
     }
     out.push('}');
@@ -366,6 +372,34 @@ impl Registry {
             Value::Gauge(g) => Some(*g),
             _ => None,
         }
+    }
+
+    /// Every counter sample as `(family, rendered label block, value)`,
+    /// in name order. What a drift checker wants: "every monotonic
+    /// counter" without naming each family up front.
+    pub fn iter_counters(&self) -> impl Iterator<Item = (&str, &str, u64)> {
+        self.families.iter().flat_map(|(name, family)| {
+            family
+                .samples
+                .iter()
+                .filter_map(|(labels, value)| match value {
+                    Value::Counter(c) => Some((name.as_str(), labels.as_str(), *c)),
+                    _ => None,
+                })
+        })
+    }
+
+    /// Every gauge sample, shaped like [`iter_counters`](Self::iter_counters).
+    pub fn iter_gauges(&self) -> impl Iterator<Item = (&str, &str, f64)> {
+        self.families.iter().flat_map(|(name, family)| {
+            family
+                .samples
+                .iter()
+                .filter_map(|(labels, value)| match value {
+                    Value::Gauge(g) => Some((name.as_str(), labels.as_str(), *g)),
+                    _ => None,
+                })
+        })
     }
 
     /// Read back a histogram.
@@ -528,6 +562,80 @@ mod tests {
         let mut merged = h.clone();
         merged.merge(&empty);
         assert_eq!(merged, h);
+    }
+
+    /// Undo 0.0.4 label-value escaping (the inverse of `label_key`), for
+    /// the round-trip tests below.
+    fn unescape(v: &str) -> String {
+        let mut out = String::new();
+        let mut chars = v.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some('n') => out.push('\n'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn hostile_label_values_escape_and_round_trip() {
+        // Every 0.0.4 escape class at once, in orders designed to trip a
+        // naive escaper: a backslash before an n, a quote inside text,
+        // a raw newline, and a literal `\n` sequence.
+        let hostile = [
+            "back\\slash",
+            "quo\"te",
+            "new\nline",
+            "literal\\nnot-a-newline",
+            "\\\"\n",
+            "plain",
+        ];
+        for value in hostile {
+            let mut r = Registry::new();
+            r.add_counter("m_total", "m", &[("v", value)], 1);
+            let text = r.render();
+            // The sample renders on exactly one line after its headers —
+            // a raw newline in a label would break this.
+            let sample = text
+                .lines()
+                .find(|l| l.starts_with("m_total{"))
+                .expect("sample line rendered");
+            assert!(sample.ends_with(" 1"), "sample intact: {sample:?}");
+            // Round trip: un-escaping the rendered label value recovers
+            // the original exactly.
+            let rendered = sample
+                .strip_prefix("m_total{v=\"")
+                .and_then(|s| s.strip_suffix("\"} 1"))
+                .expect("label block well-formed");
+            assert_eq!(unescape(rendered), value, "round trip of {value:?}");
+            // And the registry still finds the sample under the raw value.
+            assert_eq!(r.counter_value("m_total", &[("v", value)]), Some(1));
+        }
+    }
+
+    #[test]
+    fn escaping_is_injective_across_confusable_values() {
+        // `"a\nb"` (raw newline) and `"a\\nb"` (backslash + n) must render
+        // differently, or scrapes would merge distinct series.
+        let mut r = Registry::new();
+        r.add_counter("m_total", "m", &[("v", "a\nb")], 1);
+        r.add_counter("m_total", "m", &[("v", "a\\nb")], 2);
+        assert_eq!(r.counter_value("m_total", &[("v", "a\nb")]), Some(1));
+        assert_eq!(r.counter_value("m_total", &[("v", "a\\nb")]), Some(2));
+        let text = r.render();
+        assert!(text.contains("m_total{v=\"a\\nb\"} 1"));
+        assert!(text.contains("m_total{v=\"a\\\\nb\"} 2"));
     }
 
     #[test]

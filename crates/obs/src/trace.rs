@@ -12,6 +12,79 @@ use std::collections::VecDeque;
 /// Sentinel peer id for events with no second party (timer fires, crashes).
 pub const NO_PEER: u64 = u64::MAX;
 
+/// Sentinel trace id for events recorded outside any causal chain.
+pub const NO_TRACE: u64 = 0;
+
+/// The causal context of an event: which chain it belongs to and how many
+/// message hops separate it from the chain's origin.
+///
+/// A chain starts at a *root* event — a timer fire, `on_start`, or a raw
+/// transport send — which mints a fresh id at hop 0. Every message a
+/// handler sends while processing a contextful event inherits the id at
+/// `hop + 1`, rides the wire (or the simulated event), and becomes the
+/// receiving handler's context in turn. Contexts are derived from values
+/// already at hand (node id, event sequence number) — never from an RNG —
+/// so the passivity contract holds: a traced run is bit-identical to an
+/// untraced one.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct TraceCtx {
+    /// Chain id; [`NO_TRACE`] when the event is untraced.
+    pub trace_id: u64,
+    /// Message hops from the chain's origin (0 at the root).
+    pub hop: u8,
+}
+
+impl TraceCtx {
+    /// The absent context: no chain, hop 0.
+    pub const NONE: TraceCtx = TraceCtx {
+        trace_id: NO_TRACE,
+        hop: 0,
+    };
+
+    /// A fresh root context (hop 0) with the given id.
+    pub fn root(trace_id: u64) -> TraceCtx {
+        TraceCtx { trace_id, hop: 0 }
+    }
+
+    /// Mint a root context from values already at hand — an
+    /// avalanche-quality integer mix (splitmix64 finalizer), *not* an RNG
+    /// draw, so deriving ids is passive. Forced nonzero: [`NO_TRACE`]
+    /// always means "untraced".
+    pub fn derive(node: u64, seq: u64) -> TraceCtx {
+        let mut z = node
+            .rotate_left(32)
+            .wrapping_add(seq)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        TraceCtx::root(z | 1) // nonzero by construction
+    }
+
+    /// True when this is the absent context.
+    pub fn is_none(&self) -> bool {
+        self.trace_id == NO_TRACE
+    }
+
+    /// True when this context names a chain.
+    pub fn is_some(&self) -> bool {
+        self.trace_id != NO_TRACE
+    }
+
+    /// The context an outgoing message inherits from this one: same chain,
+    /// one hop further. The absent context stays absent.
+    pub fn next_hop(self) -> TraceCtx {
+        if self.is_none() {
+            TraceCtx::NONE
+        } else {
+            TraceCtx {
+                trace_id: self.trace_id,
+                hop: self.hop.saturating_add(1),
+            }
+        }
+    }
+}
+
 /// What kind of protocol event happened.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TraceKind {
@@ -41,6 +114,20 @@ impl TraceKind {
             TraceKind::Crash => "crash",
             TraceKind::Drop => "drop",
             TraceKind::State => "state",
+        }
+    }
+
+    /// Parse the label produced by [`TraceKind::as_str`] (the `/trace`
+    /// `?kind=` filter uses this). `None` for anything else.
+    pub fn parse(s: &str) -> Option<TraceKind> {
+        match s {
+            "send" => Some(TraceKind::Send),
+            "recv" => Some(TraceKind::Recv),
+            "timer" => Some(TraceKind::TimerFire),
+            "crash" => Some(TraceKind::Crash),
+            "drop" => Some(TraceKind::Drop),
+            "state" => Some(TraceKind::State),
+            _ => None,
         }
     }
 }
@@ -122,12 +209,24 @@ pub struct TraceEvent {
     pub kind: TraceKind,
     /// Why (mostly drop reasons; [`TraceReason::None`] otherwise).
     pub reason: TraceReason,
+    /// Causal chain id ([`NO_TRACE`] for untraced events).
+    pub trace_id: u64,
+    /// Message hops from the chain's origin.
+    pub hop: u8,
 }
 
 impl TraceEvent {
+    /// This event's causal context.
+    pub fn ctx(&self) -> TraceCtx {
+        TraceCtx {
+            trace_id: self.trace_id,
+            hop: self.hop,
+        }
+    }
+
     /// Render as one human-readable line (the `/trace` page format).
     pub fn render(&self) -> String {
-        if self.peer == NO_PEER {
+        let mut line = if self.peer == NO_PEER {
             format!(
                 "{:>12} us  node {:>6}  {:<5} {}",
                 self.at_us,
@@ -144,7 +243,11 @@ impl TraceEvent {
                 self.peer,
                 self.reason.as_str()
             )
+        };
+        if self.trace_id != NO_TRACE {
+            line.push_str(&format!("  trace {:016x}/{}", self.trace_id, self.hop));
         }
+        line
     }
 }
 
@@ -179,7 +282,7 @@ impl TraceRing {
         self.events.push_back(event);
     }
 
-    /// Convenience: record with individual fields.
+    /// Convenience: record with individual fields, outside any chain.
     pub fn record(
         &mut self,
         at_us: u64,
@@ -188,12 +291,27 @@ impl TraceRing {
         kind: TraceKind,
         reason: TraceReason,
     ) {
+        self.record_ctx(at_us, node, peer, kind, reason, TraceCtx::NONE);
+    }
+
+    /// Record with an explicit causal context.
+    pub fn record_ctx(
+        &mut self,
+        at_us: u64,
+        node: u64,
+        peer: u64,
+        kind: TraceKind,
+        reason: TraceReason,
+        ctx: TraceCtx,
+    ) {
         self.push(TraceEvent {
             at_us,
             node,
             peer,
             kind,
             reason,
+            trace_id: ctx.trace_id,
+            hop: ctx.hop,
         });
     }
 
@@ -243,13 +361,39 @@ impl TraceRing {
 
     /// Render the retained events as lines, oldest first.
     pub fn render(&self) -> String {
+        self.render_filtered(&TraceFilter::default())
+    }
+
+    /// Render with a [`TraceFilter`]: kind/chain predicates first, then
+    /// the `last_n` cap on whatever survived, oldest first.
+    pub fn render_filtered(&self, filter: &TraceFilter) -> String {
+        let selected: Vec<&TraceEvent> = self
+            .events
+            .iter()
+            .filter(|e| filter.kind.is_none_or(|k| e.kind == k))
+            .filter(|e| filter.trace_id.is_none_or(|id| e.trace_id == id))
+            .collect();
+        let skip = filter
+            .last_n
+            .map_or(0, |n| selected.len().saturating_sub(n));
         let mut out = String::new();
-        for event in &self.events {
+        for event in selected.into_iter().skip(skip) {
             out.push_str(&event.render());
             out.push('\n');
         }
         out
     }
+}
+
+/// A `/trace` page filter: every field is optional and they compose.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceFilter {
+    /// Keep only events of this kind.
+    pub kind: Option<TraceKind>,
+    /// Keep only events on this causal chain.
+    pub trace_id: Option<u64>,
+    /// After the predicates, keep only the newest `n` events.
+    pub last_n: Option<usize>,
 }
 
 #[cfg(test)]
@@ -263,6 +407,8 @@ mod tests {
             peer: 2,
             kind: TraceKind::Send,
             reason: TraceReason::None,
+            trace_id: NO_TRACE,
+            hop: 0,
         }
     }
 
@@ -319,5 +465,83 @@ mod tests {
         assert!(text.contains("oversize"));
         assert!(text.contains("peer      7"));
         assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn contexts_derive_deterministically_and_chain_hops() {
+        let a = TraceCtx::derive(3, 41);
+        let b = TraceCtx::derive(3, 41);
+        assert_eq!(a, b, "same inputs, same id");
+        assert_ne!(a, TraceCtx::derive(3, 42));
+        assert_ne!(a, TraceCtx::derive(4, 41));
+        assert!(a.is_some() && a.hop == 0);
+        let hop1 = a.next_hop();
+        assert_eq!(hop1.trace_id, a.trace_id);
+        assert_eq!(hop1.hop, 1);
+        // The absent context never grows hops.
+        assert_eq!(TraceCtx::NONE.next_hop(), TraceCtx::NONE);
+        // Hops saturate instead of wrapping back to a fake root.
+        let mut deep = a;
+        for _ in 0..300 {
+            deep = deep.next_hop();
+        }
+        assert_eq!(deep.hop, u8::MAX);
+    }
+
+    #[test]
+    fn contextful_events_render_their_chain() {
+        let mut ring = TraceRing::new(4);
+        let ctx = TraceCtx::root(0xAB);
+        ring.record_ctx(10, 1, 2, TraceKind::Send, TraceReason::None, ctx);
+        ring.record_ctx(20, 2, 1, TraceKind::Recv, TraceReason::None, ctx.next_hop());
+        ring.record(30, 1, NO_PEER, TraceKind::TimerFire, TraceReason::None);
+        let text = ring.render();
+        assert!(text.contains("trace 00000000000000ab/0"));
+        assert!(text.contains("trace 00000000000000ab/1"));
+        // Untraced lines carry no trace column at all.
+        let untraced = text.lines().nth(2).unwrap();
+        assert!(!untraced.contains("trace"));
+    }
+
+    #[test]
+    fn filters_compose_kind_chain_and_last_n() {
+        let mut ring = TraceRing::new(16);
+        for at in 0..6 {
+            let ctx = if at % 2 == 0 {
+                TraceCtx::root(0x11)
+            } else {
+                TraceCtx::root(0x22)
+            };
+            let kind = if at < 3 {
+                TraceKind::Send
+            } else {
+                TraceKind::Recv
+            };
+            ring.record_ctx(at, 1, 2, kind, TraceReason::None, ctx);
+        }
+        let kinds = ring.render_filtered(&TraceFilter {
+            kind: Some(TraceKind::Send),
+            ..TraceFilter::default()
+        });
+        assert_eq!(kinds.lines().count(), 3);
+        assert!(kinds.lines().all(|l| l.contains("send")));
+        let chain = ring.render_filtered(&TraceFilter {
+            trace_id: Some(0x22),
+            ..TraceFilter::default()
+        });
+        assert_eq!(chain.lines().count(), 3);
+        let newest = ring.render_filtered(&TraceFilter {
+            kind: Some(TraceKind::Recv),
+            last_n: Some(1),
+            ..TraceFilter::default()
+        });
+        assert_eq!(newest.lines().count(), 1);
+        assert!(newest.contains("           5 us"));
+        // n larger than the match set is just "everything".
+        let all = ring.render_filtered(&TraceFilter {
+            last_n: Some(100),
+            ..TraceFilter::default()
+        });
+        assert_eq!(all.lines().count(), 6);
     }
 }

@@ -41,7 +41,7 @@ use crate::arena::PayloadArena;
 use crate::engine::AsyncEngine;
 use crate::event::Event;
 use gossip_net::{Handler, Mailbox, NodeId, Phase, TimerId, Transport};
-use gossip_obs::{TraceKind, TraceReason, TraceRing, NO_PEER};
+use gossip_obs::{TraceCtx, TraceKind, TraceReason, TraceRing, NO_PEER};
 use rand::rngs::SmallRng;
 use std::collections::HashMap;
 
@@ -151,6 +151,9 @@ struct DriverMailbox<'a, M> {
     epoch: u32,
     /// Host-injected timer jitter ceiling (µs); `0` = disabled, no draw.
     jitter_us: u64,
+    /// Causal context of the event being dispatched ([`TraceCtx::NONE`]
+    /// when tracing is off). Sends inherit it at `hop + 1`; passive.
+    ctx: TraceCtx,
     engine: &'a mut AsyncEngine,
     arena: &'a mut PayloadArena<M>,
     cancels: &'a mut HashMap<(NodeId, TimerId), u64>,
@@ -177,7 +180,11 @@ impl<M> Mailbox<M> for DriverMailbox<'_, M> {
         // event pops, which is why dispatch rules on `delivered` before it
         // ever reads a key.
         let key = self.arena.insert(msg);
-        if !self.engine.send_with_payload(self.me, to, phase, bits, key) {
+        let ctx = self.ctx.next_hop();
+        if !self
+            .engine
+            .send_with_payload(self.me, to, phase, bits, key, ctx)
+        {
             self.arena.take(key);
         }
     }
@@ -226,15 +233,21 @@ impl<M> Mailbox<M> for DriverMailbox<'_, M> {
         // events — noting never perturbs an order hash.
         let at_us = self.engine.now_us();
         let node = self.me.index() as u64;
+        let ctx = self.ctx;
         if let Some(ring) = self.engine.trace_mut() {
-            ring.record(
+            ring.record_ctx(
                 at_us,
                 node,
                 peer.map_or(NO_PEER, |p| p.index() as u64),
                 TraceKind::State,
                 reason,
+                ctx,
             );
         }
+    }
+
+    fn trace_ctx(&self) -> TraceCtx {
+        self.ctx
     }
 }
 
@@ -257,6 +270,11 @@ pub struct EventDriver<H: Handler> {
     next_window: u64,
     started: bool,
     metrics: DriverMetrics,
+    /// Scheduled-vs-dispatched delta of every timer fire (µs). In virtual
+    /// time the driver dispatches timers at exactly their due instant, so
+    /// this pins at zero — the comparability story against `NodeHost`,
+    /// whose wall-clock `timer_lag` is never quite zero.
+    timer_lag: gossip_obs::Histogram,
 }
 
 impl<H: Handler> EventDriver<H> {
@@ -278,6 +296,7 @@ impl<H: Handler> EventDriver<H> {
             next_window: window_us,
             started: false,
             metrics: DriverMetrics::new(),
+            timer_lag: gossip_obs::Histogram::new(),
             engine,
         }
     }
@@ -391,6 +410,12 @@ impl<H: Handler> EventDriver<H> {
             &[],
             self.arena_reuse_total(),
         );
+        registry.merge_histogram(
+            "driver_timer_lag_us",
+            "Scheduled-vs-dispatched delta of timer fires (µs)",
+            &[],
+            &self.timer_lag,
+        );
         for handler in &self.handlers {
             handler.fill_registry(registry);
         }
@@ -446,13 +471,29 @@ impl<H: Handler> EventDriver<H> {
         self.run_until(self.now_us().saturating_add(delta_us));
     }
 
+    /// Mint a root causal context for a locally-originated event (boot or
+    /// timer fire) — only when a trace ring is attached; untraced runs
+    /// carry no ids at all. Derivation mixes values already at hand, never
+    /// an RNG draw (passivity).
+    fn root_ctx(&self, node: NodeId, seq: u64) -> TraceCtx {
+        if self.engine.trace().is_some() {
+            TraceCtx::derive(node.index() as u64, seq)
+        } else {
+            TraceCtx::NONE
+        }
+    }
+
     fn start_node(&mut self, node: NodeId) {
         self.metrics.handler_starts += 1;
         let i = node.index();
+        // Boot roots live in their own id space (high bit set) so a boot
+        // chain can never collide with a timer chain of the same node.
+        let ctx = self.root_ctx(node, (1 << 63) | u64::from(self.epochs[i]));
         let mut mailbox = DriverMailbox {
             me: node,
             epoch: self.epochs[i],
             jitter_us: self.timer_jitter_us,
+            ctx,
             engine: &mut self.engine,
             arena: &mut self.arena,
             cancels: &mut self.cancels,
@@ -486,9 +527,10 @@ impl<H: Handler> EventDriver<H> {
         peer: u64,
         kind: TraceKind,
         reason: TraceReason,
+        ctx: TraceCtx,
     ) {
         if let Some(ring) = self.engine.trace_mut() {
-            ring.record(at_us, node, peer, kind, reason);
+            ring.record_ctx(at_us, node, peer, kind, reason, ctx);
         }
     }
 
@@ -500,6 +542,8 @@ impl<H: Handler> EventDriver<H> {
                 delivered,
                 latency_us,
                 payload,
+                trace_id,
+                hop,
                 ..
             } => {
                 if !delivered {
@@ -508,6 +552,7 @@ impl<H: Handler> EventDriver<H> {
                     // must not be read past this point.
                     return;
                 }
+                let ctx = TraceCtx { trace_id, hop };
                 self.engine.record_delivered_latency(latency_us);
                 let payload = self.arena.take(payload);
                 if !Transport::is_alive(&self.engine, to) {
@@ -520,6 +565,7 @@ impl<H: Handler> EventDriver<H> {
                         from.index() as u64,
                         TraceKind::Drop,
                         TraceReason::DeadEndpoint,
+                        ctx,
                     );
                     return;
                 }
@@ -529,6 +575,7 @@ impl<H: Handler> EventDriver<H> {
                     from.index() as u64,
                     TraceKind::Recv,
                     TraceReason::None,
+                    ctx,
                 );
                 let Some(msg) = payload else {
                     // A raw Transport::send (no payload) slipped through —
@@ -547,6 +594,7 @@ impl<H: Handler> EventDriver<H> {
                     me: to,
                     epoch: self.epochs[i],
                     jitter_us: self.timer_jitter_us,
+                    ctx,
                     engine: &mut self.engine,
                     arena: &mut self.arena,
                     cancels: &mut self.cancels,
@@ -561,6 +609,7 @@ impl<H: Handler> EventDriver<H> {
                     NO_PEER,
                     TraceKind::Crash,
                     TraceReason::None,
+                    TraceCtx::NONE,
                 );
                 self.engine.apply_crash(node);
             }
@@ -574,6 +623,7 @@ impl<H: Handler> EventDriver<H> {
                         NO_PEER,
                         TraceKind::Drop,
                         TraceReason::Stale,
+                        TraceCtx::NONE,
                     );
                     return;
                 }
@@ -593,16 +643,25 @@ impl<H: Handler> EventDriver<H> {
                         NO_PEER,
                         TraceKind::Drop,
                         TraceReason::CancelledTimer,
+                        TraceCtx::NONE,
                     );
                     return;
                 }
                 self.metrics.timer_fires += 1;
+                // Virtual time: dispatch happens at the due instant, so the
+                // lag is identically zero — recorded anyway so the family
+                // exists on every backend and dashboards can overlay it
+                // against NodeHost's wall-clock lag.
+                self.timer_lag
+                    .record(self.engine.now_us().saturating_sub(at_us));
+                let ctx = self.root_ctx(node, seq);
                 self.trace_event(
                     at_us,
                     node.index() as u64,
                     NO_PEER,
                     TraceKind::TimerFire,
                     TraceReason::None,
+                    ctx,
                 );
                 self.metrics.fold([
                     at_us,
@@ -614,6 +673,7 @@ impl<H: Handler> EventDriver<H> {
                     me: node,
                     epoch,
                     jitter_us: self.timer_jitter_us,
+                    ctx,
                     engine: &mut self.engine,
                     arena: &mut self.arena,
                     cancels: &mut self.cancels,

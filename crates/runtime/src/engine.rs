@@ -29,7 +29,7 @@ use crate::event::{Event, EventQueue};
 use crate::latency::LatencyModel;
 use crate::metrics::AsyncMetrics;
 use gossip_net::{Metrics, NodeId, Phase, SimConfig, Transport};
-use gossip_obs::{TraceKind, TraceReason, TraceRing, NO_PEER};
+use gossip_obs::{TraceCtx, TraceKind, TraceReason, TraceRing, NO_PEER};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -226,8 +226,33 @@ impl AsyncEngine {
         kind: TraceKind,
         reason: TraceReason,
     ) {
+        self.trace_event_ctx(at_us, node, peer, kind, reason, TraceCtx::NONE);
+    }
+
+    /// [`AsyncEngine::trace_event`] with a causal context.
+    fn trace_event_ctx(
+        &mut self,
+        at_us: u64,
+        node: u64,
+        peer: u64,
+        kind: TraceKind,
+        reason: TraceReason,
+        ctx: TraceCtx,
+    ) {
         if let Some(ring) = &mut self.trace {
-            ring.record(at_us, node, peer, kind, reason);
+            ring.record_ctx(at_us, node, peer, kind, reason, ctx);
+        }
+    }
+
+    /// Mint a root causal context for a raw [`Transport::send`] — the
+    /// send itself is the chain's origin. Contexts exist only while a
+    /// trace ring is attached (they are observability state); the id is
+    /// mixed from the sender and the ring's running total, never an RNG
+    /// draw, so minting is passive.
+    fn root_send_ctx(&self, from: NodeId) -> TraceCtx {
+        match &self.trace {
+            Some(ring) => TraceCtx::derive(from.index() as u64, ring.total()),
+            None => TraceCtx::NONE,
         }
     }
 
@@ -262,6 +287,13 @@ impl AsyncEngine {
                 &[],
                 ring.total(),
             );
+            registry.add_counter(
+                "trace_ring_overwrites_total",
+                "Trace events lost to ring capacity",
+                &[],
+                ring.overwritten(),
+            );
+            gossip_obs::reconstruct(ring).fill_registry(registry);
         }
     }
 
@@ -437,8 +469,9 @@ impl AsyncEngine {
         phase: Phase,
         bits: u32,
         payload: u32,
+        ctx: TraceCtx,
     ) -> bool {
-        self.send_attempt(from, to, phase, bits, payload, 0)
+        self.send_attempt(from, to, phase, bits, payload, 0, ctx)
     }
 
     /// One transmission attempt, `elapsed_us` of virtual time after the
@@ -448,6 +481,7 @@ impl AsyncEngine {
     /// the offset, and under [`RoundPolicy::FixedDeadline`] the offset
     /// counts against the delivery budget. `payload` is carried opaquely
     /// into the `Deliver` event ([`crate::NO_PAYLOAD`] for raw sends).
+    #[allow(clippy::too_many_arguments)] // internal: one slot per Deliver-event field
     fn send_attempt(
         &mut self,
         from: NodeId,
@@ -456,6 +490,7 @@ impl AsyncEngine {
         bits: u32,
         payload: u32,
         elapsed_us: u64,
+        ctx: TraceCtx,
     ) -> bool {
         debug_assert!(from.index() < self.config.sim.n, "sender out of range");
         debug_assert!(to.index() < self.config.sim.n, "receiver out of range");
@@ -543,6 +578,8 @@ impl AsyncEngine {
                 delivered,
                 latency_us,
                 payload,
+                trace_id: ctx.trace_id,
+                hop: ctx.hop,
             },
         );
         self.metrics.record_send(phase, bits, delivered);
@@ -551,12 +588,13 @@ impl AsyncEngine {
         } else {
             (TraceKind::Drop, drop_reason)
         };
-        self.trace_event(
+        self.trace_event_ctx(
             self.window_start + elapsed_us,
             from.index() as u64,
             to.index() as u64,
             kind,
             reason,
+            ctx,
         );
         delivered
     }
@@ -584,7 +622,8 @@ impl Transport for AsyncEngine {
     }
 
     fn send(&mut self, from: NodeId, to: NodeId, phase: Phase, bits: u32) -> bool {
-        self.send_attempt(from, to, phase, bits, crate::arena::NO_PAYLOAD, 0)
+        let ctx = self.root_send_ctx(from);
+        self.send_attempt(from, to, phase, bits, crate::arena::NO_PAYLOAD, 0, ctx)
     }
 
     /// Under [`RoundPolicy::FixedDeadline`], retransmissions happen in
@@ -611,6 +650,8 @@ impl Transport for AsyncEngine {
         let rtt = self
             .rtt_estimate_us()
             .expect("the engine always has a latency model");
+        // One logical message, however many attempts: one chain.
+        let ctx = self.root_send_ctx(from);
         let mut attempts = 0;
         while attempts < max_attempts {
             // Timeout cycles burned before this attempt goes out (charged
@@ -627,7 +668,15 @@ impl Transport for AsyncEngine {
                 None => 0,
             };
             attempts += 1;
-            if self.send_attempt(from, to, phase, bits, crate::arena::NO_PAYLOAD, elapsed) {
+            if self.send_attempt(
+                from,
+                to,
+                phase,
+                bits,
+                crate::arena::NO_PAYLOAD,
+                elapsed,
+                ctx,
+            ) {
                 return (attempts, true);
             }
             // A dead endpoint will never succeed; avoid burning the budget.
@@ -657,16 +706,19 @@ impl Transport for AsyncEngine {
                     to,
                     delivered,
                     latency_us,
+                    trace_id,
+                    hop,
                     ..
                 } => {
                     if delivered {
                         self.async_metrics.latency.record(latency_us);
-                        self.trace_event(
+                        self.trace_event_ctx(
                             scheduled.at_us,
                             to.index() as u64,
                             from.index() as u64,
                             TraceKind::Recv,
                             TraceReason::None,
+                            TraceCtx { trace_id, hop },
                         );
                     }
                 }

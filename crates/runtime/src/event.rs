@@ -27,6 +27,12 @@ pub enum Event {
         /// [`NO_PAYLOAD`](crate::NO_PAYLOAD) for payload-free traffic
         /// (raw `Transport::send` calls from the round-barrier protocols).
         payload: u32,
+        /// Causal chain id carried by the message
+        /// ([`NO_TRACE`](gossip_obs::NO_TRACE) untraced). Passive: rides
+        /// the event for the trace ring, never feeds ordering or RNG.
+        trace_id: u64,
+        /// Message hops from the chain's origin.
+        hop: u8,
     },
     /// `node` crashes (flips to dead when this event is processed, so a
     /// crash at `t` is correctly ordered against deliveries before/after

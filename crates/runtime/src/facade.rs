@@ -58,6 +58,7 @@ use crate::metrics::AsyncMetrics;
 use crate::shard::{CalendarQueue, EventKind, ShardEvent};
 use crate::soa::NO_CRASH;
 use gossip_net::{Metrics, NodeId, Phase, SimConfig, Transport};
+use gossip_obs::{TraceCtx, TraceKind, TraceReason, TraceRing};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -98,6 +99,12 @@ pub struct ShardedTransport {
     /// one shared counter is fine).
     next_oseq: u64,
     parallel: bool,
+    /// Send/Drop records at send time (`None` unless
+    /// [`with_trace`](ShardedTransport::with_trace) was used). Passive.
+    trace: Option<TraceRing>,
+    /// Per-shard Recv records, written by the (possibly concurrent) round
+    /// drain; merged with the base ring on read, in shard order.
+    shard_trace: Vec<Option<TraceRing>>,
 }
 
 impl ShardedTransport {
@@ -138,6 +145,8 @@ impl ShardedTransport {
             metrics: Metrics::new(),
             next_oseq: 0,
             parallel,
+            trace: None,
+            shard_trace: vec![None; num_shards],
             config,
         }
     }
@@ -147,6 +156,40 @@ impl ShardedTransport {
     pub fn with_parallel(mut self, parallel: bool) -> Self {
         self.parallel = parallel && self.queues.len() > 1;
         self
+    }
+
+    /// Attach a trace ring of the most recent `capacity` events:
+    /// Send/Drop records (with minted causal roots) at send time into a
+    /// base ring, Recv records into per-shard rings at the round drain.
+    /// Passive — the facade determinism suite pins that enabling it
+    /// changes no observable of the run.
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace = Some(TraceRing::new(capacity));
+        self.shard_trace = (0..self.queues.len())
+            .map(|_| Some(TraceRing::new(capacity)))
+            .collect();
+        self
+    }
+
+    /// A merged view of the trace: send-time records plus whatever the
+    /// round drains recorded, in shard order. `None` unless
+    /// [`with_trace`](ShardedTransport::with_trace) was used.
+    pub fn trace(&self) -> Option<TraceRing> {
+        let mut merged = self.trace.clone()?;
+        for ring in self.shard_trace.iter().flatten() {
+            ring.clone().drain_into(&mut merged);
+        }
+        Some(merged)
+    }
+
+    /// Mint a root causal context for an outgoing message — only when
+    /// tracing is on. Derived from `(sender, records so far)`, never an
+    /// RNG draw (passivity).
+    fn root_send_ctx(&self, from: NodeId) -> TraceCtx {
+        match &self.trace {
+            Some(ring) => TraceCtx::derive(from.index() as u64, ring.total()),
+            None => TraceCtx::NONE,
+        }
     }
 
     /// Number of shards actually in use (`min(requested, n)`).
@@ -222,6 +265,21 @@ impl ShardedTransport {
             &[],
             self.queue_capacity_events() as f64,
         );
+        if let Some(ring) = self.trace() {
+            registry.add_counter(
+                "trace_events_total",
+                "Protocol events recorded into the trace ring",
+                &[],
+                ring.total(),
+            );
+            registry.add_counter(
+                "trace_ring_overwrites_total",
+                "Trace events lost to ring capacity",
+                &[],
+                ring.overwritten(),
+            );
+            gossip_obs::reconstruct(&ring).fill_registry(registry);
+        }
     }
 
     /// Whether `node` will still be alive at virtual instant `at_us`,
@@ -248,18 +306,27 @@ impl ShardedTransport {
         phase: Phase,
         bits: u32,
         elapsed_us: u64,
+        ctx: TraceCtx,
     ) -> bool {
         debug_assert!(from.index() < self.config.sim.n, "sender out of range");
         debug_assert!(to.index() < self.config.sim.n, "receiver out of range");
 
+        // First failed verdict, for the trace record. Tracking it adds no
+        // draw and changes no verdict — passivity holds by construction.
+        let mut drop_reason = TraceReason::None;
+
         // 1. Endpoint liveness and the loss draw.
         let sender_alive = self.alive[from.index()];
         let mut delivered = sender_alive && self.alive[to.index()];
+        if !delivered {
+            drop_reason = TraceReason::DeadEndpoint;
+        }
         if delivered
             && self.config.sim.loss_prob > 0.0
             && self.rng.gen_bool(self.config.sim.loss_prob)
         {
             delivered = false;
+            drop_reason = TraceReason::Loss;
         }
 
         // 2. Latency: sampled per message, scaled by the per-link bias.
@@ -276,6 +343,7 @@ impl ShardedTransport {
             if let Some(budget) = self.config.bandwidth_bits_per_round {
                 if self.bits_this_round[from.index()] + u64::from(bits) > budget {
                     delivered = false;
+                    drop_reason = TraceReason::Bandwidth;
                     self.base_async.bandwidth_drops += 1;
                 }
             }
@@ -288,6 +356,7 @@ impl ShardedTransport {
         //    were pre-scheduled at the last barrier).
         if delivered && !self.alive_at(to, arrival) {
             delivered = false;
+            drop_reason = TraceReason::DeadEndpoint;
         }
 
         // 5. Fixed deadlines drop messages that outlive their round.
@@ -295,9 +364,27 @@ impl ShardedTransport {
             if let RoundPolicy::FixedDeadline(deadline) = self.config.round_policy {
                 if elapsed_us + latency_us > deadline {
                     delivered = false;
+                    drop_reason = TraceReason::Late;
                     self.base_async.late_drops += 1;
                 }
             }
+        }
+
+        let record_at = self.window_start + elapsed_us;
+        if let Some(ring) = &mut self.trace {
+            let kind = if delivered {
+                TraceKind::Send
+            } else {
+                TraceKind::Drop
+            };
+            ring.record_ctx(
+                record_at,
+                from.index() as u64,
+                to.index() as u64,
+                kind,
+                drop_reason,
+                ctx,
+            );
         }
 
         if delivered {
@@ -316,6 +403,8 @@ impl ShardedTransport {
                     bits,
                     latency_us,
                     payload: NO_PAYLOAD,
+                    trace_id: ctx.trace_id,
+                    hop: ctx.hop,
                 },
             });
         }
@@ -375,7 +464,8 @@ impl Transport for ShardedTransport {
     }
 
     fn send(&mut self, from: NodeId, to: NodeId, phase: Phase, bits: u32) -> bool {
-        self.send_attempt(from, to, phase, bits, 0)
+        let ctx = self.root_send_ctx(from);
+        self.send_attempt(from, to, phase, bits, 0, ctx)
     }
 
     /// Identical retry semantics to the single-queue engine: under a fixed
@@ -394,6 +484,9 @@ impl Transport for ShardedTransport {
         let rtt = self
             .rtt_estimate_us()
             .expect("the facade always has a latency model");
+        // One causal root for every attempt of this logical send — the
+        // retries of one message are one chain (mirrors the engine).
+        let ctx = self.root_send_ctx(from);
         let mut attempts = 0;
         while attempts < max_attempts {
             let elapsed = match deadline {
@@ -407,7 +500,7 @@ impl Transport for ShardedTransport {
                 None => 0,
             };
             attempts += 1;
-            if self.send_attempt(from, to, phase, bits, elapsed) {
+            if self.send_attempt(from, to, phase, bits, elapsed, ctx) {
                 return (attempts, true);
             }
             if !self.alive[from.index()] || !self.alive[to.index()] {
@@ -434,22 +527,52 @@ impl Transport for ShardedTransport {
         // sweep too: their cursors have to cross the window so next
         // round's arrivals are never "in the past".
         let end = horizon + 1;
-        let drain_one = |queue: &mut CalendarQueue, tally: &mut AsyncMetrics| {
-            queue.drain_until(end, |ev| {
-                if let EventKind::Deliver { latency_us, .. } = ev.kind {
-                    tally.latency.record(latency_us);
-                }
-            });
-        };
+        let drain_one =
+            |queue: &mut CalendarQueue, tally: &mut AsyncMetrics, ring: &mut Option<TraceRing>| {
+                queue.drain_until(end, |ev| {
+                    if let EventKind::Deliver {
+                        latency_us,
+                        trace_id,
+                        hop,
+                        ..
+                    } = ev.kind
+                    {
+                        tally.latency.record(latency_us);
+                        // Arrival record into the shard's own ring: shard-
+                        // local order is drain order, which is deterministic
+                        // per shard whatever the thread path.
+                        if let Some(ring) = ring {
+                            ring.record_ctx(
+                                ev.at_us,
+                                u64::from(ev.to),
+                                u64::from(ev.origin),
+                                TraceKind::Recv,
+                                TraceReason::None,
+                                TraceCtx { trace_id, hop },
+                            );
+                        }
+                    }
+                });
+            };
         if self.parallel && horizon - self.window_start >= MIN_PARALLEL_WINDOW_US {
             std::thread::scope(|scope| {
-                for (queue, tally) in self.queues.iter_mut().zip(self.shard_async.iter_mut()) {
-                    scope.spawn(move || drain_one(queue, tally));
+                for ((queue, tally), ring) in self
+                    .queues
+                    .iter_mut()
+                    .zip(self.shard_async.iter_mut())
+                    .zip(self.shard_trace.iter_mut())
+                {
+                    scope.spawn(move || drain_one(queue, tally, ring));
                 }
             });
         } else {
-            for (queue, tally) in self.queues.iter_mut().zip(self.shard_async.iter_mut()) {
-                drain_one(queue, tally);
+            for ((queue, tally), ring) in self
+                .queues
+                .iter_mut()
+                .zip(self.shard_async.iter_mut())
+                .zip(self.shard_trace.iter_mut())
+            {
+                drain_one(queue, tally, ring);
             }
         }
         debug_assert!(

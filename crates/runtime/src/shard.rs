@@ -78,7 +78,7 @@ use crate::engine::AsyncConfig;
 use crate::metrics::AsyncMetrics;
 use crate::soa::{NodeTable, NO_CRASH};
 use gossip_net::{node_rng, Handler, Mailbox, Metrics, NodeId, Phase, TimerId};
-use gossip_obs::{TraceKind, TraceReason, TraceRing, NO_PEER};
+use gossip_obs::{TraceCtx, TraceKind, TraceReason, TraceRing, NO_PEER};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -112,6 +112,12 @@ pub(crate) enum EventKind {
         /// ([`NO_PAYLOAD`] for payload-free traffic, e.g. the round-barrier
         /// facade's deliveries).
         payload: u32,
+        /// Causal chain id carried by the message
+        /// ([`gossip_obs::NO_TRACE`] untraced). Passive: rides the event
+        /// for the trace ring, never feeds ordering, RNG or the node hash.
+        trace_id: u64,
+        /// Message hops from the chain's origin.
+        hop: u8,
     },
     /// A timer armed by incarnation `incarnation` of the node fires.
     Timer {
@@ -322,6 +328,9 @@ struct Shard<H: Handler> {
     /// the shard-metrics drain. Passive: recording is a plain store into
     /// shard-local state, so the node hashes are trace-invariant.
     trace: Option<TraceRing>,
+    /// Scheduled-vs-dispatched delta of timer fires (µs) — identically
+    /// zero in virtual time; merged across shards at scrape.
+    timer_lag: gossip_obs::Histogram,
 }
 
 /// The geometry and engine parameters a dispatching shard needs; shared
@@ -346,7 +355,7 @@ struct Topology {
 /// `$incarnation` must be a pre-evaluated value, not a borrow of the
 /// shard.
 macro_rules! handler_and_mailbox {
-    ($shard:expr, $topo:expr, $local:expr, $now_us:expr, $incarnation:expr) => {{
+    ($shard:expr, $topo:expr, $local:expr, $now_us:expr, $incarnation:expr, $ctx:expr) => {{
         let shard = &mut *$shard;
         (
             &mut shard.handlers[$local],
@@ -355,6 +364,7 @@ macro_rules! handler_and_mailbox {
                 local: $local,
                 now_us: $now_us,
                 incarnation: $incarnation,
+                ctx: $ctx,
                 topo: $topo,
                 rng: &mut shard.rng[$local],
                 nodes: &mut shard.nodes,
@@ -411,9 +421,22 @@ impl<H: Handler> Shard<H> {
         peer: u64,
         kind: TraceKind,
         reason: TraceReason,
+        ctx: TraceCtx,
     ) {
         if let Some(ring) = &mut self.trace {
-            ring.record(at_us, node, peer, kind, reason);
+            ring.record_ctx(at_us, node, peer, kind, reason, ctx);
+        }
+    }
+
+    /// Mint a root causal context for a locally-originated event — only
+    /// when tracing is on (untraced runs carry no ids). Derived from
+    /// `(node, seq)`, both shard-count invariant; never an RNG draw.
+    #[inline]
+    fn root_ctx(&self, node: u64, seq: u64) -> TraceCtx {
+        if self.trace.is_some() {
+            TraceCtx::derive(node, seq)
+        } else {
+            TraceCtx::NONE
         }
     }
 
@@ -438,6 +461,7 @@ impl<H: Handler> Shard<H> {
                     NO_PEER,
                     TraceKind::Crash,
                     TraceReason::None,
+                    TraceCtx::NONE,
                 );
             }
             EventKind::Deliver {
@@ -445,7 +469,10 @@ impl<H: Handler> Shard<H> {
                 bits,
                 latency_us,
                 payload,
+                trace_id,
+                hop,
             } => {
+                let ctx = TraceCtx { trace_id, hop };
                 // Reclaim the payload first: a dead receiver must still
                 // free the slot, or burst memory would leak.
                 let msg = self.arena.take(payload);
@@ -462,6 +489,7 @@ impl<H: Handler> Shard<H> {
                         u64::from(ev.origin),
                         TraceKind::Drop,
                         TraceReason::DeadEndpoint,
+                        ctx,
                     );
                     return;
                 }
@@ -474,11 +502,12 @@ impl<H: Handler> Shard<H> {
                     u64::from(ev.origin),
                     TraceKind::Recv,
                     TraceReason::None,
+                    ctx,
                 );
                 let msg = msg.expect("a queued delivery always carries a payload");
                 let incarnation = self.nodes.incarnation[local];
                 let (handler, mut mailbox) =
-                    handler_and_mailbox!(self, topo, local, ev.at_us, incarnation);
+                    handler_and_mailbox!(self, topo, local, ev.at_us, incarnation, ctx);
                 handler.on_message(NodeId::new(ev.origin as usize), msg, &mut mailbox);
             }
             EventKind::Timer { timer, incarnation } => {
@@ -490,6 +519,7 @@ impl<H: Handler> Shard<H> {
                         NO_PEER,
                         TraceKind::Drop,
                         TraceReason::Stale,
+                        TraceCtx::NONE,
                     );
                     return;
                 }
@@ -509,16 +539,24 @@ impl<H: Handler> Shard<H> {
                         NO_PEER,
                         TraceKind::Drop,
                         TraceReason::CancelledTimer,
+                        TraceCtx::NONE,
                     );
                     return;
                 }
                 self.counters.timer_fires += 1;
+                // Cursor == due instant in virtual time: the lag pins at
+                // zero, recorded so the family exists on every backend.
+                self.timer_lag.record(0);
+                // Root of a new causal chain, keyed by the owner's private
+                // oseq — shard-count invariant like the dispatch order.
+                let ctx = self.root_ctx(u64::from(ev.to), ev.oseq);
                 self.trace_event(
                     ev.at_us,
                     u64::from(ev.to),
                     NO_PEER,
                     TraceKind::TimerFire,
                     TraceReason::None,
+                    ctx,
                 );
                 fold3(
                     &mut self.nodes.node_hash[local],
@@ -527,7 +565,7 @@ impl<H: Handler> Shard<H> {
                     ev.oseq,
                 );
                 let (handler, mut mailbox) =
-                    handler_and_mailbox!(self, topo, local, ev.at_us, incarnation);
+                    handler_and_mailbox!(self, topo, local, ev.at_us, incarnation, ctx);
                 handler.on_timer(timer, &mut mailbox);
             }
         }
@@ -537,7 +575,14 @@ impl<H: Handler> Shard<H> {
     /// the clock at `now_us`. Used for initial boots and rejoin restarts.
     fn boot(&mut self, local: usize, now_us: u64, topo: &Topology) {
         let incarnation = self.nodes.incarnation[local];
-        let (handler, mut mailbox) = handler_and_mailbox!(self, topo, local, now_us, incarnation);
+        // Boot roots live in their own id space (high bit set) so a boot
+        // chain can never collide with a timer chain of the same node.
+        let ctx = self.root_ctx(
+            (self.start + local) as u64,
+            (1 << 63) | u64::from(incarnation),
+        );
+        let (handler, mut mailbox) =
+            handler_and_mailbox!(self, topo, local, now_us, incarnation, ctx);
         handler.on_start(&mut mailbox);
     }
 }
@@ -549,6 +594,9 @@ struct ShardMailbox<'a, M> {
     local: usize,
     now_us: u64,
     incarnation: u32,
+    /// Causal context of the event being dispatched ([`TraceCtx::NONE`]
+    /// when tracing is off). Sends inherit it at `hop + 1`; passive.
+    ctx: TraceCtx,
     topo: &'a Topology,
     rng: &'a mut SmallRng,
     nodes: &'a mut NodeTable,
@@ -569,9 +617,9 @@ impl<M> ShardMailbox<'_, M> {
 
     /// Record into the shard's trace ring, if tracing is on (passive).
     #[inline]
-    fn trace_event(&mut self, peer: u64, kind: TraceKind, reason: TraceReason) {
+    fn trace_event(&mut self, peer: u64, kind: TraceKind, reason: TraceReason, ctx: TraceCtx) {
         if let Some(ring) = self.trace.as_mut() {
-            ring.record(self.now_us, self.me.index() as u64, peer, kind, reason);
+            ring.record_ctx(self.now_us, self.me.index() as u64, peer, kind, reason, ctx);
         }
     }
 }
@@ -611,26 +659,35 @@ impl<M> Mailbox<M> for ShardMailbox<'_, M> {
             None => false,
         };
         self.nodes.bits_window[self.local] += u64::from(bits);
+        // The outgoing message inherits this callback's causal context one
+        // hop downstream; drop records carry the same ctx so a chain ends
+        // with its reason.
+        let ctx = self.ctx.next_hop();
         if lost {
             self.metrics.record_send(phase, bits, false);
-            self.trace_event(to.index() as u64, TraceKind::Drop, TraceReason::Loss);
+            self.trace_event(to.index() as u64, TraceKind::Drop, TraceReason::Loss, ctx);
             return;
         }
         if over_budget {
             self.async_metrics.bandwidth_drops += 1;
             self.metrics.record_send(phase, bits, false);
-            self.trace_event(to.index() as u64, TraceKind::Drop, TraceReason::Bandwidth);
+            self.trace_event(
+                to.index() as u64,
+                TraceKind::Drop,
+                TraceReason::Bandwidth,
+                ctx,
+            );
             return;
         }
         if let crate::engine::RoundPolicy::FixedDeadline(deadline) = config.round_policy {
             if latency_us > deadline {
                 self.async_metrics.late_drops += 1;
                 self.metrics.record_send(phase, bits, false);
-                self.trace_event(to.index() as u64, TraceKind::Drop, TraceReason::Late);
+                self.trace_event(to.index() as u64, TraceKind::Drop, TraceReason::Late, ctx);
                 return;
             }
         }
-        self.trace_event(to.index() as u64, TraceKind::Send, TraceReason::None);
+        self.trace_event(to.index() as u64, TraceKind::Send, TraceReason::None, ctx);
         // In flight: the receiver's shard rules on liveness at arrival and
         // records the attempt with the final verdict. A local delivery
         // parks its payload in the shard's own arena; a cross-shard one
@@ -646,6 +703,8 @@ impl<M> Mailbox<M> for ShardMailbox<'_, M> {
                 bits,
                 latency_us,
                 payload: NO_PAYLOAD,
+                trace_id: ctx.trace_id,
+                hop: ctx.hop,
             },
         };
         let to_idx = to.index();
@@ -701,11 +760,17 @@ impl<M> Mailbox<M> for ShardMailbox<'_, M> {
     fn note(&mut self, peer: Option<NodeId>, reason: TraceReason) {
         // Passive: a ring store only. Per-shard rings merge at barriers,
         // so notes are shard-count invariant like every other trace event.
+        let ctx = self.ctx;
         self.trace_event(
             peer.map_or(NO_PEER, |p| p.index() as u64),
             TraceKind::State,
             reason,
+            ctx,
         );
+    }
+
+    fn trace_ctx(&self) -> TraceCtx {
+        self.ctx
     }
 }
 
@@ -791,6 +856,7 @@ where
                 async_metrics: AsyncMetrics::default(),
                 counters: ShardCounters::default(),
                 trace: None,
+                timer_lag: gossip_obs::Histogram::new(),
             });
         }
         let parallel = num_shards > 1
@@ -906,6 +972,16 @@ where
             &[],
             self.queue_capacity_events() as f64,
         );
+        let mut timer_lag = gossip_obs::Histogram::new();
+        for shard in &self.shards {
+            timer_lag.merge(&shard.timer_lag);
+        }
+        registry.merge_histogram(
+            "driver_timer_lag_us",
+            "Scheduled-vs-dispatched delta of timer fires (µs)",
+            &[],
+            &timer_lag,
+        );
         if let Some(ring) = self.trace() {
             registry.add_counter(
                 "trace_events_total",
@@ -913,6 +989,13 @@ where
                 &[],
                 ring.total(),
             );
+            registry.add_counter(
+                "trace_ring_overwrites_total",
+                "Trace events lost to ring capacity",
+                &[],
+                ring.overwritten(),
+            );
+            gossip_obs::reconstruct(&ring).fill_registry(registry);
         }
         for (_, handler) in self.iter_handlers() {
             handler.fill_registry(registry);

@@ -9,7 +9,7 @@ use gossip_drr::protocol::{drr_gossip_ave, drr_gossip_max, DrrGossipConfig, DrrG
 use gossip_net::{Handler, Mailbox, Network, NodeId, Phase, SimConfig, TimerId};
 use gossip_runtime::{
     AsyncConfig, AsyncEngine, ChurnModel, EventDriver, LatencyModel, RoundPolicy, ShardedDriver,
-    SweepRunner,
+    ShardedTransport, SweepRunner,
 };
 use std::sync::{Arc, Mutex};
 
@@ -775,6 +775,63 @@ fn observability_is_passive_across_backends_and_shard_counts() {
     driver.run_until(60_000);
     let ring = driver.trace().expect("trace enabled");
     assert!(ring.total() > 0, "an instrumented run records events");
+
+    // AsyncEngine under the synchronous-protocol bridge: the raw-transport
+    // path mints causal roots per send, and doing so must not move a bit.
+    let engine_run = |traced: bool| {
+        let vals = values(n);
+        let mut engine = AsyncEngine::new(churny_config(n, 0x0B5));
+        if traced {
+            engine = engine.with_trace(512);
+        }
+        let report = drr_gossip_max(&mut engine, &vals, &DrrGossipConfig::paper());
+        if traced {
+            let mut registry = gossip_obs::Registry::new();
+            engine.fill_registry(&mut registry);
+            assert!(!registry.is_empty());
+            assert!(
+                engine.trace().expect("trace enabled").total() > 0,
+                "an instrumented engine run records events"
+            );
+        }
+        (
+            fingerprint(&report),
+            engine.now_us(),
+            engine.async_metrics().clone(),
+        )
+    };
+    assert_eq!(
+        engine_run(false),
+        engine_run(true),
+        "tracing changed an AsyncEngine run"
+    );
+
+    // The sharded facade over the same bridge, at every pinned shard count.
+    let facade_run = |shards: usize, traced: bool| {
+        let vals = values(n);
+        let mut facade = ShardedTransport::new(churny_config(n, 0x0B5), shards);
+        if traced {
+            facade = facade.with_trace(512);
+        }
+        let report = drr_gossip_max(&mut facade, &vals, &DrrGossipConfig::paper());
+        if traced {
+            let mut registry = gossip_obs::Registry::new();
+            facade.fill_registry(&mut registry);
+            assert!(!registry.is_empty());
+            assert!(
+                facade.trace().expect("trace enabled").total() > 0,
+                "an instrumented facade run records events"
+            );
+        }
+        (fingerprint(&report), facade.now_us())
+    };
+    for &shards in &counts {
+        assert_eq!(
+            facade_run(shards, false),
+            facade_run(shards, true),
+            "tracing changed a {shards}-shard facade run"
+        );
+    }
 }
 
 #[test]

@@ -259,10 +259,14 @@ fn run_cluster<H: Handler>(
 ) where
     H::Msg: WireMsg,
 {
-    let mut cluster = LoopbackCluster::bind(n, args.seed, factory).unwrap_or_else(|e| {
-        eprintln!("cannot bind a loopback cluster: {e}");
-        std::process::exit(1);
-    });
+    let mut cluster = LoopbackCluster::bind(n, args.seed, factory)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot bind a loopback cluster: {e}");
+            std::process::exit(1);
+        })
+        // A small per-host event ring so `/metrics` carries the causal
+        // `trace_chain_*` families.
+        .with_trace(256);
     println!("loopback cluster: {n} nodes on 127.0.0.1 ephemeral ports");
     if let Some(addr) = &args.status_addr {
         match cluster.serve_status(addr.as_str()) {
