@@ -293,3 +293,90 @@ fn honest_wire_traffic_still_reconciles_after_the_validation() {
     assert_eq!(a.store().known(), N);
     assert_eq!(a.stats.digest_mismatches + b.stats.digest_mismatches, 0);
 }
+
+/// The auth-mode rows of the hostile matrix: the same forged digests,
+/// now arriving as *sealed* frames at an auth-required receiver. Every
+/// forgery — tampered tag, tampered payload, truncated tag, wrong key,
+/// replayed bare frame — must die at the frame layer with a typed error
+/// (what `NodeHost` counts as `auth_reject`), so the protocol's own
+/// validation never even runs for them. A frame sealed with the right
+/// key still decodes, and the protocol validation behind the auth gate
+/// keeps working exactly as the bare suite pins it.
+#[test]
+fn forged_sealed_frames_fail_authentication_before_any_payload_decodes() {
+    use gossip_net::{
+        decode_frame_sealed, encode_frame_sealed, AuthKey, WireError, AUTH_TAG_BYTES,
+        FRAME_HEADER_BYTES,
+    };
+    use gossip_obs::TraceCtx;
+
+    let key = AuthKey::from_passphrase("ae-hostile-suite");
+    let wrong_key = AuthKey::from_passphrase("ae-hostile-suite-but-wrong");
+    let (mut node, mut mailbox) = populated_node(DigestMode::Merkle);
+    let before = node.store().clone();
+    let attacker = NodeId::new(1);
+
+    for msg in &hostile_digests() {
+        let sealed = encode_frame_sealed(attacker, TraceCtx::NONE, Some(&key), msg);
+
+        // Tampered tag byte.
+        let mut tampered_tag = sealed.clone();
+        tampered_tag[FRAME_HEADER_BYTES] ^= 0x80;
+        assert!(matches!(
+            decode_frame_sealed::<AeMsg>(&tampered_tag, Some(&key)),
+            Err(WireError::BadAuthTag)
+        ));
+
+        // Tampered payload byte (the tag no longer covers what arrived).
+        let mut tampered_payload = sealed.clone();
+        *tampered_payload.last_mut().unwrap() ^= 0x01;
+        assert!(matches!(
+            decode_frame_sealed::<AeMsg>(&tampered_payload, Some(&key)),
+            Err(WireError::BadAuthTag)
+        ));
+
+        // Tag truncated mid-way: still an auth failure, not a decode one.
+        let truncated = &sealed[..FRAME_HEADER_BYTES + AUTH_TAG_BYTES / 2];
+        assert!(matches!(
+            decode_frame_sealed::<AeMsg>(truncated, Some(&key)),
+            Err(WireError::BadAuthTag)
+        ));
+
+        // Sealed under the wrong key.
+        let foreign = encode_frame_sealed(attacker, TraceCtx::NONE, Some(&wrong_key), msg);
+        assert!(matches!(
+            decode_frame_sealed::<AeMsg>(&foreign, Some(&key)),
+            Err(WireError::BadAuthTag)
+        ));
+
+        // A replayed bare frame — byte-identical to what a keyless
+        // cluster would accept — is refused outright when a key is
+        // required.
+        let bare = encode_frame(attacker, msg);
+        assert!(matches!(
+            decode_frame_sealed::<AeMsg>(&bare, Some(&key)),
+            Err(WireError::AuthRequired)
+        ));
+    }
+
+    // None of the forgeries reached the protocol: no counter moved, no
+    // reply was drawn, nothing was adopted.
+    assert_eq!(node.stats.digest_mismatches, 0);
+    assert_eq!(node.store(), &before);
+    assert!(mailbox.outbox.is_empty());
+
+    // Behind the auth gate the protocol validation is unchanged: the
+    // same hostiles sealed with the *right* key decode fine and are then
+    // dropped and counted by the digest checks, exactly as the bare
+    // suite pins.
+    use gossip_net::Handler;
+    let hostiles = hostile_digests();
+    for msg in &hostiles {
+        let sealed = encode_frame_sealed(attacker, TraceCtx::NONE, Some(&key), msg);
+        let (from, _ctx, decoded): (NodeId, _, AeMsg) =
+            decode_frame_sealed(&sealed, Some(&key)).expect("honestly sealed frame decodes");
+        node.on_message(from, decoded, &mut mailbox);
+    }
+    assert_eq!(node.stats.digest_mismatches, hostiles.len() as u64);
+    assert!(mailbox.outbox.is_empty(), "still no amplification");
+}

@@ -446,3 +446,95 @@ fn the_status_peer_table_tracks_join_and_death_of_a_member() {
         );
     }
 }
+
+#[test]
+fn auth_required_members_reject_forged_frames_at_the_wire_and_still_converge() {
+    if !sockets_available() {
+        return;
+    }
+    // The same attacker as the forged-updates suite, against a cluster
+    // that requires authentication. The forgeries now die at the frame
+    // layer — counted in `auth_reject`, invisible to the membership
+    // protocol (its own forgery counters stay at zero) — whichever shape
+    // they take: a replayed bare frame that a keyless cluster would have
+    // accepted, a tampered tag, a tag cut short, a wrong key. The
+    // protocol itself keeps running: the wrapped gossip-max still lands
+    // on the exact maximum.
+    let n = 3;
+    let vals = values(n);
+    let exact = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let key = gossip_net::AuthKey::from_passphrase("member-hostile-suite");
+    let wrong_key = gossip_net::AuthKey::from_passphrase("member-hostile-wrong");
+    let member_config = MemberConfig::static_full().with_probe_interval_us(100_000);
+    let vals_for_cluster = vals.clone();
+    let mut cluster = LoopbackCluster::bind(n, 0xA07, move |me| {
+        Member::new(member_config.clone(), max_handler(n, me, &vals_for_cluster))
+    })
+    .expect("bind loopback cluster")
+    .with_auth_key(key.clone());
+    cluster.poll(); // boot
+    let target = cluster.host(NodeId::new(0)).local_addr().unwrap();
+    let attacker = std::net::UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+    let from = NodeId::new(1);
+
+    // A self-death forgery: the nastiest row of the keyless suite — here
+    // it must not even reach the protocol's forgery counters.
+    let forged = MemberMsg::<f64>::Ack {
+        seq: 0xFFFF,
+        origin: NodeId::new(0),
+        updates: vec![Update {
+            node: from,
+            incarnation: 99,
+            state: Liveness::Dead,
+        }],
+    };
+    use gossip_net::{encode_frame_sealed, FRAME_HEADER_BYTES};
+    use gossip_obs::TraceCtx;
+    let bare = encode_frame(from, &forged);
+    let sealed = encode_frame_sealed(from, TraceCtx::NONE, Some(&key), &forged);
+    let mut tampered = sealed.clone();
+    *tampered.last_mut().unwrap() ^= 0x01;
+    let truncated = sealed[..FRAME_HEADER_BYTES + gossip_net::AUTH_TAG_BYTES / 2].to_vec();
+    let foreign = encode_frame_sealed(from, TraceCtx::NONE, Some(&wrong_key), &forged);
+    for frame in [&bare, &tampered, &truncated, &foreign] {
+        attacker.send_to(frame, target).expect("send forged frame");
+    }
+
+    std::thread::sleep(Duration::from_millis(20));
+    for _ in 0..50 {
+        cluster.poll();
+    }
+
+    let host = cluster.host(NodeId::new(0));
+    assert_eq!(
+        host.stats().auth_reject,
+        4,
+        "every forgery shape counted at the wire"
+    );
+    assert_eq!(host.stats().decode_errors, 0);
+    let handler = host.handler();
+    assert_eq!(handler.stats().forged_self_dead, 0, "never reached SWIM");
+    assert_eq!(handler.stats().forged_unknown_subject, 0);
+    assert_eq!(
+        handler.state_of(from),
+        Some(Liveness::Alive),
+        "a rejected forgery must not move a record"
+    );
+
+    // And the authenticated cluster still does its job.
+    let converged = cluster.run_until(Duration::from_secs(30), |hosts| {
+        hosts
+            .iter()
+            .all(|h| h.handler().inner().current_max() == exact)
+    });
+    assert!(
+        converged.is_some(),
+        "the authenticated cluster failed to converge"
+    );
+    let total = cluster.total_stats();
+    assert_eq!(total.decode_errors, 0, "honest sealed traffic all decoded");
+    assert_eq!(
+        total.auth_reject, 4,
+        "no honest frame was mistaken for a forgery"
+    );
+}

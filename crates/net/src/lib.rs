@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod auth;
 pub mod bits;
 pub mod config;
 pub mod mailbox;
@@ -53,6 +54,7 @@ pub mod stream;
 pub mod transport;
 pub mod wire;
 
+pub use auth::{hmac_sha256, sha256, AuthKey, AUTH_TAG_BYTES};
 pub use bits::{ceil_log2, id_bits, mix64, value_bits_for_range, SETUP_STREAM_SALT};
 pub use config::SimConfig;
 pub use mailbox::{sample_from_view, stagger_us, Handler, Mailbox, PeerView, StaticView, TimerId};
@@ -63,7 +65,8 @@ pub use phase::Phase;
 pub use stream::node_rng;
 pub use transport::{NodeIdIter, Transport};
 pub use wire::{
-    decode_frame, decode_frame_traced, encode_frame, encode_frame_traced, frame_with_payload,
-    frame_with_payload_traced, WireError, WireMsg, WireReader, WireWriter, FLAG_TRACE,
-    FRAME_HEADER_BYTES, MAX_PAYLOAD_BYTES, TRACE_CTX_BYTES, WIRE_MAGIC, WIRE_VERSION,
+    decode_frame, decode_frame_sealed, decode_frame_traced, encode_frame, encode_frame_sealed,
+    encode_frame_traced, frame_with_payload, frame_with_payload_traced, seal_frame, WireError,
+    WireMsg, WireReader, WireWriter, FLAG_AUTH, FLAG_TRACE, FRAME_HEADER_BYTES, MAX_PAYLOAD_BYTES,
+    TRACE_CTX_BYTES, WIRE_MAGIC, WIRE_VERSION,
 };

@@ -26,6 +26,7 @@
 //! are actually there. A node must be able to eat arbitrary datagrams off
 //! the network and shrug.
 
+use crate::auth::{AuthKey, AUTH_TAG_BYTES};
 use crate::node::NodeId;
 use gossip_obs::TraceCtx;
 use std::fmt;
@@ -48,10 +49,17 @@ pub const FRAME_HEADER_BYTES: usize = 12;
 /// predate tracing — the feature is opt-in per frame, not a version bump.
 pub const FLAG_TRACE: u8 = 0x01;
 
+/// Flags bit: the frame is authenticated — [`AUTH_TAG_BYTES`] of
+/// truncated HMAC-SHA256 (keyed by the cluster [`AuthKey`]) follow the
+/// header and any trace context, covering every frame byte except the tag
+/// itself. Like [`FLAG_TRACE`], the bit is opt-in per frame: frames
+/// without it are byte-identical to the unauthenticated format.
+pub const FLAG_AUTH: u8 = 0x02;
+
 /// All flags bits this build understands. Unknown bits are rejected: a
-/// flag may imply extra header bytes (as [`FLAG_TRACE`] does), so a
-/// decoder that ignored one would misparse everything after it.
-pub const KNOWN_FLAGS: u8 = FLAG_TRACE;
+/// flag may imply extra header bytes (as [`FLAG_TRACE`] and [`FLAG_AUTH`]
+/// do), so a decoder that ignored one would misparse everything after it.
+pub const KNOWN_FLAGS: u8 = FLAG_TRACE | FLAG_AUTH;
 
 /// Extra bytes a [`FLAG_TRACE`] frame carries: trace id (8) + hop (1).
 pub const TRACE_CTX_BYTES: usize = 9;
@@ -118,6 +126,14 @@ pub enum WireError {
         /// The flags byte actually found.
         found: u8,
     },
+    /// The frame carries [`FLAG_AUTH`] but its tag does not verify under
+    /// the receiver's key — a tampered frame, a truncation that happened
+    /// to keep the layout parseable, or a sender holding a different key.
+    BadAuthTag,
+    /// The receiver requires authenticated frames (it holds an
+    /// [`AuthKey`]) but the frame arrived bare — a legacy or hostile
+    /// sender talking to an auth-required host.
+    AuthRequired,
 }
 
 impl fmt::Display for WireError {
@@ -148,6 +164,10 @@ impl fmt::Display for WireError {
                     f,
                     "unknown flags {found:#04x} (this build understands {KNOWN_FLAGS:#04x})"
                 )
+            }
+            WireError::BadAuthTag => write!(f, "frame auth tag failed verification"),
+            WireError::AuthRequired => {
+                write!(f, "unauthenticated frame at an auth-required receiver")
             }
         }
     }
@@ -470,26 +490,70 @@ pub fn frame_with_payload(from: NodeId, payload: &[u8]) -> Vec<u8> {
 /// [`TRACE_CTX_BYTES`] of trace id + hop between the header and the
 /// payload. The length field counts the payload only.
 pub fn frame_with_payload_traced(from: NodeId, ctx: TraceCtx, payload: &[u8]) -> Vec<u8> {
+    seal_frame(from, ctx, None, payload)
+}
+
+/// The full framing seam: [`frame_with_payload_traced`] plus optional
+/// authentication. With `key = None` the output is byte-identical to the
+/// unauthenticated encoders (down to flags 0 when the context is also
+/// absent). With a key, the frame sets [`FLAG_AUTH`] and splices
+/// [`AUTH_TAG_BYTES`] of truncated HMAC-SHA256 between the trace context
+/// (if any) and the payload; the tag covers every frame byte *except
+/// itself* — header, trace context, and payload — so any post-seal
+/// tampering (including the length field and sender id) invalidates it.
+/// The length field counts the payload only, as always.
+pub fn seal_frame(from: NodeId, ctx: TraceCtx, key: Option<&AuthKey>, payload: &[u8]) -> Vec<u8> {
     debug_assert!(
         payload.len() <= MAX_PAYLOAD_BYTES,
         "caller must reject oversize payloads before framing"
     );
+    let mut flags = 0u8;
+    if ctx.is_some() {
+        flags |= FLAG_TRACE;
+    }
+    if key.is_some() {
+        flags |= FLAG_AUTH;
+    }
     let mut w = WireWriter::new();
     w.put_u16(WIRE_MAGIC);
     w.put_u8(WIRE_VERSION);
-    if ctx.is_none() {
-        w.put_u8(0); // flags: no extensions
-    } else {
-        w.put_u8(FLAG_TRACE);
-    }
+    w.put_u8(flags);
     w.put_u32(from.0);
     w.put_u32(payload.len() as u32);
     if ctx.is_some() {
         w.put_u64(ctx.trace_id);
         w.put_u8(ctx.hop);
     }
-    w.put_bytes(payload);
-    w.into_bytes()
+    let mut frame = w.into_bytes();
+    if let Some(key) = key {
+        // Tag over header+context so far, then the payload that follows
+        // the tag on the wire — exactly the bytes a verifier can see.
+        let tag = key.tag_parts(&[&frame, payload]);
+        frame.extend_from_slice(&tag);
+    }
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// [`encode_frame_traced`] with optional authentication (see
+/// [`seal_frame`] for the layout).
+///
+/// # Panics
+/// Panics on oversize payloads, like [`encode_frame`].
+pub fn encode_frame_sealed<M: WireMsg>(
+    from: NodeId,
+    ctx: TraceCtx,
+    key: Option<&AuthKey>,
+    msg: &M,
+) -> Vec<u8> {
+    let payload = msg.to_wire_bytes();
+    assert!(
+        payload.len() <= MAX_PAYLOAD_BYTES,
+        "encoded payload ({} bytes) exceeds the {}-byte frame limit",
+        payload.len(),
+        MAX_PAYLOAD_BYTES
+    );
+    seal_frame(from, ctx, key, &payload)
 }
 
 /// [`encode_frame`] with a causal context (see
@@ -522,7 +586,32 @@ pub fn decode_frame<M: WireMsg>(buf: &[u8]) -> Result<(NodeId, M), WireError> {
 /// [`TraceCtx::NONE`] for untraced frames. Total over arbitrary input:
 /// unknown flag bits are [`WireError::BadFlags`], a tagged-but-truncated
 /// context is [`WireError::Truncated`].
+///
+/// Equivalent to [`decode_frame_sealed`] with no key: authenticated
+/// frames are *accepted* (the tag is skipped, not verified) so a keyless
+/// node can interoperate with a keyed cluster, mirroring how untraced
+/// decoders accept traced frames.
 pub fn decode_frame_traced<M: WireMsg>(buf: &[u8]) -> Result<(NodeId, TraceCtx, M), WireError> {
+    decode_frame_sealed(buf, None)
+}
+
+/// The full decoding seam: [`decode_frame_traced`] plus authentication
+/// policy. Total over arbitrary input, like every decoder here.
+///
+/// * `key = None` — legacy behaviour: bare frames decode as before and
+///   [`FLAG_AUTH`] frames are accepted with the tag skipped (a keyless
+///   receiver cannot verify, and rejecting would partition mixed
+///   clusters mid-rollout).
+/// * `key = Some` — the receiver *requires* authentication: a bare frame
+///   is [`WireError::AuthRequired`], and a tagged frame whose tag does
+///   not verify over the received bytes (header, trace context, payload —
+///   everything but the tag) is [`WireError::BadAuthTag`], as is a tag
+///   region cut short. Verification happens before payload decode, so a
+///   forged frame never reaches the message parser.
+pub fn decode_frame_sealed<M: WireMsg>(
+    buf: &[u8],
+    key: Option<&AuthKey>,
+) -> Result<(NodeId, TraceCtx, M), WireError> {
     let mut r = WireReader::new(buf);
     let magic = r.take_u16()?;
     if magic != WIRE_MAGIC {
@@ -551,6 +640,25 @@ pub fn decode_frame_traced<M: WireMsg>(buf: &[u8]) -> Result<(NodeId, TraceCtx, 
     } else {
         TraceCtx::NONE
     };
+    if flags & FLAG_AUTH != 0 {
+        // The tag sits between the (optional) trace context and the
+        // payload; its offset is fixed by the flags alone.
+        let tag_start = buf.len() - r.remaining();
+        // A frame claiming authentication without a whole tag is an auth
+        // failure, not mere truncation: every mutilation of the tag
+        // region — flipped, cut short, missing — reads as one signal
+        // (`auth_reject` at the host), whatever shape the forgery took.
+        let tag = r.take(AUTH_TAG_BYTES).map_err(|_| WireError::BadAuthTag)?;
+        if let Some(key) = key {
+            let covered_head = &buf[..tag_start];
+            let covered_tail = &buf[tag_start + AUTH_TAG_BYTES..];
+            if !key.verify_parts(&[covered_head, covered_tail], tag) {
+                return Err(WireError::BadAuthTag);
+            }
+        }
+    } else if key.is_some() {
+        return Err(WireError::AuthRequired);
+    }
     if claimed != r.remaining() {
         // A datagram is one frame: the payload must fill the rest exactly.
         // Shorter is truncation; longer is trailing garbage.
@@ -723,6 +831,8 @@ mod tests {
             Box::new(WireError::BadTag { tag: 7 }),
             Box::new(WireError::BadLength { claimed: 1 << 40 }),
             Box::new(WireError::BadFlags { found: 0x80 }),
+            Box::new(WireError::BadAuthTag),
+            Box::new(WireError::AuthRequired),
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());
@@ -764,10 +874,10 @@ mod tests {
     #[test]
     fn unknown_flag_bits_are_rejected() {
         let mut frame = encode_frame(NodeId::new(1), &7u64);
-        frame[3] = 0x02; // a bit this build does not define
+        frame[3] = 0x04; // a bit this build does not define
         assert_eq!(
             decode_frame::<u64>(&frame),
-            Err(WireError::BadFlags { found: 0x02 })
+            Err(WireError::BadFlags { found: 0x04 })
         );
         let mut frame = encode_frame_traced(
             NodeId::new(1),
@@ -813,5 +923,161 @@ mod tests {
             decode_frame_traced::<u64>(&w.into_bytes()),
             Err(WireError::Truncated { .. })
         ));
+    }
+
+    fn test_key() -> AuthKey {
+        AuthKey::from_passphrase("wire-tests")
+    }
+
+    #[test]
+    fn sealed_frames_round_trip_with_and_without_trace() {
+        let key = test_key();
+        let msg = vec![6u64, 28, 496];
+        let ctx = TraceCtx {
+            trace_id: 0xFEED_FACE,
+            hop: 7,
+        };
+
+        let sealed = encode_frame_sealed(NodeId::new(4), ctx, Some(&key), &msg);
+        assert_eq!(sealed[3], FLAG_TRACE | FLAG_AUTH);
+        assert_eq!(
+            sealed.len(),
+            FRAME_HEADER_BYTES + TRACE_CTX_BYTES + AUTH_TAG_BYTES + msg.to_wire_bytes().len()
+        );
+        let (from, got_ctx, decoded): (NodeId, TraceCtx, Vec<u64>) =
+            decode_frame_sealed(&sealed, Some(&key)).unwrap();
+        assert_eq!(from, NodeId::new(4));
+        assert_eq!(got_ctx, ctx);
+        assert_eq!(decoded, msg);
+
+        let sealed = encode_frame_sealed(NodeId::new(4), TraceCtx::NONE, Some(&key), &msg);
+        assert_eq!(sealed[3], FLAG_AUTH);
+        assert_eq!(
+            sealed.len(),
+            FRAME_HEADER_BYTES + AUTH_TAG_BYTES + msg.to_wire_bytes().len()
+        );
+        let (from, got_ctx, decoded): (NodeId, TraceCtx, Vec<u64>) =
+            decode_frame_sealed(&sealed, Some(&key)).unwrap();
+        assert_eq!(from, NodeId::new(4));
+        assert!(got_ctx.is_none());
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn keyless_sealing_is_byte_identical_to_legacy_encoders() {
+        let msg = vec![1u64, 2, 3];
+        let ctx = TraceCtx {
+            trace_id: 99,
+            hop: 2,
+        };
+        assert_eq!(
+            encode_frame_sealed(NodeId::new(9), TraceCtx::NONE, None, &msg),
+            encode_frame(NodeId::new(9), &msg)
+        );
+        assert_eq!(
+            encode_frame_sealed(NodeId::new(9), ctx, None, &msg),
+            encode_frame_traced(NodeId::new(9), ctx, &msg)
+        );
+        assert_eq!(
+            seal_frame(NodeId::new(9), TraceCtx::NONE, None, &[1, 2, 3]),
+            frame_with_payload(NodeId::new(9), &[1, 2, 3])
+        );
+    }
+
+    #[test]
+    fn keyless_receivers_accept_sealed_frames() {
+        // Mixed-cluster interop: a node without a key skips the tag, like
+        // an untraced decoder skipping a trace context.
+        let key = test_key();
+        let sealed = encode_frame_sealed(NodeId::new(2), TraceCtx::NONE, Some(&key), &77u64);
+        let (from, decoded): (NodeId, u64) = decode_frame(&sealed).unwrap();
+        assert_eq!(from, NodeId::new(2));
+        assert_eq!(decoded, 77);
+    }
+
+    #[test]
+    fn keyed_receivers_reject_bare_frames() {
+        let key = test_key();
+        let bare = encode_frame(NodeId::new(2), &77u64);
+        assert_eq!(
+            decode_frame_sealed::<u64>(&bare, Some(&key)),
+            Err(WireError::AuthRequired)
+        );
+        let traced = encode_frame_traced(
+            NodeId::new(2),
+            TraceCtx {
+                trace_id: 1,
+                hop: 0,
+            },
+            &77u64,
+        );
+        assert_eq!(
+            decode_frame_sealed::<u64>(&traced, Some(&key)),
+            Err(WireError::AuthRequired)
+        );
+    }
+
+    #[test]
+    fn tampering_anywhere_invalidates_the_tag() {
+        let key = test_key();
+        let ctx = TraceCtx {
+            trace_id: 123,
+            hop: 1,
+        };
+        let sealed = encode_frame_sealed(NodeId::new(5), ctx, Some(&key), &vec![1u64, 2, 3]);
+        // Flip one bit at every position that keeps the frame structurally
+        // parseable (skip magic/version/flags/length: those fail their own
+        // structural checks first, which is also fine — just not BadAuthTag).
+        for byte in 0..sealed.len() {
+            let mut evil = sealed.clone();
+            evil[byte] ^= 0x01;
+            let got = decode_frame_sealed::<Vec<u64>>(&evil, Some(&key));
+            assert!(got.is_err(), "flipping byte {byte} was accepted");
+        }
+        // Sender id and payload flips specifically must be BadAuthTag: the
+        // frame still parses, only the tag disagrees.
+        for byte in [4usize, 5, 6, 7, sealed.len() - 1] {
+            let mut evil = sealed.clone();
+            evil[byte] ^= 0x01;
+            assert_eq!(
+                decode_frame_sealed::<Vec<u64>>(&evil, Some(&key)),
+                Err(WireError::BadAuthTag),
+                "byte {byte}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_key_and_truncated_tag_are_rejected() {
+        let key = test_key();
+        let other = AuthKey::from_passphrase("not-the-cluster-key");
+        let sealed = encode_frame_sealed(NodeId::new(5), TraceCtx::NONE, Some(&key), &42u64);
+        assert_eq!(
+            decode_frame_sealed::<u64>(&sealed, Some(&other)),
+            Err(WireError::BadAuthTag)
+        );
+        // Truncation at every cut is an error under a keyed decoder too.
+        for cut in 0..sealed.len() {
+            let err = decode_frame_sealed::<u64>(&sealed[..cut], Some(&key)).unwrap_err();
+            assert!(
+                !matches!(err, WireError::TrailingBytes { .. }),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn auth_flag_without_tag_bytes_is_a_bad_tag() {
+        let mut w = WireWriter::new();
+        w.put_u16(WIRE_MAGIC);
+        w.put_u8(WIRE_VERSION);
+        w.put_u8(FLAG_AUTH);
+        w.put_u32(0);
+        w.put_u32(0); // empty payload...
+        w.put_u32(0xBEEF); // ...but only 4 of the 16 tag bytes
+        assert_eq!(
+            decode_frame_sealed::<u64>(&w.into_bytes(), Some(&test_key())),
+            Err(WireError::BadAuthTag)
+        );
     }
 }

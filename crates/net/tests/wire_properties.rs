@@ -4,9 +4,11 @@
 //! must all come back as `Err`, never as a panic.
 
 use gossip_net::{
-    decode_frame, encode_frame, NodeId, WireError, WireMsg, WireReader, FRAME_HEADER_BYTES,
-    MAX_PAYLOAD_BYTES, WIRE_VERSION,
+    decode_frame, decode_frame_sealed, encode_frame, encode_frame_sealed, AuthKey, NodeId,
+    WireError, WireMsg, WireReader, AUTH_TAG_BYTES, FRAME_HEADER_BYTES, MAX_PAYLOAD_BYTES,
+    WIRE_VERSION,
 };
+use gossip_obs::TraceCtx;
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -100,6 +102,72 @@ proptest! {
         let _ = decode_frame::<(u64, Vec<(NodeId, f64)>)>(&bytes);
         let mut r = WireReader::new(&bytes);
         let _ = Vec::<(NodeId, f64)>::decode(&mut r);
+    }
+
+    #[test]
+    fn sealed_frames_round_trip_and_bare_encoding_is_pinned(
+        from in 0u32..=u32::MAX,
+        payload in proptest::collection::vec(0u64..=u64::MAX, 0..64),
+        trace_id in 0u64..=u64::MAX,
+        hop in 0u8..=255,
+        traced in proptest::bool::ANY,
+        key_seed in 0u64..=u64::MAX,
+    ) {
+        let ctx = if traced { TraceCtx { trace_id, hop } } else { TraceCtx::NONE };
+        let phrase = format!("cluster-key-{key_seed:016x}");
+        // Keyless sealing is byte-identical to the legacy encoders for
+        // every sender/context/payload — the backward-compat contract.
+        let bare = encode_frame_sealed(NodeId(from), TraceCtx::NONE, None, &payload);
+        prop_assert_eq!(&bare, &encode_frame(NodeId(from), &payload));
+
+        let key = AuthKey::from_passphrase(&phrase);
+        let sealed = encode_frame_sealed(NodeId(from), ctx, Some(&key), &payload);
+        prop_assert_eq!(
+            sealed.len(),
+            FRAME_HEADER_BYTES
+                + if ctx.is_some() { 9 } else { 0 }
+                + AUTH_TAG_BYTES
+                + payload.to_wire_bytes().len()
+        );
+        // Keyed decode verifies and round-trips; keyless decode skips the
+        // tag and still round-trips (mixed-cluster interop).
+        let (got_from, got_ctx, got): (NodeId, TraceCtx, Vec<u64>) =
+            decode_frame_sealed(&sealed, Some(&key)).unwrap();
+        prop_assert_eq!(got_from, NodeId(from));
+        prop_assert_eq!(got_ctx, ctx);
+        prop_assert_eq!(&got, &payload);
+        let (_, _, got): (NodeId, TraceCtx, Vec<u64>) =
+            decode_frame_sealed(&sealed, None).unwrap();
+        prop_assert_eq!(&got, &payload);
+        // A keyed receiver rejects the bare frame outright.
+        prop_assert_eq!(
+            decode_frame_sealed::<Vec<u64>>(&bare, Some(&key)),
+            Err(WireError::AuthRequired)
+        );
+    }
+
+    #[test]
+    fn sealed_truncation_and_bit_flips_never_panic_or_forge(
+        payload in proptest::collection::vec(0u64..=u64::MAX, 0..16),
+        mangle_seed in 0u64..=u64::MAX,
+    ) {
+        let key = AuthKey::from_passphrase("property-suite");
+        let sealed = encode_frame_sealed(NodeId(7), TraceCtx::NONE, Some(&key), &payload);
+        let mut rng = SmallRng::seed_from_u64(mangle_seed);
+        for _ in 0..8 {
+            let cut = rng.gen_range(0..sealed.len());
+            prop_assert!(decode_frame_sealed::<Vec<u64>>(&sealed[..cut], Some(&key)).is_err());
+        }
+        // Under a keyed decoder, *every* single-bit flip is rejected —
+        // stronger than the bare-frame property, where payload flips
+        // still decode. This is the whole point of the tag.
+        for _ in 0..16 {
+            let mut mangled = sealed.clone();
+            let bit = rng.gen_range(0..mangled.len() * 8);
+            mangled[bit / 8] ^= 1 << (bit % 8);
+            prop_assert!(decode_frame_sealed::<Vec<u64>>(&mangled, Some(&key)).is_err());
+            let _ = decode_frame_sealed::<Vec<u64>>(&mangled, None); // keyless: total, is all
+        }
     }
 
     #[test]

@@ -62,6 +62,19 @@ where
         })
     }
 
+    /// Authenticate the whole cluster with one key: every member seals
+    /// its outbound frames and rejects (counts, never panics) inbound
+    /// frames that are bare or fail to verify — see
+    /// [`NodeHost::with_auth_key`].
+    pub fn with_auth_key(mut self, key: gossip_net::AuthKey) -> Self {
+        self.hosts = self
+            .hosts
+            .into_iter()
+            .map(|h| h.with_auth_key(key.clone()))
+            .collect();
+        self
+    }
+
     /// Attach a passive trace ring of `capacity` events to every member.
     /// Each host records into its own ring; [`trace`](Self::trace) merges
     /// them for cross-node causal reconstruction.

@@ -3,8 +3,17 @@
 //! [`NodeHost`] is the deployable counterpart of the simulators'
 //! `EventDriver`: the same callbacks, the same [`Mailbox`] surface, but
 //! `send` writes a [wire frame](gossip_net::wire) to a real
-//! [`UdpSocket`] and `now_us` reads a real clock. The event loop keeps the
-//! driver's dispatch discipline where reality permits it:
+//! [`UdpSocket`] and `now_us` reads a real clock.
+//! Internally it is a thin pairing of the two halves the host layer
+//! splits into:
+//!
+//! * [`NodeCore`] — the per-node protocol engine: handler, timer queue,
+//!   address book, RNG, stats, trace ring, authentication key. No I/O.
+//! * [`Reactor`] — the I/O engine: the socket, the receive buffer and
+//!   the HTTP status pump, driving the core through one readiness loop.
+//!
+//! The event loop keeps the driver's dispatch discipline where reality
+//! permits it:
 //!
 //! * **Timers** fire in exact `(due instant, arm order)` order — the
 //!   `(timestamp, seq)` key of the simulators — from a monotonic queue
@@ -19,239 +28,27 @@
 //! across nodes, and loss/latency are whatever the network does —
 //! protocols built for the simulators' failure models (idempotent merges,
 //! stateless exchanges, re-arming timers) carry over; protocols that
-//! secretly relied on determinism do not.
+//! secretly relied on determinism do not. Frame authentication
+//! ([`NodeHost::with_auth_key`]) closes the "trusts sender ids verbatim"
+//! gap: a keyed host seals every outbound frame with a truncated
+//! HMAC-SHA256 tag and drops (counts, never panics) every inbound frame
+//! that does not verify.
 
-use gossip_net::{
-    decode_frame_traced, frame_with_payload_traced, node_rng, Handler, Mailbox, Metrics, NodeId,
-    Phase, TimerId, WireMsg, MAX_PAYLOAD_BYTES,
-};
-use gossip_obs::{
-    Histogram, HttpServer, Registry, Request, Response, TraceCtx, TraceFilter, TraceKind,
-    TraceReason, TraceRing, NO_PEER,
-};
-use rand::rngs::SmallRng;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use crate::core::NodeCore;
+use crate::reactor::Reactor;
+
+pub use crate::core::NodeStats;
+use gossip_net::{AuthKey, Handler, Mailbox, Metrics, NodeId, WireMsg};
+use gossip_obs::{Histogram, TraceRing};
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
 use std::time::{Duration, Instant};
 
-/// Largest datagram a host will accept (header + max payload).
-const RECV_BUF_BYTES: usize = 1 << 16;
-
-/// Datagrams drained per [`NodeHost::poll`] call before yielding, so a
-/// flood cannot starve the timer queue or the caller's loop.
-const MAX_RECV_BATCH: usize = 64;
-
-/// Ceiling on one blocking wait in [`NodeHost::run_until_deadline`]: the
-/// loop wakes at least this often to re-check timers and the deadline.
-const MAX_BLOCK_WAIT: Duration = Duration::from_millis(10);
-
-/// Wire- and dispatch-level counters of one host. Where the simulators
-/// count *modelled* events, these count what actually happened on the
-/// socket.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct NodeStats {
-    /// `on_start` invocations (1 after [`NodeHost::start`]).
-    pub handler_starts: u64,
-    /// Timer callbacks dispatched.
-    pub timer_fires: u64,
-    /// Timers suppressed by [`Mailbox::cancel_timer`].
-    pub cancelled_timer_skips: u64,
-    /// Messages dispatched into `on_message`.
-    pub messages_dispatched: u64,
-    /// Datagrams handed to the kernel.
-    pub datagrams_sent: u64,
-    /// Bytes handed to the kernel (frame bytes, headers included).
-    pub bytes_sent: u64,
-    /// Sends that failed locally (kernel error or an out-of-range peer).
-    pub send_errors: u64,
-    /// Sends whose encoded payload exceeded one datagram
-    /// ([`MAX_PAYLOAD_BYTES`]): detected
-    /// *before* `send_to`, counted, and dropped — the kernel would reject
-    /// the datagram with a raw OS error that is easy to mistake for loss.
-    /// A non-zero count means the protocol's messages outgrew the
-    /// transport (e.g. a dense anti-entropy digest at n ≳ 5,500); the fix
-    /// is a protocol that fragments, such as Merkle-mode `gossip-ae`.
-    pub send_oversize: u64,
-    /// Datagrams received.
-    pub datagrams_received: u64,
-    /// Bytes received.
-    pub bytes_received: u64,
-    /// Socket-level receive failures other than "nothing there" (the
-    /// symmetric twin of [`send_errors`](NodeStats::send_errors)).
-    pub recv_errors: u64,
-    /// Datagrams rejected by the frame decoder (truncated, oversized,
-    /// version-mismatched, malformed payload) — counted, never fatal.
-    pub decode_errors: u64,
-    /// Frames whose sender id is outside `0..n`.
-    pub unknown_sender_drops: u64,
-    /// Frames whose kernel-reported source address differs from the
-    /// address book's entry for the claimed sender. Delivered anyway
-    /// (NATs rewrite sources; this host is simulation-grade, not
-    /// authenticated) but counted so a test can assert zero on loopback.
-    pub addr_mismatches: u64,
-}
-
-impl NodeStats {
-    /// Route every counter into an observability registry as the `node_*`
-    /// families. Purely a read; `add_*` semantics, so a cluster can fold
-    /// many hosts onto one page.
-    pub fn fill_registry(&self, registry: &mut Registry) {
-        registry.add_counter(
-            "node_handler_starts_total",
-            "on_start invocations",
-            &[],
-            self.handler_starts,
-        );
-        registry.add_counter(
-            "node_timer_fires_total",
-            "Timer callbacks dispatched",
-            &[],
-            self.timer_fires,
-        );
-        registry.add_counter(
-            "node_cancelled_timer_skips_total",
-            "Timers suppressed by cancel_timer",
-            &[],
-            self.cancelled_timer_skips,
-        );
-        registry.add_counter(
-            "node_messages_dispatched_total",
-            "Messages dispatched into on_message",
-            &[],
-            self.messages_dispatched,
-        );
-        registry.add_counter(
-            "node_datagrams_sent_total",
-            "Datagrams handed to the kernel",
-            &[],
-            self.datagrams_sent,
-        );
-        registry.add_counter(
-            "node_bytes_sent_total",
-            "Bytes handed to the kernel (frame headers included)",
-            &[],
-            self.bytes_sent,
-        );
-        registry.add_counter(
-            "node_send_errors_total",
-            "Sends that failed locally (kernel error or out-of-range peer)",
-            &[],
-            self.send_errors,
-        );
-        registry.add_counter(
-            "node_send_oversize_total",
-            "Sends dropped for exceeding one datagram",
-            &[],
-            self.send_oversize,
-        );
-        registry.add_counter(
-            "node_datagrams_received_total",
-            "Datagrams received",
-            &[],
-            self.datagrams_received,
-        );
-        registry.add_counter(
-            "node_bytes_received_total",
-            "Bytes received",
-            &[],
-            self.bytes_received,
-        );
-        registry.add_counter(
-            "node_recv_errors_total",
-            "Socket-level receive failures",
-            &[],
-            self.recv_errors,
-        );
-        registry.add_counter(
-            "node_decode_errors_total",
-            "Datagrams rejected by the frame decoder",
-            &[],
-            self.decode_errors,
-        );
-        registry.add_counter(
-            "node_unknown_sender_drops_total",
-            "Frames whose sender id is outside the address book",
-            &[],
-            self.unknown_sender_drops,
-        );
-        registry.add_counter(
-            "node_addr_mismatches_total",
-            "Frames whose source address differs from the address book",
-            &[],
-            self.addr_mismatches,
-        );
-    }
-
-    /// Field-wise sum (cluster-level totals).
-    pub fn merge(&mut self, other: &NodeStats) {
-        self.handler_starts += other.handler_starts;
-        self.timer_fires += other.timer_fires;
-        self.cancelled_timer_skips += other.cancelled_timer_skips;
-        self.messages_dispatched += other.messages_dispatched;
-        self.datagrams_sent += other.datagrams_sent;
-        self.bytes_sent += other.bytes_sent;
-        self.send_errors += other.send_errors;
-        self.send_oversize += other.send_oversize;
-        self.datagrams_received += other.datagrams_received;
-        self.bytes_received += other.bytes_received;
-        self.recv_errors += other.recv_errors;
-        self.decode_errors += other.decode_errors;
-        self.unknown_sender_drops += other.unknown_sender_drops;
-        self.addr_mismatches += other.addr_mismatches;
-    }
-}
-
-/// A pending timer: `(due µs, arm sequence, label)` — the heap pops in
-/// exactly the simulators' `(timestamp, seq)` order.
-type PendingTimer = Reverse<(u64, u64, u32)>;
-
-/// Outcome of one receive attempt.
-enum Recv {
-    /// Nothing available (empty socket, or the read timeout elapsed).
-    Idle,
-    /// A message was dispatched into the handler.
-    Dispatched,
-    /// A datagram arrived but was rejected (counted in the stats).
-    Rejected,
-    /// The socket itself errored (counted; callers back off — an erroring
-    /// socket returns instantly instead of sleeping on its timeout).
-    Error,
-}
-
 /// One node of a real deployment: a [`Handler`] driven by a UDP socket.
 /// See the module docs for the dispatch discipline.
 pub struct NodeHost<H: Handler> {
-    me: NodeId,
-    socket: UdpSocket,
-    /// Address book: `peers[i]` is where frames for node `i` go. Indexed
-    /// by [`NodeId`]; `peers[me]` is this host's own bind address.
-    peers: Vec<SocketAddr>,
-    handler: H,
-    rng: SmallRng,
-    /// Real-clock origin: `now_us` is the time since this instant, so a
-    /// cluster sharing one epoch gets comparable timestamps.
-    epoch: Instant,
-    timers: BinaryHeap<PendingTimer>,
-    timer_seq: u64,
-    /// Cancellation watermarks (label → arm-sequence): pending timers with
-    /// a smaller sequence are suppressed at dispatch.
-    cancels: HashMap<u32, u64>,
-    timer_jitter_us: u64,
-    started: bool,
-    nonblocking: bool,
-    read_timeout: Option<Duration>,
-    metrics: Metrics,
-    stats: NodeStats,
-    /// How late timers fire relative to their due instant (real-clock µs).
-    timer_lag: Histogram,
-    /// Protocol event log (`None` until [`NodeHost::with_trace`]).
-    trace: Option<TraceRing>,
-    /// The `/metrics` + `/status` endpoint (`None` until
-    /// [`NodeHost::serve_status`]).
-    status: Option<HttpServer>,
-    recv_buf: Vec<u8>,
+    core: NodeCore<H>,
+    reactor: Reactor,
 }
 
 impl<H: Handler> NodeHost<H>
@@ -281,33 +78,9 @@ where
         seed: u64,
         handler: H,
     ) -> io::Result<Self> {
-        assert!(
-            me.index() < peers.len(),
-            "node {me} outside the {}-entry address book",
-            peers.len()
-        );
         Ok(NodeHost {
-            me,
-            socket,
-            peers,
-            handler,
-            // The same per-node stream derivation the sharded driver uses:
-            // protocol draws depend on (seed, me), not on global order.
-            rng: node_rng(seed, me),
-            epoch: Instant::now(),
-            timers: BinaryHeap::new(),
-            timer_seq: 0,
-            cancels: HashMap::new(),
-            timer_jitter_us: 0,
-            started: false,
-            nonblocking: false,
-            read_timeout: None,
-            metrics: Metrics::new(),
-            stats: NodeStats::default(),
-            timer_lag: Histogram::new(),
-            trace: None,
-            status: None,
-            recv_buf: vec![0; RECV_BUF_BYTES],
+            core: NodeCore::new(me, peers, seed, handler),
+            reactor: Reactor::from_socket(socket),
         })
     }
 
@@ -315,8 +88,7 @@ where
     /// `Instant` to all members so their `now_us` values are comparable).
     /// Must precede [`start`](NodeHost::start).
     pub fn with_epoch(mut self, epoch: Instant) -> Self {
-        assert!(!self.started, "the epoch is fixed once the host starts");
-        self.epoch = epoch;
+        self.core = self.core.with_epoch(epoch);
         self
     }
 
@@ -324,56 +96,115 @@ where
     /// draw in `[0, jitter_us]` from this node's stream, exactly like the
     /// simulated hosts' `with_timer_jitter_us`.
     pub fn with_timer_jitter_us(mut self, jitter_us: u64) -> Self {
-        self.timer_jitter_us = jitter_us;
+        self.core = self.core.with_timer_jitter_us(jitter_us);
+        self
+    }
+
+    /// Authenticate this host's traffic with the cluster key: every
+    /// outbound frame is sealed with a truncated HMAC-SHA256 tag and
+    /// every inbound frame must carry a tag that verifies. Bare or
+    /// forged frames are counted in [`NodeStats::auth_reject`] and
+    /// dropped — never fatal, never dispatched.
+    pub fn with_auth_key(mut self, key: AuthKey) -> Self {
+        self.core = self.core.with_auth_key(key);
         self
     }
 
     /// Run `on_start` once. Idempotent; [`poll`](NodeHost::poll) and the
     /// blocking loops call it implicitly.
     pub fn start(&mut self) {
-        if self.started {
-            return;
+        self.core.start(&mut self.reactor.socket());
+    }
+
+    /// Run `f` against the handler with a live mailbox, outside the event
+    /// loop — for host-initiated protocol actions such as announcing a
+    /// graceful departure (`--leave`) just before shutdown. Sends go to
+    /// the socket immediately; timers and RNG draws behave exactly as in
+    /// a callback. Starts the host if it has not started yet, so the
+    /// handler is never observed pre-`on_start`.
+    pub fn with_handler(&mut self, f: impl FnOnce(&mut H, &mut dyn Mailbox<H::Msg>)) {
+        self.core.with_handler(&mut self.reactor.socket(), f);
+    }
+
+    /// One non-blocking pump: fire every due timer, then drain up to a
+    /// batch of waiting datagrams (re-checking timers between packets).
+    /// Returns the number of callbacks dispatched; `0` means idle. Never
+    /// blocks — the loopback cluster round-robins this across hosts.
+    pub fn poll(&mut self) -> usize {
+        self.reactor.pump(&mut self.core, None)
+    }
+
+    /// Blocking event loop until `deadline`: sleeps in the kernel on the
+    /// socket (bounded by the next timer's due instant), wakes for
+    /// datagrams and timers, returns when the deadline passes.
+    pub fn run_until_deadline(&mut self, deadline: Instant) {
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            self.reactor.pump(&mut self.core, Some(deadline - now));
         }
-        self.started = true;
-        self.stats.handler_starts += 1;
-        let now = self.now_us();
-        // Boot roots live in their own id space (high bit set), matching
-        // the simulated hosts' convention.
-        let ctx = self.root_ctx(1 << 63);
-        self.with_mailbox(now, ctx, |handler, mailbox| handler.on_start(mailbox));
+    }
+
+    /// [`run_until_deadline`](NodeHost::run_until_deadline) for a duration.
+    pub fn run_for(&mut self, wall: Duration) {
+        self.run_until_deadline(Instant::now() + wall);
+    }
+
+    /// Answer any pending status-endpoint requests. Called by the event
+    /// loops; callable directly when the host is otherwise paused (a test
+    /// scraping `/metrics` mid-run against frozen stats does exactly
+    /// this). Returns the number of requests served.
+    pub fn pump_status(&mut self) -> usize {
+        self.reactor.pump_status(&self.core)
+    }
+
+    /// Split this host into its two halves — the protocol engine and the
+    /// I/O engine — for callers that drive them independently (the
+    /// threaded cluster's worker loop does). Rejoin with
+    /// [`from_parts`](NodeHost::from_parts).
+    pub fn into_parts(self) -> (NodeCore<H>, Reactor) {
+        (self.core, self.reactor)
+    }
+
+    /// Reassemble a host from its halves (see
+    /// [`into_parts`](NodeHost::into_parts)).
+    pub fn from_parts(core: NodeCore<H>, reactor: Reactor) -> Self {
+        NodeHost { core, reactor }
     }
 }
 
 impl<H: Handler> NodeHost<H> {
     /// This node's id.
     pub fn me(&self) -> NodeId {
-        self.me
+        self.core.me()
     }
 
     /// Network size (address-book length).
     pub fn n(&self) -> usize {
-        self.peers.len()
+        self.core.n()
     }
 
     /// The socket's actual bound address (useful after binding port 0).
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
-        self.socket.local_addr()
+        self.reactor.local_addr()
     }
 
     /// Microseconds since the host's epoch — what handler callbacks see as
     /// [`Mailbox::now_us`].
     pub fn now_us(&self) -> u64 {
-        self.epoch.elapsed().as_micros() as u64
+        self.core.now_us()
     }
 
     /// The hosted handler.
     pub fn handler(&self) -> &H {
-        &self.handler
+        self.core.handler()
     }
 
     /// Wire-level counters.
     pub fn stats(&self) -> &NodeStats {
-        &self.stats
+        self.core.stats()
     }
 
     /// Modelled protocol metrics (the `bits` accounting every backend
@@ -381,7 +212,12 @@ impl<H: Handler> NodeHost<H> {
     /// real fate is unknowable at the sender, exactly like the fire-and-
     /// forget contract of [`Mailbox::send`].
     pub fn metrics(&self) -> &Metrics {
-        &self.metrics
+        self.core.metrics()
+    }
+
+    /// The per-node protocol engine (everything that is not I/O).
+    pub fn core(&self) -> &NodeCore<H> {
+        &self.core
     }
 
     /// Keep the last `capacity` protocol events (sends, receives, timer
@@ -389,20 +225,20 @@ impl<H: Handler> NodeHost<H> {
     /// [`trace`](NodeHost::trace) and the `/trace` endpoint. Purely
     /// passive: recording never touches the RNG, the timers or the socket.
     pub fn with_trace(mut self, capacity: usize) -> Self {
-        self.trace = Some(TraceRing::new(capacity));
+        self.core = self.core.with_trace(capacity);
         self
     }
 
     /// The protocol event log (`None` unless
     /// [`with_trace`](NodeHost::with_trace) enabled it).
     pub fn trace(&self) -> Option<&TraceRing> {
-        self.trace.as_ref()
+        self.core.trace()
     }
 
     /// How late timer callbacks ran relative to their due instant
     /// (real-clock µs): the host's scheduling-quality signal.
     pub fn timer_lag(&self) -> &Histogram {
-        &self.timer_lag
+        self.core.timer_lag()
     }
 
     /// Serve `/metrics` (Prometheus text exposition), `/status` (human-
@@ -414,608 +250,27 @@ impl<H: Handler> NodeHost<H> {
     /// no executor. Scrapes observe the host between callbacks, never
     /// during one.
     pub fn serve_status(&mut self, addr: impl ToSocketAddrs) -> io::Result<SocketAddr> {
-        let server = HttpServer::bind(addr)?;
-        let bound = server.local_addr()?;
-        self.status = Some(server);
-        Ok(bound)
+        self.reactor.serve_status(addr)
     }
 
     /// The status endpoint's bound address, if serving.
     pub fn status_addr(&self) -> Option<SocketAddr> {
-        self.status.as_ref().and_then(|s| s.local_addr().ok())
-    }
-
-    /// Answer any pending status-endpoint requests. Called by the event
-    /// loops; callable directly when the host is otherwise paused (a test
-    /// scraping `/metrics` mid-run against frozen stats does exactly
-    /// this). Returns the number of requests served.
-    pub fn pump_status(&mut self) -> usize {
-        let Some(mut server) = self.status.take() else {
-            return 0;
-        };
-        let served = server.poll(|req| self.respond(req));
-        self.status = Some(server);
-        served
+        self.reactor.status_addr()
     }
 
     /// Route everything this host knows into one registry: wire counters,
     /// modelled protocol metrics, the timer-lag histogram, the trace
     /// ring's totals, host gauges and whatever the handler exports.
-    pub fn fill_registry(&self, registry: &mut Registry) {
-        self.stats.fill_registry(registry);
-        self.metrics.fill_registry(registry);
-        registry.merge_histogram(
-            "node_timer_lag_us",
-            "How late timer callbacks fired relative to their due instant",
-            &[],
-            &self.timer_lag,
-        );
-        registry.set_gauge(
-            "node_id",
-            "This host's node id",
-            &[],
-            self.me.index() as f64,
-        );
-        registry.set_gauge(
-            "node_peers",
-            "Network size (address-book length)",
-            &[],
-            self.peers.len() as f64,
-        );
-        registry.set_gauge(
-            "node_uptime_us",
-            "Microseconds since the host's epoch",
-            &[],
-            self.now_us() as f64,
-        );
-        if let Some(ring) = &self.trace {
-            registry.add_counter(
-                "trace_events_total",
-                "Protocol events recorded in the trace ring",
-                &[],
-                ring.total(),
-            );
-            registry.add_counter(
-                "trace_ring_overwrites_total",
-                "Trace events evicted from the ring to make room",
-                &[],
-                ring.overwritten(),
-            );
-            // Causal chains reconstructed from the ring snapshot: counts,
-            // depth/span distributions and the latency breakdown. A pure
-            // read of the ring — reconstruction happens at scrape time.
-            gossip_obs::reconstruct(ring).fill_registry(registry);
-        }
-        self.handler.fill_registry(registry);
-    }
-
-    /// The `/status` page: identity, uptime, the address book, wire
-    /// counters and the handler's own lines.
-    fn status_page(&self) -> String {
-        use std::fmt::Write;
-        let now = self.now_us();
-        let mut page = String::new();
-        let _ = writeln!(page, "node {} of {}", self.me.index(), self.peers.len());
-        let _ = writeln!(page, "uptime_us: {now}");
-        if let Ok(addr) = self.local_addr() {
-            let _ = writeln!(page, "udp_addr: {addr}");
-        }
-        let _ = writeln!(
-            page,
-            "sent: {} datagrams / {} bytes ({} errors, {} oversize)",
-            self.stats.datagrams_sent,
-            self.stats.bytes_sent,
-            self.stats.send_errors,
-            self.stats.send_oversize
-        );
-        let _ = writeln!(
-            page,
-            "received: {} datagrams / {} bytes ({} recv errors, {} decode errors, \
-             {} unknown senders, {} addr mismatches)",
-            self.stats.datagrams_received,
-            self.stats.bytes_received,
-            self.stats.recv_errors,
-            self.stats.decode_errors,
-            self.stats.unknown_sender_drops,
-            self.stats.addr_mismatches
-        );
-        let _ = writeln!(
-            page,
-            "timers: {} fired, {} cancelled, lag p99 {} us",
-            self.stats.timer_fires,
-            self.stats.cancelled_timer_skips,
-            self.timer_lag.quantile(0.99)
-        );
-        if let Some(ring) = &self.trace {
-            let _ = writeln!(page, "causal: {}", gossip_obs::reconstruct(ring).summary());
-        }
-        for (key, value) in self.handler.status_lines(now) {
-            let _ = writeln!(page, "{key}: {value}");
-        }
-        let _ = writeln!(page, "peers:");
-        for (i, addr) in self.peers.iter().enumerate() {
-            let marker = if i == self.me.index() { " (me)" } else { "" };
-            let _ = writeln!(page, "  {i:>6}  {addr}{marker}");
-        }
-        page
-    }
-
-    fn respond(&self, req: &Request) -> Response {
-        // Query strings are meaningful on /trace and tolerated elsewhere
-        // (Prometheus appends none, humans might): route on the path.
-        let mut parts = req.path.splitn(2, '?');
-        let path = parts.next().unwrap_or("");
-        let query = parts.next().unwrap_or("");
-        match path {
-            "/metrics" => {
-                let mut registry = Registry::new();
-                self.fill_registry(&mut registry);
-                Response::metrics(registry.render())
-            }
-            "/status" => Response::ok("text/plain", self.status_page()),
-            "/trace" => match &self.trace {
-                Some(ring) => match parse_trace_query(query) {
-                    Ok(filter) => Response::ok("text/plain", ring.render_filtered(&filter)),
-                    Err(detail) => Response::bad_request(&detail),
-                },
-                None => Response::not_found(),
-            },
-            _ => Response::not_found(),
-        }
-    }
-
-    /// Record one trace event (no-op without a ring; never touches
-    /// protocol state).
-    fn trace_event(
-        &mut self,
-        at_us: u64,
-        peer: u64,
-        kind: TraceKind,
-        reason: TraceReason,
-        ctx: TraceCtx,
-    ) {
-        if let Some(ring) = &mut self.trace {
-            ring.record_ctx(at_us, self.me.index() as u64, peer, kind, reason, ctx);
-        }
-    }
-
-    /// Mint a root causal context for a locally-originated event — only
-    /// when tracing is on. `seq` distinguishes roots of one node; never an
-    /// RNG draw (passivity).
-    fn root_ctx(&self, seq: u64) -> TraceCtx {
-        if self.trace.is_some() {
-            TraceCtx::derive(self.me.index() as u64, seq)
-        } else {
-            TraceCtx::NONE
-        }
-    }
-}
-
-/// Parse a `/trace` query string into a [`TraceFilter`]. Strict: unknown
-/// keys, out-of-range numbers or malformed pairs are errors (a hostile
-/// query gets a 400, never a partial answer).
-fn parse_trace_query(query: &str) -> Result<TraceFilter, String> {
-    let mut filter = TraceFilter::default();
-    for pair in query.split('&') {
-        if pair.is_empty() {
-            continue;
-        }
-        let (key, value) = pair
-            .split_once('=')
-            .ok_or_else(|| format!("query parameter {pair:?} is not a key=value pair"))?;
-        match key {
-            "n" => {
-                let n: usize = value
-                    .parse()
-                    .map_err(|_| format!("n={value:?} is not a count"))?;
-                filter.last_n = Some(n);
-            }
-            "kind" => {
-                let kind = TraceKind::parse(value)
-                    .ok_or_else(|| format!("kind={value:?} is not a trace kind"))?;
-                filter.kind = Some(kind);
-            }
-            "trace" => {
-                let id = u64::from_str_radix(value.trim_start_matches("0x"), 16)
-                    .map_err(|_| format!("trace={value:?} is not a hex chain id"))?;
-                filter.trace_id = Some(id);
-            }
-            _ => return Err(format!("unknown query parameter {key:?}")),
-        }
-    }
-    Ok(filter)
-}
-
-impl<H: Handler> NodeHost<H>
-where
-    H::Msg: WireMsg,
-{
-    /// One non-blocking pump: fire every due timer, then drain up to a
-    /// batch of waiting datagrams (re-checking timers between packets).
-    /// Run `f` against the handler with a live mailbox, outside the event
-    /// loop — for host-initiated protocol actions such as announcing a
-    /// graceful departure (`--leave`) just before shutdown. Sends go to
-    /// the socket immediately; timers and RNG draws behave exactly as in
-    /// a callback. Starts the host if it has not started yet, so the
-    /// handler is never observed pre-`on_start`.
-    pub fn with_handler(&mut self, f: impl FnOnce(&mut H, &mut dyn Mailbox<H::Msg>)) {
-        self.start();
-        let now = self.now_us();
-        // A host-initiated action is a root of its own chain, in a distinct
-        // id space from boots and timers.
-        let seq = (1 << 62) | self.trace.as_ref().map_or(0, TraceRing::total);
-        let ctx = self.root_ctx(seq);
-        self.with_mailbox(now, ctx, f);
-    }
-
-    /// Returns the number of callbacks dispatched; `0` means idle. Never
-    /// blocks — the loopback cluster round-robins this across hosts.
-    pub fn poll(&mut self) -> usize {
-        self.start();
-        self.set_nonblocking(true);
-        let mut dispatched = self.fire_due_timers();
-        for _ in 0..MAX_RECV_BATCH {
-            match self.recv_one() {
-                Recv::Dispatched => dispatched += 1,
-                Recv::Rejected | Recv::Error => {} // counted, not dispatched
-                Recv::Idle => break,               // nothing waiting
-            }
-            dispatched += self.fire_due_timers();
-        }
-        self.pump_status();
-        dispatched
-    }
-
-    /// Blocking event loop until `deadline`: sleeps in the kernel on the
-    /// socket (bounded by the next timer's due instant), wakes for
-    /// datagrams and timers, returns when the deadline passes.
-    pub fn run_until_deadline(&mut self, deadline: Instant) {
-        self.start();
-        self.set_nonblocking(false);
-        loop {
-            self.fire_due_timers();
-            self.pump_status();
-            let now = Instant::now();
-            if now >= deadline {
-                return;
-            }
-            let mut wait = (deadline - now).min(MAX_BLOCK_WAIT);
-            if let Some(Reverse((at, _, _))) = self.timers.peek() {
-                let due = self.epoch + Duration::from_micros(*at);
-                wait = wait.min(due.saturating_duration_since(now));
-            }
-            // set_read_timeout(Some(0)) is an error; anything due fires on
-            // the next loop iteration anyway.
-            self.set_read_timeout(wait.max(Duration::from_micros(100)));
-            if let Recv::Error = self.recv_one() {
-                // A socket in a persistent error state returns instantly
-                // instead of sleeping on the timeout; back off so the loop
-                // cannot busy-spin a core until the deadline.
-                std::thread::sleep(Duration::from_millis(1));
-            }
-        }
-    }
-
-    /// [`run_until_deadline`](NodeHost::run_until_deadline) for a duration.
-    pub fn run_for(&mut self, wall: Duration) {
-        self.run_until_deadline(Instant::now() + wall);
-    }
-
-    fn set_nonblocking(&mut self, nonblocking: bool) {
-        if self.nonblocking != nonblocking {
-            // Failing to flip the mode would hang the loop; this is the
-            // one socket option the host cannot run without.
-            self.socket
-                .set_nonblocking(nonblocking)
-                .expect("set_nonblocking is supported on every UDP target");
-            self.nonblocking = nonblocking;
-        }
-    }
-
-    fn set_read_timeout(&mut self, timeout: Duration) {
-        if self.read_timeout != Some(timeout) {
-            self.socket
-                .set_read_timeout(Some(timeout))
-                .expect("set_read_timeout accepts any positive duration");
-            self.read_timeout = Some(timeout);
-        }
-    }
-
-    /// Fire every timer due at the current clock, in `(due, seq)` order.
-    fn fire_due_timers(&mut self) -> usize {
-        let mut fired = 0;
-        loop {
-            let now = self.now_us();
-            match self.timers.peek() {
-                Some(Reverse((at, _, _))) if *at <= now => {}
-                _ => return fired,
-            }
-            let Reverse((at, seq, label)) = self.timers.pop().expect("peeked");
-            if self
-                .cancels
-                .get(&label)
-                .is_some_and(|&watermark| seq < watermark)
-            {
-                self.stats.cancelled_timer_skips += 1;
-                self.trace_event(
-                    now,
-                    NO_PEER,
-                    TraceKind::Drop,
-                    TraceReason::CancelledTimer,
-                    TraceCtx::NONE,
-                );
-                continue;
-            }
-            self.stats.timer_fires += 1;
-            self.timer_lag.record(now.saturating_sub(at));
-            fired += 1;
-            // The callback's clock never runs behind the timer's instant.
-            let cb_now = now.max(at);
-            // Each timer fire roots a causal chain, keyed by its arm seq.
-            let ctx = self.root_ctx(seq);
-            self.trace_event(
-                cb_now,
-                NO_PEER,
-                TraceKind::TimerFire,
-                TraceReason::None,
-                ctx,
-            );
-            self.with_mailbox(cb_now, ctx, |handler, mailbox| {
-                handler.on_timer(TimerId(label), mailbox)
-            });
-        }
-    }
-
-    /// Receive and dispatch one datagram.
-    fn recv_one(&mut self) -> Recv {
-        let (len, src) = match self.socket.recv_from(&mut self.recv_buf) {
-            Ok(got) => got,
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Recv::Idle,
-            Err(e) if e.kind() == io::ErrorKind::TimedOut => return Recv::Idle,
-            // Other kernel-level errors (e.g. a previous send's ICMP
-            // port-unreachable surfacing on Linux) are not fatal to the
-            // loop, but they are counted — and the blocking loop backs off
-            // on them, since an erroring socket returns without sleeping.
-            Err(_) => {
-                self.stats.recv_errors += 1;
-                let now = self.now_us();
-                self.trace_event(
-                    now,
-                    NO_PEER,
-                    TraceKind::Drop,
-                    TraceReason::RecvError,
-                    TraceCtx::NONE,
-                );
-                return Recv::Error;
-            }
-        };
-        self.stats.datagrams_received += 1;
-        self.stats.bytes_received += len as u64;
-        let (from, ctx, msg) = match decode_frame_traced::<H::Msg>(&self.recv_buf[..len]) {
-            Ok(decoded) => decoded,
-            Err(_) => {
-                self.stats.decode_errors += 1;
-                let now = self.now_us();
-                self.trace_event(
-                    now,
-                    NO_PEER,
-                    TraceKind::Drop,
-                    TraceReason::DecodeError,
-                    TraceCtx::NONE,
-                );
-                return Recv::Rejected;
-            }
-        };
-        if from.index() >= self.peers.len() {
-            self.stats.unknown_sender_drops += 1;
-            let now = self.now_us();
-            self.trace_event(
-                now,
-                from.index() as u64,
-                TraceKind::Drop,
-                TraceReason::UnknownSender,
-                ctx,
-            );
-            return Recv::Rejected;
-        }
-        let mut recv_reason = TraceReason::None;
-        if self.peers[from.index()] != src {
-            // Deliverable but odd: a NAT rewrite, or something spoofing a
-            // member id. Counted; the payload still carries the header id,
-            // which is what the protocols key on.
-            self.stats.addr_mismatches += 1;
-            recv_reason = TraceReason::AddrMismatch;
-        }
-        self.stats.messages_dispatched += 1;
-        let now = self.now_us();
-        self.trace_event(now, from.index() as u64, TraceKind::Recv, recv_reason, ctx);
-        self.with_mailbox(now, ctx, |handler, mailbox| {
-            handler.on_message(from, msg, mailbox)
-        });
-        Recv::Dispatched
-    }
-
-    /// Split-borrow the host into its handler plus a mailbox over every
-    /// other field, and run `f` — the socket-host analogue of the drivers'
-    /// `handler_and_mailbox!`.
-    fn with_mailbox(
-        &mut self,
-        now_us: u64,
-        ctx: TraceCtx,
-        f: impl FnOnce(&mut H, &mut dyn Mailbox<H::Msg>),
-    ) {
-        let NodeHost {
-            me,
-            socket,
-            peers,
-            handler,
-            rng,
-            timers,
-            timer_seq,
-            cancels,
-            timer_jitter_us,
-            metrics,
-            stats,
-            trace,
-            ..
-        } = self;
-        let mut mailbox = SocketMailbox {
-            me: *me,
-            now_us,
-            ctx,
-            socket,
-            peers,
-            rng,
-            timers,
-            timer_seq,
-            cancels,
-            jitter_us: *timer_jitter_us,
-            metrics,
-            stats,
-            trace,
-            _msg: std::marker::PhantomData,
-        };
-        f(handler, &mut mailbox);
+    pub fn fill_registry(&self, registry: &mut gossip_obs::Registry) {
+        self.core.fill_registry(registry);
     }
 }
 
 impl<H: Handler + std::fmt::Debug> std::fmt::Debug for NodeHost<H> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NodeHost")
-            .field("me", &self.me)
-            .field("n", &self.peers.len())
-            .field("now_us", &self.now_us())
-            .field("started", &self.started)
-            .field("stats", &self.stats)
-            .finish_non_exhaustive()
-    }
-}
-
-/// The endpoint view handed to handler callbacks: sends encode frames to
-/// the address book, timers go to the host's monotonic queue.
-struct SocketMailbox<'a, M> {
-    me: NodeId,
-    now_us: u64,
-    /// Causal context of the event being dispatched ([`TraceCtx::NONE`]
-    /// when tracing is off). Sends inherit it at `hop + 1` on the wire.
-    ctx: TraceCtx,
-    socket: &'a UdpSocket,
-    peers: &'a [SocketAddr],
-    rng: &'a mut SmallRng,
-    timers: &'a mut BinaryHeap<PendingTimer>,
-    timer_seq: &'a mut u64,
-    cancels: &'a mut HashMap<u32, u64>,
-    jitter_us: u64,
-    metrics: &'a mut Metrics,
-    stats: &'a mut NodeStats,
-    trace: &'a mut Option<TraceRing>,
-    _msg: std::marker::PhantomData<fn(M)>,
-}
-
-impl<M> SocketMailbox<'_, M> {
-    /// Record one trace event against this node at the callback's clock.
-    #[inline]
-    fn trace_event(&mut self, peer: u64, kind: TraceKind, reason: TraceReason, ctx: TraceCtx) {
-        if let Some(ring) = self.trace.as_mut() {
-            ring.record_ctx(self.now_us, self.me.index() as u64, peer, kind, reason, ctx);
-        }
-    }
-}
-
-impl<M: WireMsg> Mailbox<M> for SocketMailbox<'_, M> {
-    fn me(&self) -> NodeId {
-        self.me
-    }
-
-    fn n(&self) -> usize {
-        self.peers.len()
-    }
-
-    fn now_us(&self) -> u64 {
-        self.now_us
-    }
-
-    fn send(&mut self, to: NodeId, phase: Phase, bits: u32, msg: M) {
-        let peer = to.index() as u64;
-        // The outgoing frame carries this callback's causal context one
-        // hop downstream (a NONE ctx encodes the exact pre-tracing frame,
-        // so untraced hosts stay wire-compatible with old builds).
-        let ctx = self.ctx.next_hop();
-        let ok = if let Some(&addr) = self.peers.get(to.index()) {
-            let payload = msg.to_wire_bytes();
-            if payload.len() > MAX_PAYLOAD_BYTES {
-                // Caught before the kernel sees it: an oversize datagram
-                // would fail with a raw OS error indistinguishable from
-                // loss at a glance. Counted separately from send_errors so
-                // "your message outgrew the transport" has its own signal.
-                self.stats.send_oversize += 1;
-                self.trace_event(peer, TraceKind::Drop, TraceReason::Oversize, ctx);
-                false
-            } else {
-                let frame = frame_with_payload_traced(self.me, ctx, &payload);
-                match self.socket.send_to(&frame, addr) {
-                    Ok(_) => {
-                        self.stats.datagrams_sent += 1;
-                        self.stats.bytes_sent += frame.len() as u64;
-                        self.trace_event(peer, TraceKind::Send, TraceReason::None, ctx);
-                        true
-                    }
-                    Err(_) => {
-                        self.stats.send_errors += 1;
-                        self.trace_event(peer, TraceKind::Drop, TraceReason::SendError, ctx);
-                        false
-                    }
-                }
-            }
-        } else {
-            self.stats.send_errors += 1;
-            self.trace_event(peer, TraceKind::Drop, TraceReason::SendError, ctx);
-            false
-        };
-        // The modelled accounting the Mailbox contract requires:
-        // `delivered` means "handed to the kernel" — real delivery is as
-        // unknowable as the fire-and-forget contract says.
-        self.metrics.record_send(phase, bits, ok);
-    }
-
-    fn set_timer(&mut self, delay_us: u64, timer: TimerId) {
-        use rand::Rng;
-        let jitter = if self.jitter_us > 0 {
-            self.rng.gen_range(0..=self.jitter_us)
-        } else {
-            0
-        };
-        let at = self
-            .now_us
-            .saturating_add(delay_us.max(1))
-            .saturating_add(jitter);
-        let seq = *self.timer_seq;
-        *self.timer_seq += 1;
-        self.timers.push(Reverse((at, seq, timer.0)));
-    }
-
-    fn cancel_timer(&mut self, timer: TimerId) {
-        // The same watermark scheme as the simulated hosts: everything
-        // armed before now (seq < watermark) is suppressed at dispatch.
-        self.cancels.insert(timer.0, *self.timer_seq);
-    }
-
-    fn rng_mut(&mut self) -> &mut SmallRng {
-        self.rng
-    }
-
-    fn note(&mut self, peer: Option<NodeId>, reason: TraceReason) {
-        // Passive: a ring store visible on `/trace`, nothing else.
-        let ctx = self.ctx;
-        self.trace_event(
-            peer.map_or(NO_PEER, |p| p.index() as u64),
-            TraceKind::State,
-            reason,
-            ctx,
-        );
-    }
-
-    fn trace_ctx(&self) -> TraceCtx {
-        self.ctx
+            .field("core", &self.core)
+            .field("reactor", &self.reactor)
+            .finish()
     }
 }

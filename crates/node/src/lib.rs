@@ -38,7 +38,13 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod core;
 pub mod host;
+pub mod reactor;
+pub mod threaded;
 
+pub use crate::core::{FrameSink, NodeCore, NodeStats, Recv};
 pub use cluster::LoopbackCluster;
-pub use host::{NodeHost, NodeStats};
+pub use host::NodeHost;
+pub use reactor::{Reactor, MAX_BLOCK_WAIT};
+pub use threaded::ThreadedCluster;

@@ -1,0 +1,366 @@
+//! The concurrency-grade harness: N socket hosts on N OS threads.
+//!
+//! [`LoopbackCluster`](crate::LoopbackCluster) round-robins its members
+//! on one thread — deterministic enough for protocol tests, but every
+//! callback still runs under a single-threaded schedule, so it cannot
+//! catch state that accidentally leaks across nodes or code that only
+//! works because nothing truly runs concurrently. [`ThreadedCluster`]
+//! runs each [`NodeHost`] on its own `std::thread`, blocking in the
+//! kernel on its own socket: real parallelism, real preemption, one
+//! process.
+//!
+//! Lifecycle is two-phase so builders apply before any thread exists:
+//!
+//! ```text
+//! bind(n, seed, factory)          — sockets bound, address book built
+//!     .with_auth_key(key)         — builders run on the parked hosts
+//!     .start()                    — one worker thread per host
+//!     .run_until(timeout, |h| …)  — per-node convergence predicate
+//!     .stop()                     — flag + join; hosts returned for
+//!                                   final inspection
+//! ```
+//!
+//! Shutdown is cooperative: workers check an atomic stop flag between
+//! bounded pump passes (the reactor's socket waits are capped at its
+//! poll quantum), so `stop()` joins within a few quanta without pulling
+//! sockets out from under live callbacks.
+//!
+//! Observability: each worker periodically publishes its host's full
+//! registry snapshot; the cluster's `/metrics` page folds every snapshot
+//! together under a `node` label
+//! ([`Registry::merge_labelled`]), so per-node series
+//! stay distinguishable on one page while the cluster endpoint never
+//! touches live protocol state.
+
+use crate::host::NodeHost;
+use gossip_net::{AuthKey, Handler, NodeId, WireMsg};
+use gossip_obs::{HttpServer, Registry, Request, Response};
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One blocking pump slice of a worker thread: the granularity at which
+/// workers notice the stop flag and a changed convergence goal.
+const SLICE: Duration = Duration::from_millis(5);
+
+/// Worker slices between registry snapshots. Snapshots walk the whole
+/// registry (including causal reconstruction when tracing is on), so
+/// they are throttled to roughly every `SLICE × PUBLISH_EVERY`.
+const PUBLISH_EVERY: u64 = 10;
+
+/// How often the coordinating thread re-checks convergence flags and
+/// pumps the cluster status endpoint while waiting.
+const WAIT_TICK: Duration = Duration::from_millis(2);
+
+/// The convergence predicate a [`ThreadedCluster::run_until`] installs:
+/// evaluated by each worker against *its own* handler — per-node and
+/// order-independent by construction, because no thread can see another
+/// node's state.
+type Goal<H> = Arc<dyn Fn(&H) -> bool + Send + Sync>;
+
+/// What one worker shares with the coordinator: its latest registry
+/// snapshot and whether its node currently satisfies the goal.
+struct PerNode {
+    registry: Mutex<Registry>,
+    converged: AtomicBool,
+}
+
+/// Coordinator→worker signals shared by the whole cluster.
+struct Control<H> {
+    stop: AtomicBool,
+    goal: Mutex<Option<Goal<H>>>,
+}
+
+/// `n` [`NodeHost`]s, each on its own OS thread. See the module docs.
+pub struct ThreadedCluster<H: Handler> {
+    /// Hosts parked between `bind` and `start` (empty once running).
+    parked: Vec<NodeHost<H>>,
+    /// Worker threads, each returning its host at join.
+    workers: Vec<JoinHandle<NodeHost<H>>>,
+    peers: Vec<SocketAddr>,
+    control: Arc<Control<H>>,
+    nodes: Arc<Vec<PerNode>>,
+    /// A cluster-wide `/metrics` + `/status` endpoint (`None` until
+    /// [`serve_status`](ThreadedCluster::serve_status)), pumped by the
+    /// coordinating thread's waits.
+    status: Option<HttpServer>,
+}
+
+impl<H> ThreadedCluster<H>
+where
+    H: Handler + Send + 'static,
+    H::Msg: WireMsg,
+{
+    /// Bind `n` ephemeral loopback sockets and build `factory(node)` on
+    /// each, all sharing one clock epoch — sockets live, no threads yet.
+    /// Apply builders ([`with_auth_key`](Self::with_auth_key),
+    /// [`with_trace`](Self::with_trace)), then [`start`](Self::start).
+    pub fn bind(n: usize, seed: u64, factory: impl Fn(NodeId) -> H) -> io::Result<Self> {
+        assert!(n >= 1, "a cluster needs at least one node");
+        let sockets: Vec<UdpSocket> = (0..n)
+            .map(|_| UdpSocket::bind(("127.0.0.1", 0)))
+            .collect::<io::Result<_>>()?;
+        let peers: Vec<SocketAddr> = sockets
+            .iter()
+            .map(UdpSocket::local_addr)
+            .collect::<io::Result<_>>()?;
+        let epoch = Instant::now();
+        let parked = sockets
+            .into_iter()
+            .enumerate()
+            .map(|(i, socket)| {
+                let me = NodeId::new(i);
+                NodeHost::from_socket(socket, me, peers.clone(), seed, factory(me))
+                    .map(|host| host.with_epoch(epoch))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        let nodes = (0..n)
+            .map(|_| PerNode {
+                registry: Mutex::new(Registry::new()),
+                converged: AtomicBool::new(false),
+            })
+            .collect();
+        Ok(ThreadedCluster {
+            parked,
+            workers: Vec::new(),
+            peers,
+            control: Arc::new(Control {
+                stop: AtomicBool::new(false),
+                goal: Mutex::new(None),
+            }),
+            nodes: Arc::new(nodes),
+            status: None,
+        })
+    }
+
+    /// Authenticate the whole cluster with one key (see
+    /// [`NodeHost::with_auth_key`]). Must precede
+    /// [`start`](Self::start).
+    pub fn with_auth_key(mut self, key: AuthKey) -> Self {
+        assert!(self.workers.is_empty(), "builders precede start()");
+        self.parked = self
+            .parked
+            .into_iter()
+            .map(|h| h.with_auth_key(key.clone()))
+            .collect();
+        self
+    }
+
+    /// Attach a passive trace ring of `capacity` events to every member.
+    /// Must precede [`start`](Self::start).
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        assert!(self.workers.is_empty(), "builders precede start()");
+        self.parked = self
+            .parked
+            .into_iter()
+            .map(|h| h.with_trace(capacity))
+            .collect();
+        self
+    }
+
+    /// Spawn one worker thread per host. Idempotent once running.
+    pub fn start(&mut self) {
+        if self.parked.is_empty() {
+            return;
+        }
+        for (i, host) in self.parked.drain(..).enumerate() {
+            let control = Arc::clone(&self.control);
+            let nodes = Arc::clone(&self.nodes);
+            self.workers.push(
+                std::thread::Builder::new()
+                    .name(format!("gossip-node-{i}"))
+                    .spawn(move || worker_loop(host, i, control, nodes))
+                    .expect("spawning a worker thread"),
+            );
+        }
+    }
+
+    /// Block until every node's worker reports `done(handler)` true (per
+    /// node, against its own handler — no cross-node view exists), or
+    /// until `timeout`. Starts the cluster if not yet started; pumps the
+    /// cluster status endpoint while waiting. Returns the elapsed wall
+    /// time on success, `None` on timeout (workers keep running either
+    /// way — [`stop`](Self::stop) is a separate step).
+    pub fn run_until(
+        &mut self,
+        timeout: Duration,
+        done: impl Fn(&H) -> bool + Send + Sync + 'static,
+    ) -> Option<Duration> {
+        self.start();
+        for node in self.nodes.iter() {
+            node.converged.store(false, Ordering::Relaxed);
+        }
+        *self.control.goal.lock().expect("goal lock") = Some(Arc::new(done));
+        let started = Instant::now();
+        let result = loop {
+            self.pump_status();
+            if self
+                .nodes
+                .iter()
+                .all(|n| n.converged.load(Ordering::Relaxed))
+            {
+                break Some(started.elapsed());
+            }
+            if started.elapsed() >= timeout {
+                break None;
+            }
+            std::thread::sleep(WAIT_TICK);
+        };
+        *self.control.goal.lock().expect("goal lock") = None;
+        result
+    }
+
+    /// Keep the cluster running for a wall-clock duration (soak), pumping
+    /// the status endpoint. Starts the cluster if not yet started.
+    pub fn run_for(&mut self, wall: Duration) {
+        self.start();
+        let deadline = Instant::now() + wall;
+        while Instant::now() < deadline {
+            self.pump_status();
+            std::thread::sleep(WAIT_TICK);
+        }
+    }
+
+    /// Graceful shutdown: raise the stop flag, join every worker (each
+    /// returns within a few poll quanta — socket waits are bounded), and
+    /// hand back the hosts in node-id order for final inspection.
+    pub fn stop(mut self) -> Vec<NodeHost<H>> {
+        self.control.stop.store(true, Ordering::Relaxed);
+        let mut hosts: Vec<NodeHost<H>> = self
+            .workers
+            .drain(..)
+            .map(|w| w.join().expect("worker thread panicked"))
+            .collect();
+        // Never started: the parked hosts are the cluster.
+        hosts.append(&mut self.parked);
+        hosts
+    }
+}
+
+impl<H: Handler> ThreadedCluster<H> {
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// The member address book (bind addresses, node-id order).
+    pub fn peer_addrs(&self) -> &[SocketAddr] {
+        &self.peers
+    }
+
+    /// Serve one cluster-wide `/metrics` + `/status` endpoint at `addr`
+    /// (port 0 for ephemeral); returns the bound address. `/metrics`
+    /// folds every worker's latest registry snapshot together under a
+    /// `node` label; scrapes read snapshots, never live protocol state,
+    /// so they cost the workers nothing.
+    pub fn serve_status(&mut self, addr: impl std::net::ToSocketAddrs) -> io::Result<SocketAddr> {
+        let server = HttpServer::bind(addr)?;
+        let bound = server.local_addr()?;
+        self.status = Some(server);
+        Ok(bound)
+    }
+
+    /// The cluster status endpoint's bound address, if serving.
+    pub fn status_addr(&self) -> Option<SocketAddr> {
+        self.status.as_ref().and_then(|s| s.local_addr().ok())
+    }
+
+    /// Answer pending status-endpoint requests. Called by the waiting
+    /// loops ([`run_until`](Self::run_until), [`run_for`](Self::run_for));
+    /// callable directly between them.
+    pub fn pump_status(&mut self) -> usize {
+        let Some(mut server) = self.status.take() else {
+            return 0;
+        };
+        let served = server.poll(|req| self.respond(req));
+        self.status = Some(server);
+        served
+    }
+
+    /// The merged cluster registry: every node's latest snapshot under
+    /// its `node` label — what `/metrics` renders.
+    pub fn registry(&self) -> Registry {
+        let mut merged = Registry::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let snapshot = node.registry.lock().expect("registry lock");
+            merged.merge_labelled(&snapshot, ("node", &i.to_string()));
+        }
+        merged
+    }
+
+    fn respond(&self, req: &Request) -> Response {
+        let path = req.path.split('?').next().unwrap_or("");
+        match path {
+            "/metrics" => Response::metrics(self.registry().render()),
+            "/status" => {
+                use std::fmt::Write;
+                let mut page = String::new();
+                let _ = writeln!(page, "threaded cluster of {}", self.peers.len());
+                let _ = writeln!(
+                    page,
+                    "running: {}",
+                    if self.workers.is_empty() { "no" } else { "yes" }
+                );
+                for (i, node) in self.nodes.iter().enumerate() {
+                    let _ = writeln!(
+                        page,
+                        "node {i}: converged={}",
+                        node.converged.load(Ordering::Relaxed)
+                    );
+                }
+                Response::ok("text/plain", page)
+            }
+            _ => Response::not_found(),
+        }
+    }
+}
+
+impl<H: Handler> std::fmt::Debug for ThreadedCluster<H> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedCluster")
+            .field("n", &self.peers.len())
+            .field("running_workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// One worker thread: pump the host in bounded blocking slices until the
+/// stop flag rises, evaluating the goal and publishing registry
+/// snapshots along the way. Returns the host for post-mortem.
+fn worker_loop<H>(
+    mut host: NodeHost<H>,
+    index: usize,
+    control: Arc<Control<H>>,
+    nodes: Arc<Vec<PerNode>>,
+) -> NodeHost<H>
+where
+    H: Handler + Send + 'static,
+    H::Msg: WireMsg,
+{
+    let per = &nodes[index];
+    let mut slices: u64 = 0;
+    while !control.stop.load(Ordering::Relaxed) {
+        host.run_for(SLICE);
+        slices += 1;
+        let goal = control.goal.lock().expect("goal lock").clone();
+        if let Some(goal) = goal {
+            per.converged.store(goal(host.handler()), Ordering::Relaxed);
+        }
+        // `== 1`, not `== 0`: the first snapshot lands after one slice,
+        // so a cluster that converges in milliseconds still scrapes as
+        // populated rather than as PUBLISH_EVERY slices of emptiness.
+        if slices % PUBLISH_EVERY == 1 {
+            let mut registry = Registry::new();
+            host.fill_registry(&mut registry);
+            *per.registry.lock().expect("registry lock") = registry;
+        }
+    }
+    // One final snapshot so a post-stop scrape sees the end state.
+    let mut registry = Registry::new();
+    host.fill_registry(&mut registry);
+    *per.registry.lock().expect("registry lock") = registry;
+    host
+}

@@ -414,3 +414,132 @@ fn one_causal_chain_crosses_four_real_hosts() {
     });
     assert!(rendered.contains(&format!("trace {chain_id:016x}/1")));
 }
+
+/// Regression for the blocking loop's backoff: timer lag under bursty
+/// traffic must stay within one poll quantum ([`MAX_BLOCK_WAIT`]). The
+/// old loop slept a hard-coded 1 ms on socket errors regardless of what
+/// was due; the reactor bounds every wait — including the error backoff —
+/// by the next due timer.
+#[test]
+fn timer_lag_stays_within_one_poll_quantum_under_bursts() {
+    use gossip_node::MAX_BLOCK_WAIT;
+
+    if !sockets_available() {
+        return;
+    }
+    let socket = std::net::UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+    let target = socket.local_addr().unwrap();
+    let mut host = gossip_node::NodeHost::from_socket(
+        socket,
+        NodeId::new(0),
+        vec![target],
+        3,
+        Tick,
+    )
+    .unwrap();
+
+    // A background flood: bursts of garbage and well-formed frames, far
+    // faster than the 2 ms tick, for the whole run.
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let flooder = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let gun = std::net::UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+            let frame = encode_frame(NodeId::new(0), &0u64);
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                for _ in 0..64 {
+                    let _ = gun.send_to(&frame, target);
+                    let _ = gun.send_to(b"burst garbage", target);
+                }
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        })
+    };
+
+    host.run_for(Duration::from_millis(300));
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    flooder.join().unwrap();
+
+    let fires = host.stats().timer_fires;
+    assert!(fires >= 50, "ticks kept firing under the burst ({fires})");
+    assert!(
+        host.stats().messages_dispatched > 0,
+        "the burst actually reached the host"
+    );
+    let p99 = host.timer_lag().quantile(0.99);
+    let quantum = MAX_BLOCK_WAIT.as_micros() as u64;
+    assert!(
+        p99 <= quantum,
+        "timer lag p99 {p99} us exceeds the {quantum} us poll quantum"
+    );
+}
+
+/// A 2 ms self-re-arming tick that ignores all messages — the probe
+/// handler for the timer-lag regression above.
+#[derive(Debug, Clone, Default)]
+struct Tick;
+
+impl Handler for Tick {
+    type Msg = u64;
+    fn on_start(&mut self, mailbox: &mut dyn Mailbox<u64>) {
+        mailbox.set_timer(2_000, TICK);
+    }
+    fn on_message(&mut self, _from: NodeId, _msg: u64, _mailbox: &mut dyn Mailbox<u64>) {}
+    fn on_timer(&mut self, _timer: TimerId, mailbox: &mut dyn Mailbox<u64>) {
+        mailbox.set_timer(2_000, TICK);
+    }
+}
+
+#[test]
+fn authenticated_cluster_converges_and_rejects_hostile_frames() {
+    use gossip_net::{encode_frame_sealed, AuthKey};
+    use gossip_obs::TraceCtx;
+
+    if !sockets_available() {
+        return;
+    }
+    let key = AuthKey::from_passphrase("loopback-cluster-key");
+    let mut cluster = LoopbackCluster::bind(8, 0x5EA1, |_| Rumor {
+        tokens: Vec::new(),
+        tick_us: 1_000,
+    })
+    .expect("bind 8 loopback sockets")
+    .with_auth_key(key.clone());
+
+    // Hostile traffic against member 0 throughout: a bare (legacy) frame,
+    // a tampered sealed frame, and a frame sealed under the wrong key.
+    cluster.poll(); // boot so local_addr is live
+    let target = cluster.host(NodeId::new(0)).local_addr().unwrap();
+    let attacker = std::net::UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+    let bare = encode_frame(NodeId::new(1), &vec![666u32]);
+    attacker.send_to(&bare, target).unwrap();
+    let mut tampered =
+        encode_frame_sealed(NodeId::new(1), TraceCtx::NONE, Some(&key), &vec![666u32]);
+    let last = tampered.len() - 1;
+    tampered[last] ^= 0x01;
+    attacker.send_to(&tampered, target).unwrap();
+    let wrong_key = AuthKey::from_passphrase("not-the-cluster-key");
+    let forged = encode_frame_sealed(
+        NodeId::new(1),
+        TraceCtx::NONE,
+        Some(&wrong_key),
+        &vec![666u32],
+    );
+    attacker.send_to(&forged, target).unwrap();
+
+    // The protocol still converges around the hostile traffic.
+    let converged = cluster.run_until(GENEROUS, |hosts| {
+        hosts.iter().all(|h| h.handler().tokens.contains(&42))
+    });
+    assert!(converged.is_some(), "auth cluster still floods the rumor");
+
+    let stats = *cluster.host(NodeId::new(0)).stats();
+    assert_eq!(stats.auth_reject, 3, "bare + tampered + wrong key");
+    assert_eq!(stats.decode_errors, 0, "auth rejects are their own count");
+    for (node, h) in cluster.iter_handlers() {
+        assert!(
+            !h.tokens.contains(&666),
+            "node {node:?} accepted a forged token"
+        );
+    }
+}

@@ -159,6 +159,9 @@ pub enum TraceReason {
     UnknownSender,
     /// Source address did not match the claimed node id.
     AddrMismatch,
+    /// Frame failed authentication: a bad or missing HMAC tag at an
+    /// auth-required receiver.
+    AuthReject,
     /// Event referenced state from before a crash (stale epoch).
     Stale,
     /// A failure detector started suspecting the peer.
@@ -187,6 +190,7 @@ impl TraceReason {
             TraceReason::DecodeError => "decode-error",
             TraceReason::UnknownSender => "unknown-sender",
             TraceReason::AddrMismatch => "addr-mismatch",
+            TraceReason::AuthReject => "auth-reject",
             TraceReason::Stale => "stale",
             TraceReason::Suspected => "suspected",
             TraceReason::Refuted => "refuted",

@@ -41,8 +41,8 @@ use drr_gossip::ae::protocol::{AeConfig, AeNode};
 use drr_gossip::ae::signal::SignalModel;
 use drr_gossip::drr::handler::{MaxGossipConfig, MaxGossipHandler};
 use drr_gossip::member::{Member, MemberConfig};
-use drr_gossip::net::{Handler, NodeId, SimConfig, WireMsg};
-use gossip_node::{LoopbackCluster, NodeHost};
+use drr_gossip::net::{AuthKey, Handler, NodeId, SimConfig, WireMsg};
+use gossip_node::{LoopbackCluster, NodeHost, ThreadedCluster};
 use std::net::SocketAddr;
 use std::time::Duration;
 
@@ -68,14 +68,28 @@ struct Args {
     leave: bool,
     /// SWIM probe period (ms).
     probe_ms: u64,
+    /// Cluster auth key passphrase: every frame is sealed with a
+    /// truncated HMAC-SHA256 tag, and bare or badly tagged frames are
+    /// rejected (counted, never fatal).
+    auth_key: Option<String>,
+    /// Cluster mode on OS threads: one worker thread per node
+    /// (`ThreadedCluster`) instead of the single-threaded round-robin.
+    threads: bool,
+    /// Cluster mode only: run an in-process attacker thread hammering
+    /// node 0 with bare and tampered frames for the whole run, so the
+    /// `auth_reject` counter (stdout and `/metrics`) has something to
+    /// count.
+    inject_hostile: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  node --cluster <n> [--protocol max|ae] [--run-ms MS] [--seed S] \
-         [--status-addr HOST:PORT] [--member] [--join I,J,...] [--probe-ms MS]\n  \
+        "usage:\n  node --cluster <n> [--protocol max|ae] [--threads] [--run-ms MS] [--seed S] \
+         [--status-addr HOST:PORT] [--auth-key PHRASE] [--inject-hostile] [--member] \
+         [--join I,J,...] [--probe-ms MS]\n  \
          node --me <i> --peers a:p,b:p,... [--protocol max|ae] [--run-ms MS] [--seed S] \
-         [--status-addr HOST:PORT] [--member] [--join I,J,...] [--leave] [--probe-ms MS]"
+         [--status-addr HOST:PORT] [--auth-key PHRASE] [--member] [--join I,J,...] [--leave] \
+         [--probe-ms MS]"
     );
     std::process::exit(2);
 }
@@ -93,6 +107,9 @@ fn parse_args() -> Args {
         join: Vec::new(),
         leave: false,
         probe_ms: 250,
+        auth_key: None,
+        threads: false,
+        inject_hostile: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -123,6 +140,9 @@ fn parse_args() -> Args {
                 args.leave = true;
             }
             "--probe-ms" => args.probe_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--auth-key" => args.auth_key = Some(value()),
+            "--threads" => args.threads = true,
+            "--inject-hostile" => args.inject_hostile = true,
             _ => usage(),
         }
     }
@@ -130,6 +150,51 @@ fn parse_args() -> Args {
         usage();
     }
     args
+}
+
+/// The cluster key `--auth-key` names, if any.
+fn cluster_key(args: &Args) -> Option<AuthKey> {
+    args.auth_key.as_deref().map(AuthKey::from_passphrase)
+}
+
+/// `--inject-hostile`: an attacker thread flooding `target` with a bare
+/// frame (what a keyless cluster would accept) and, when the cluster has
+/// a key, a sealed-then-tampered one. Returns the stop flag and the
+/// handle; the thread reports how many frames it sent.
+fn spawn_attacker(
+    target: SocketAddr,
+    key: Option<AuthKey>,
+) -> (
+    std::sync::Arc<std::sync::atomic::AtomicBool>,
+    std::thread::JoinHandle<u64>,
+) {
+    use drr_gossip::net::{frame_with_payload, seal_frame};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || {
+        let socket = std::net::UdpSocket::bind(("127.0.0.1", 0)).expect("attacker socket");
+        let from = NodeId::new(1);
+        let mut frames: Vec<Vec<u8>> = vec![frame_with_payload(from, b"forged")];
+        if let Some(key) = &key {
+            let mut tampered =
+                seal_frame(from, drr_gossip::obs::TraceCtx::NONE, Some(key), b"forged");
+            *tampered.last_mut().unwrap() ^= 0x01;
+            frames.push(tampered);
+        }
+        let mut sent = 0;
+        while !flag.load(Ordering::Relaxed) {
+            for frame in &frames {
+                if socket.send_to(frame, target).is_ok() {
+                    sent += 1;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        sent
+    });
+    (stop, handle)
 }
 
 /// The `MemberConfig` the flags describe: join-via-seed when `--join`
@@ -201,6 +266,10 @@ fn run_member<H: Handler>(
         })
         // A small event ring so `/trace` shows the last protocol activity.
         .with_trace(256);
+    if let Some(key) = cluster_key(args) {
+        host = host.with_auth_key(key);
+        println!("frame authentication: required (--auth-key)");
+    }
     if let Some(addr) = &args.status_addr {
         match host.serve_status(addr.as_str()) {
             Ok(bound) => println!("status endpoint on http://{bound} (/metrics /status /trace)"),
@@ -238,24 +307,39 @@ fn print_stats(who: &str, stats: &gossip_node::NodeStats) {
         stats.handler_starts,
     );
     println!(
-        "  errors: {} send, {} oversize, {} recv, {} decode, {} unknown senders, \
-         {} addr mismatches ({} datagrams received)",
+        "  errors: {} send, {} oversize, {} recv, {} decode, {} auth rejects, \
+         {} unknown senders, {} addr mismatches ({} datagrams received)",
         stats.send_errors,
         stats.send_oversize,
         stats.recv_errors,
         stats.decode_errors,
+        stats.auth_reject,
         stats.unknown_sender_drops,
         stats.addr_mismatches,
         stats.datagrams_received,
     );
 }
 
+/// Stop and settle an `--inject-hostile` attacker, reporting its volume.
+fn finish_attacker(
+    attacker: Option<(
+        std::sync::Arc<std::sync::atomic::AtomicBool>,
+        std::thread::JoinHandle<u64>,
+    )>,
+) {
+    if let Some((stop, handle)) = attacker {
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let sent = handle.join().expect("attacker thread");
+        println!("attacker: {sent} hostile frames injected at node 0");
+    }
+}
+
 fn run_cluster<H: Handler>(
     n: usize,
     args: &Args,
     factory: impl Fn(NodeId) -> H,
-    done: impl Fn(&NodeHost<H>) -> bool,
-    report: impl Fn(&NodeHost<H>) -> String,
+    done: impl Fn(&H) -> bool,
+    report: impl Fn(&H) -> String,
 ) where
     H::Msg: WireMsg,
 {
@@ -267,6 +351,10 @@ fn run_cluster<H: Handler>(
         // A small per-host event ring so `/metrics` carries the causal
         // `trace_chain_*` families.
         .with_trace(256);
+    if let Some(key) = cluster_key(args) {
+        cluster = cluster.with_auth_key(key);
+        println!("frame authentication: required (--auth-key)");
+    }
     println!("loopback cluster: {n} nodes on 127.0.0.1 ephemeral ports");
     if let Some(addr) = &args.status_addr {
         match cluster.serve_status(addr.as_str()) {
@@ -277,8 +365,15 @@ fn run_cluster<H: Handler>(
             }
         }
     }
+    let attacker = args.inject_hostile.then(|| {
+        let target = cluster
+            .host(NodeId::new(0))
+            .local_addr()
+            .expect("bound socket has an address");
+        spawn_attacker(target, cluster_key(args))
+    });
     let timeout = Duration::from_millis(args.run_ms.max(1));
-    let converged = cluster.run_until(timeout, |hosts| hosts.iter().all(&done));
+    let converged = cluster.run_until(timeout, |hosts| hosts.iter().all(|h| done(h.handler())));
     match converged {
         Some(elapsed) => println!("converged in {:.1} ms (wall)", elapsed.as_secs_f64() * 1e3),
         None => println!("not converged within {} ms", args.run_ms),
@@ -292,51 +387,113 @@ fn run_cluster<H: Handler>(
             }
         }
     }
+    finish_attacker(attacker);
     print_stats("wire totals", &cluster.total_stats());
-    for (node, _) in cluster.iter_handlers().take(4) {
-        println!("  node {node}: {}", report(cluster.host(node)));
+    for (node, h) in cluster.iter_handlers().take(4) {
+        println!("  node {node}: {}", report(h));
     }
     if n > 4 {
         println!("  ... ({} more nodes)", n - 4);
     }
 }
 
-/// Cluster mode, with or without the membership layer: `--member` wraps
-/// the factory in [`Member`], requires every node to finish the join
-/// handshake before the convergence predicate counts, and prefixes each
-/// node's report with its membership view.
-fn dispatch_cluster<H: Handler>(
+/// Cluster mode on OS threads: same lifecycle as [`run_cluster`], but
+/// each node pumps its own socket on its own worker thread
+/// (`ThreadedCluster`), and the `/metrics` page folds per-node registry
+/// snapshots under a `node` label.
+fn run_threaded<H>(
     n: usize,
     args: &Args,
     factory: impl Fn(NodeId) -> H,
-    done: impl Fn(&H) -> bool + Copy,
+    done: impl Fn(&H) -> bool + Send + Sync + 'static,
     report: impl Fn(&H) -> String,
 ) where
+    H: Handler + Send + 'static,
+    H::Msg: WireMsg,
+{
+    let mut cluster = ThreadedCluster::bind(n, args.seed, factory)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot bind a threaded cluster: {e}");
+            std::process::exit(1);
+        })
+        .with_trace(256);
+    if let Some(key) = cluster_key(args) {
+        cluster = cluster.with_auth_key(key);
+        println!("frame authentication: required (--auth-key)");
+    }
+    println!("threaded cluster: {n} nodes, one OS thread each, on 127.0.0.1 ephemeral ports");
+    if let Some(addr) = &args.status_addr {
+        match cluster.serve_status(addr.as_str()) {
+            Ok(bound) => println!("status endpoint on http://{bound} (/metrics /status)"),
+            Err(e) => {
+                eprintln!("cannot bind status endpoint {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let attacker = args
+        .inject_hostile
+        .then(|| spawn_attacker(cluster.peer_addrs()[0], cluster_key(args)));
+    let timeout = Duration::from_millis(args.run_ms.max(1));
+    let converged = cluster.run_until(timeout, done);
+    match converged {
+        Some(elapsed) => println!("converged in {:.1} ms (wall)", elapsed.as_secs_f64() * 1e3),
+        None => println!("not converged within {} ms", args.run_ms),
+    }
+    // Keep the workers running and the endpoint scrapeable for the rest
+    // of the requested run.
+    if args.status_addr.is_some() {
+        if let Some(elapsed) = converged {
+            if let Some(remaining) = timeout.checked_sub(elapsed) {
+                cluster.run_for(remaining);
+            }
+        }
+    }
+    finish_attacker(attacker);
+    let hosts = cluster.stop();
+    let mut total = gossip_node::NodeStats::default();
+    for host in &hosts {
+        total.merge(host.stats());
+    }
+    print_stats("wire totals", &total);
+    for host in hosts.iter().take(4) {
+        println!("  node {}: {}", host.me(), report(host.handler()));
+    }
+    if n > 4 {
+        println!("  ... ({} more nodes)", n - 4);
+    }
+}
+
+/// Cluster mode, with or without the membership layer and with either
+/// pump discipline: `--member` wraps the factory in [`Member`], requires
+/// every node to finish the join handshake before the convergence
+/// predicate counts, and prefixes each node's report with its membership
+/// view; `--threads` swaps the single-threaded round-robin for one OS
+/// thread per node.
+fn dispatch_cluster<H>(
+    n: usize,
+    args: &Args,
+    factory: impl Fn(NodeId) -> H,
+    done: impl Fn(&H) -> bool + Copy + Send + Sync + 'static,
+    report: impl Fn(&H) -> String + Copy,
+) where
+    H: Handler + Send + 'static,
     H::Msg: WireMsg,
 {
     if args.member {
         let config = member_config(args);
-        run_cluster(
-            n,
-            args,
-            move |me| Member::new(config.clone(), factory(me)),
-            move |host| host.handler().is_joined() && done(host.handler().inner()),
-            move |host| {
-                format!(
-                    "{} | {}",
-                    member_summary(host.handler()),
-                    report(host.handler().inner())
-                )
-            },
-        );
+        let factory = move |me| Member::new(config.clone(), factory(me));
+        let done = move |m: &Member<H>| m.is_joined() && done(m.inner());
+        let report = move |m: &Member<H>| format!("{} | {}", member_summary(m), report(m.inner()));
+        if args.threads {
+            run_threaded(n, args, factory, done, report);
+        } else {
+            run_cluster(n, args, factory, done, report);
+        }
+    } else if args.threads {
+        run_threaded(n, args, factory, done, report);
     } else {
-        run_cluster(
-            n,
-            args,
-            factory,
-            move |host| done(host.handler()),
-            move |host| report(host.handler()),
-        );
+        run_cluster(n, args, factory, done, report);
     }
 }
 

@@ -16,6 +16,7 @@ pub use gossip_drr as drr;
 pub use gossip_member as member;
 pub use gossip_net as net;
 pub use gossip_node as node;
+pub use gossip_obs as obs;
 pub use gossip_runtime as runtime;
 pub use gossip_topology as topology;
 
@@ -24,7 +25,7 @@ pub mod prelude {
     pub use gossip_ae::{ae_driver, AeConfig, AeNode, SignalModel};
     pub use gossip_member::{Member, MemberConfig, MemberMsg};
     pub use gossip_net::{Handler, Mailbox, Network, NodeId, Phase, SimConfig, TimerId, Transport};
-    pub use gossip_node::{LoopbackCluster, NodeHost};
+    pub use gossip_node::{LoopbackCluster, NodeHost, ThreadedCluster};
     pub use gossip_runtime::{
         AsyncConfig, AsyncEngine, ChurnModel, EventDriver, LatencyModel, SweepRunner,
     };
